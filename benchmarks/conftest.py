@@ -1,0 +1,59 @@
+"""Shared helpers for the benchmark suite.
+
+Every benchmark regenerates one of the paper's tables or figures and
+prints it in a paper-vs-measured format.  Absolute numbers come from a
+simulated substrate, so they are compared on *shape* (who wins, by
+roughly what factor) — see EXPERIMENTS.md for the per-experiment
+discussion.
+
+Run:  pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+from repro import ByteRobustSystem, SystemConfig
+from repro.monitor.detectors import DetectorConfig
+from repro.parallelism import ParallelismConfig
+from repro.training import TrainingJobConfig
+from repro.training.model import ModelSpec
+
+
+def print_table(title: str, headers: Sequence[str],
+                rows: Iterable[Sequence]) -> None:
+    """Render one experiment table to stdout (shown with pytest -s)."""
+    print(f"\n=== {title} ===")
+    widths = [len(h) for h in headers]
+    materialized: List[List[str]] = []
+    for row in rows:
+        cells = [f"{c:.2f}" if isinstance(c, float) else str(c)
+                 for c in row]
+        materialized.append(cells)
+        widths = [max(w, len(c)) for w, c in zip(widths, cells)]
+    fmt = "  ".join(f"{{:<{w}}}" for w in widths)
+    print(fmt.format(*headers))
+    print("  ".join("-" * w for w in widths))
+    for cells in materialized:
+        print(fmt.format(*cells))
+
+
+def small_managed_system(seed: int = 0, machines: int = 8,
+                         hang_window_s: float = 180.0,
+                         **system_kwargs) -> ByteRobustSystem:
+    """A compact fully-managed job used by timing benchmarks."""
+    gpm = 2
+    dp = machines * gpm // 4          # tp=2, pp=2 fixed
+    config = SystemConfig(
+        job=TrainingJobConfig(
+            model=ModelSpec("bench", 2 * 10**9, 2 * 10**9, 8,
+                            seq_len=2048),
+            parallelism=ParallelismConfig(tp=2, pp=2, dp=dp,
+                                          gpus_per_machine=gpm),
+            global_batch_size=128, gpu_peak_tflops=100.0),
+        seed=seed,
+        detector=DetectorConfig(hang_zero_rdma_s=hang_window_s),
+        **system_kwargs)
+    system = ByteRobustSystem(config)
+    system.start()
+    return system

@@ -1,0 +1,70 @@
+"""Fig. 12: weighted-average scheduling (WAS) time upon machine
+eviction events — requeue vs reschedule vs oracle vs ByteRobust.
+
+Setup per the paper: for each scale, eviction counts 1..P99 are
+weighted by the binomial simultaneous-failure distribution and a
+catastrophic switch failure (32 machines) carries a fixed 1%.  Shape
+targets: ByteRobust ≈ 10.9x faster than requeue, ≈ 5.4x faster than
+reschedule, and within ~5% of the infinite-standby oracle; requeue's
+cost grows markedly with scale while warm standby stays flat.
+"""
+
+from conftest import print_table
+
+from repro.baselines import (
+    ByteRobustRestart,
+    OracleRestart,
+    RequeueRestart,
+    RescheduleRestart,
+    weighted_average_scheduling_time,
+)
+from repro.baselines.restart import eviction_scenario_weights
+from repro.controller import StandbyPolicy
+
+SCALES = [128, 256, 512, 1024]
+CATASTROPHIC_MACHINES = 32
+
+
+def compute_was():
+    policy = StandbyPolicy()
+    strategies = [RequeueRestart(), RescheduleRestart(), OracleRestart(),
+                  ByteRobustRestart(standby_policy=policy)]
+    out = {}
+    for n in SCALES:
+        p99 = policy.standby_count(n)
+        weights = eviction_scenario_weights(
+            n, policy.daily_failure_prob, p99_count=p99,
+            catastrophic_size=CATASTROPHIC_MACHINES,
+            catastrophic_prob=0.01)
+        out[n] = {s.name: weighted_average_scheduling_time(s, n, weights)
+                  for s in strategies}
+    return out
+
+
+def test_fig12_was_time(benchmark):
+    was = benchmark.pedantic(compute_was, rounds=1, iterations=1)
+    rows = []
+    for n in SCALES:
+        w = was[n]
+        rows.append((f"{n}x16", f"{w['requeue']:.0f}",
+                     f"{w['reschedule']:.0f}", f"{w['oracle']:.0f}",
+                     f"{w['byterobust']:.0f}",
+                     f"{w['requeue'] / w['byterobust']:.1f}x",
+                     f"{w['reschedule'] / w['byterobust']:.1f}x"))
+        # strict ordering at every scale
+        assert (w["oracle"] <= w["byterobust"] < w["reschedule"]
+                < w["requeue"])
+    print_table(
+        "Fig. 12: weighted-average scheduling time (seconds)",
+        ["scale", "requeue", "reschedule", "oracle", "byterobust",
+         "vs requeue", "vs reschedule"], rows)
+
+    # headline factors at the largest scale (paper: 10.87x, 5.36x, 5.19%)
+    w = was[1024]
+    assert 8 <= w["requeue"] / w["byterobust"] <= 14
+    assert 4 <= w["reschedule"] / w["byterobust"] <= 8
+    assert w["byterobust"] / w["oracle"] - 1.0 <= 0.12
+
+    # scalability: requeue grows with scale, warm standby stays flat
+    assert was[1024]["requeue"] - was[128]["requeue"] > 200
+    assert abs(was[1024]["byterobust"] - was[128]["byterobust"]) < 20

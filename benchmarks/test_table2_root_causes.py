@@ -1,0 +1,54 @@
+"""Table 2: root causes of incidents (infrastructure vs user code).
+
+The paper attributes three ambiguous symptoms: job hangs are mostly
+infrastructure (21/26), illegal memory accesses mostly user code
+(41/62), NaN values mostly infrastructure (3/4).  The bench samples the
+generator's attribution and checks the mix.
+"""
+
+from conftest import print_table
+
+from repro.cluster.faults import FaultSymptom, RootCause
+from repro.sim import RngStreams
+from repro.workloads import TABLE2_ROOT_CAUSES, IncidentTraceGenerator
+
+TRIALS = 2000
+
+_SYMPTOMS = {
+    "job_hang": FaultSymptom.JOB_HANG,
+    "illegal_memory_access": FaultSymptom.GPU_MEMORY_ERROR,
+    "nan_value": FaultSymptom.NAN_VALUE,
+}
+
+
+def sample_attribution():
+    gen = IncidentTraceGenerator(RngStreams(1))
+    out = {}
+    for label, symptom in _SYMPTOMS.items():
+        infra = user = 0
+        for _ in range(TRIALS):
+            fault = gen.make_fault(symptom, list(range(32)))
+            if fault.root_cause is RootCause.INFRASTRUCTURE:
+                infra += 1
+            else:
+                user += 1
+        out[label] = (infra, user)
+    return out
+
+
+def test_table2_root_cause_mix(benchmark):
+    measured = benchmark.pedantic(sample_attribution, rounds=1,
+                                  iterations=1)
+    rows = []
+    for label, (paper_infra, paper_user) in TABLE2_ROOT_CAUSES.items():
+        infra, user = measured[label]
+        paper_frac = paper_infra / (paper_infra + paper_user)
+        measured_frac = infra / (infra + user)
+        rows.append((label, f"{paper_infra}/{paper_user}",
+                     f"{infra}/{user}", f"{paper_frac:.2f}",
+                     f"{measured_frac:.2f}"))
+        assert abs(measured_frac - paper_frac) < 0.06
+    print_table(
+        "Table 2: root cause mix (infrastructure/user-code)",
+        ["symptom", "paper infra/user", "measured", "paper frac",
+         "measured frac"], rows)

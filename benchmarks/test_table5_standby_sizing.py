@@ -1,0 +1,54 @@
+"""Table 5: warm-standby pool sizing at the P99 of the binomial
+simultaneous-failure model.
+
+Paper targets (the #P99 column): 2 / 2 / 3 / 4 standby machines at
+128 / 256 / 512 / 1024 training machines (16 GPUs each), with the
+catastrophic case fixed at 32 machines.
+"""
+
+from conftest import print_table
+
+from repro.controller import StandbyPolicy, simultaneous_failure_pmf
+
+#: (scale label, machines, paper P99 machines)
+ROWS = [
+    ("70B  @ 128x16", 128, 2),
+    ("70B  @ 256x16", 256, 2),
+    ("256B @ 512x16", 512, 3),
+    ("256B @ 1024x16", 1024, 4),
+]
+CATASTROPHIC_MACHINES = 32
+
+
+def compute_rows():
+    policy = StandbyPolicy()
+    out = []
+    for label, machines, paper_p99 in ROWS:
+        row = policy.table5_row(machines, gpus_per_machine=16)
+        out.append((label, machines, paper_p99,
+                    row["p99_standby_machines"], row["p99_standby_gpus"]))
+    return out
+
+
+def test_table5_p99_standby_sizing(benchmark):
+    rows = benchmark.pedantic(compute_rows, rounds=1, iterations=1)
+    table = []
+    for label, machines, paper_p99, measured_p99, gpus in rows:
+        table.append((label, f"{machines}x16", f"{paper_p99}x16",
+                      f"{measured_p99}x16",
+                      f"{CATASTROPHIC_MACHINES}x16"))
+        assert measured_p99 == paper_p99, (
+            f"{label}: P99 {measured_p99} != paper {paper_p99}")
+    print_table(
+        "Table 5: training setup and P99 standby sizing",
+        ["model/scale", "scale", "paper #P99", "measured #P99",
+         "#catastrophic"], table)
+
+    # sanity: the P99 really is the 99th percentile of the binomial
+    policy = StandbyPolicy()
+    for _, machines, paper_p99 in [r[:3] for r in ROWS]:
+        pmf = simultaneous_failure_pmf(machines,
+                                       policy.daily_failure_prob)
+        cdf_at_p99 = sum(pmf[:paper_p99 + 1])
+        cdf_below = sum(pmf[:paper_p99])
+        assert cdf_at_p99 >= 0.99 > cdf_below

@@ -1,0 +1,51 @@
+"""Table 7: scheduling time — full requeue vs in-place hot update,
+across four training scales, averaged over five code-update events.
+
+Paper numbers: requeue 454/545/635/768 s vs hot update 46/51/54/65 s at
+128/256/512/1024 machines — roughly an 11x gap that *grows* with scale
+because requeue pays metadata clearing and quota reallocation while the
+hot update only pays a stop-patch-resume barrier.
+"""
+
+from conftest import print_table
+
+from repro.cluster.pool import ProvisioningTimes
+
+SCALES = [128, 256, 512, 1024]
+PAPER_REQUEUE = {128: 454, 256: 545, 512: 635, 1024: 768}
+PAPER_HOT = {128: 46, 256: 51, 512: 54, 1024: 65}
+UPDATE_EVENTS = 5
+
+
+def measure():
+    times = ProvisioningTimes()
+    out = {}
+    for n in SCALES:
+        requeue = sum(times.requeue_time(n)
+                      for _ in range(UPDATE_EVENTS)) / UPDATE_EVENTS
+        hot = sum(times.hot_update_time(n)
+                  for _ in range(UPDATE_EVENTS)) / UPDATE_EVENTS
+        out[n] = (requeue, hot)
+    return out
+
+
+def test_table7_hot_update_vs_requeue(benchmark):
+    measured = benchmark.pedantic(measure, rounds=1, iterations=1)
+    rows = []
+    for n in SCALES:
+        requeue, hot = measured[n]
+        rows.append((f"{n}x16", PAPER_REQUEUE[n], f"{requeue:.0f}",
+                     PAPER_HOT[n], f"{hot:.0f}",
+                     f"{requeue / hot:.1f}x"))
+        # shape: within 25% of the paper's absolute numbers
+        assert abs(requeue - PAPER_REQUEUE[n]) / PAPER_REQUEUE[n] < 0.25
+        assert abs(hot - PAPER_HOT[n]) / PAPER_HOT[n] < 0.35
+    print_table(
+        "Table 7: scheduling time, requeue vs hot update (seconds)",
+        ["scale", "paper requeue", "measured requeue", "paper hot",
+         "measured hot", "speedup"], rows)
+
+    # the headline: ~11x at the largest scale, growing with scale
+    speedups = [measured[n][0] / measured[n][1] for n in SCALES]
+    assert 8 <= speedups[-1] <= 14
+    assert speedups[-1] >= speedups[0] * 0.9   # does not shrink with scale

@@ -1,0 +1,103 @@
+"""Table 8: checkpointing efficiency — blocking time and relative MFU
+for Megatron save, Memory save (Gemini), and ByteRobust save.
+
+Shapes from the paper: ByteRobust save blocks for 0.01–0.04 s per step
+(≥ 99% relative MFU, < 1% overhead at every scale); Memory save blocks
+for the D2H snapshot; Megatron save blocks for the full remote write
+(~40% relative MFU).  Checkpointing frequency is every step.
+"""
+
+from conftest import print_table
+
+from repro.checkpoint import (
+    ByteRobustSave,
+    CheckpointContext,
+    MegatronSave,
+    MemorySave,
+    StorageTiers,
+)
+from repro.cluster.components import MachineSpec
+from repro.parallelism import zero_shard_sizes
+
+#: (label, params, parallelism, healthy step seconds) — the L20
+#: evaluation fleet: 1024 machines x 16 GPUs, PCIe 30 GB/s.
+CONFIGS = [
+    ("70B  @ 128x16", 70_000_000_000, dict(tp=8, pp=8, dp=32), 4.5),
+    ("70B  @ 256x16", 70_000_000_000, dict(tp=8, pp=8, dp=64), 4.5),
+    ("256B @ 512x16", 256_000_000_000, dict(tp=8, pp=16, dp=64), 9.8),
+    ("256B @ 1024x16", 256_000_000_000, dict(tp=8, pp=16, dp=128), 9.8),
+]
+
+#: Paper's measured (blocking s, relative MFU %) per (config, strategy).
+PAPER = {
+    ("70B  @ 128x16", "megatron_save"): (6.77, 39.84),
+    ("70B  @ 128x16", "memory_save"): (1.84, 70.05),
+    ("70B  @ 128x16", "byterobust_save"): (0.04, 99.23),
+    ("70B  @ 256x16", "megatron_save"): (7.14, 39.11),
+    ("70B  @ 256x16", "memory_save"): (1.69, 72.36),
+    ("70B  @ 256x16", "byterobust_save"): (0.03, 99.12),
+    ("256B @ 512x16", "megatron_save"): (13.02, 43.07),
+    ("256B @ 512x16", "memory_save"): (0.22, 95.90),
+    ("256B @ 512x16", "byterobust_save"): (0.01, 99.71),
+    ("256B @ 1024x16", "megatron_save"): (12.98, 42.80),
+    ("256B @ 1024x16", "memory_save"): (0.18, 96.92),
+    ("256B @ 1024x16", "byterobust_save"): (0.02, 99.11),
+}
+
+
+def measure():
+    # remote_fs_bandwidth here models the *checkpoint* write path the
+    # Megatron-save baseline used (a parallel distributed FS), not the
+    # low-bandwidth frontend link of the default MachineSpec
+    spec = MachineSpec(gpus_per_machine=16, gpu_peak_tflops=119.0,
+                       pcie_bandwidth_gbps=30.0,
+                       remote_fs_bandwidth_gbps=8.0)
+    strategies = [MegatronSave(), MemorySave(), ByteRobustSave()]
+    out = {}
+    for label, params, par, step_s in CONFIGS:
+        sizes = zero_shard_sizes(params, zero_stage=1, **par)
+        ctx = CheckpointContext(shard_sizes=sizes,
+                                tiers=StorageTiers(machine_spec=spec),
+                                base_step_s=step_s)
+        for strategy in strategies:
+            out[(label, strategy.name)] = (
+                strategy.blocking_seconds(ctx),
+                100.0 * strategy.relative_mfu(ctx))
+    return out
+
+
+def test_table8_checkpoint_efficiency(benchmark):
+    measured = benchmark.pedantic(measure, rounds=1, iterations=1)
+    rows = []
+    for label, _params, _par, _step in CONFIGS:
+        for strat in ("megatron_save", "memory_save", "byterobust_save"):
+            paper_block, paper_mfu = PAPER[(label, strat)]
+            block, mfu = measured[(label, strat)]
+            rows.append((label, strat, paper_block, f"{block:.3f}",
+                         f"{paper_mfu:.1f}", f"{mfu:.1f}"))
+    print_table(
+        "Table 8: checkpoint blocking time (s) and relative MFU (%)",
+        ["scale", "strategy", "paper block", "measured block",
+         "paper MFU%", "measured MFU%"], rows)
+
+    for label, *_ in CONFIGS:
+        mega_b, mega_m = measured[(label, "megatron_save")]
+        mem_b, mem_m = measured[(label, "memory_save")]
+        br_b, br_m = measured[(label, "byterobust_save")]
+        # ordering: ByteRobust << Memory << Megatron on blocking
+        assert br_b < mem_b < mega_b
+        # ByteRobust: < 1% MFU loss and sub-100 ms stalls at every scale
+        assert br_m > 99.0
+        assert br_b < 0.1
+        # Megatron save loses more than a third of throughput
+        assert mega_m < 66.0
+        # and the MFU ordering inverts the blocking ordering
+        assert br_m > mem_m > mega_m
+
+    # headline reductions (paper: 99.69% vs Megatron, 95.10% vs Memory)
+    label = "256B @ 512x16"
+    mega_b = measured[(label, "megatron_save")][0]
+    mem_b = measured[(label, "memory_save")][0]
+    br_b = measured[(label, "byterobust_save")][0]
+    assert 1 - br_b / mega_b > 0.98
+    assert 1 - br_b / mem_b > 0.90

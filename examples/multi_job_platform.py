@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""A shared GPU platform running several managed jobs at once.
+
+ByteRobust manages an entire fleet (the paper's census covers 778,135
+jobs over three months), so robustness machinery is per-job but machine
+resources — including the warm-standby reserve — are shared.  This
+example runs three jobs of different sizes on one cluster, breaks two
+of them, and shows that (a) each controller heals only its own job,
+and (b) both evictions draw replacements from the same standby pool.
+
+Run:  python examples/multi_job_platform.py
+"""
+
+from repro.cluster.faults import (
+    Fault,
+    FaultSymptom,
+    JobEffect,
+    RootCause,
+    RootCauseDetail,
+)
+from repro.core.platform import TrainingPlatform
+from repro.parallelism import ParallelismConfig
+from repro.training import TrainingJobConfig
+from repro.training.model import ModelSpec, dense_llama_like
+
+
+def job_config(name, machines, params):
+    return TrainingJobConfig(
+        model=ModelSpec(name, params, params, 16, seq_len=4096),
+        parallelism=ParallelismConfig(tp=2, pp=2,
+                                      dp=machines * 2 // 4,
+                                      gpus_per_machine=2),
+        global_batch_size=128, gpu_peak_tflops=500.0)
+
+
+def main() -> None:
+    platform = TrainingPlatform(total_machines=32)
+    alpha = platform.add_job("alpha-7b", job_config("alpha", 8, 7e9))
+    beta = platform.add_job("beta-13b", job_config("beta", 8, 13e9))
+    gamma = platform.add_job("gamma-3b", job_config("gamma", 4, 3e9))
+    platform.start()
+    print(f"fleet: {len(platform.cluster.machines)} machines; jobs: "
+          + ", ".join(f"{m.name} ({m.job.num_machines} machines)"
+                      for m in platform.jobs.values()))
+
+    # break alpha with a lost GPU and beta with a hang, 10 min apart
+    platform.sim.schedule_at(1800, lambda: platform.injector.inject(
+        Fault(symptom=FaultSymptom.GPU_UNAVAILABLE,
+              root_cause=RootCause.INFRASTRUCTURE,
+              detail=RootCauseDetail.GPU_LOST,
+              machine_ids=[alpha.job.machines[2]],
+              log_signature="CUDA error: device unavailable",
+              exit_code=134)))
+    platform.sim.schedule_at(2400, lambda: platform.injector.inject(
+        Fault(symptom=FaultSymptom.JOB_HANG,
+              root_cause=RootCause.INFRASTRUCTURE,
+              detail=RootCauseDetail.DEFECTIVE_CUDA_CORES,
+              machine_ids=[beta.job.machines[5]],
+              effect=JobEffect.HANG)))
+
+    platform.run_until(4 * 3600)
+    report = platform.fleet_report()
+
+    print("\n=== per-job outcomes ===")
+    for name, stats in report["jobs"].items():
+        print(f"  {name:<10} state={stats['state']:<8} "
+              f"step={stats['final_step']:>5} "
+              f"ETTR={stats['cumulative_ettr']:.4f} "
+              f"incidents={stats['incidents']}")
+    print("\n=== incident detail ===")
+    for managed in platform.jobs.values():
+        for inc in managed.incident_log.resolved():
+            print(f"  [{managed.name}] {inc.symptom.value} via "
+                  f"{inc.mechanism}, evicted {inc.evicted_machines}, "
+                  f"unproductive "
+                  f"{inc.total_unproductive_seconds:.0f}s")
+    print(f"\npool after recovery: {report['pool']}")
+    print(f"standby idle machine-seconds: "
+          f"{report['standby_idle_machine_seconds']:.0f}")
+    print("\ngamma (never faulted) ran untouched — per-job isolation "
+          "with shared spare capacity.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""A production-style pretraining run: dense vs MoE (the Sec. 8.1 jobs).
+
+Simulates two managed pretraining jobs — a dense Llama-like model and a
+sparse MoE model — under realistic Poisson fault arrivals drawn from the
+Table 1 incident mix, including manual code/data adjustments handled by
+hot updates.  Prints each run's incident mix (Table 4 shape), ETTR
+curves (Fig. 10 shape), and relative MFU growth (Fig. 11 shape).
+
+Run:  python examples/production_pretrain.py
+"""
+
+from repro.training.metrics import mfu_relative_series
+from repro.workloads import (
+    dense_production_scenario,
+    moe_production_scenario,
+)
+
+#: Compressed scales for a demo that finishes in seconds; the paper's
+#: jobs run 9,600 GPUs for one to three months.
+NUM_MACHINES = 8
+DURATION_S = 2 * 86400        # two simulated days
+MTBF_SCALE = 0.004            # compress the fault rate accordingly
+
+
+def describe(name: str, report) -> None:
+    print(f"=== {name} ===")
+    print(report.summary())
+    mech = report.mechanism_distribution
+    total = sum(sum(row.values()) for row in mech.values()) or 1
+    print("mechanism mix:")
+    for mechanism, row in sorted(mech.items()):
+        count = sum(row.values())
+        print(f"  {mechanism:<12} {count:>4}  ({count / total:5.1%})")
+    mfus = [m for _, m in report.mfu_series]
+    if mfus:
+        rel = mfu_relative_series(mfus)
+        print(f"relative MFU: started 1.00x, ended {rel[-1]:.2f}x "
+              f"(hot updates lifted the plateau)")
+    series = report.ettr
+    print(f"cumulative ETTR: {series.final_cumulative():.4f}   "
+          f"min sliding-window ETTR: {series.min_sliding():.3f}")
+    print()
+
+
+def main() -> None:
+    dense = dense_production_scenario(
+        num_machines=NUM_MACHINES, duration_s=DURATION_S,
+        seed=11, mtbf_scale=MTBF_SCALE)
+    describe("dense 70B-class pretraining", dense.run())
+
+    moe = moe_production_scenario(
+        num_machines=NUM_MACHINES, duration_s=DURATION_S,
+        seed=12, mtbf_scale=MTBF_SCALE)
+    describe("MoE 200B-class pretraining", moe.run())
+
+    print("note: MoE jobs integrate more custom optimizations, so they "
+          "see more manual restarts\nand rollbacks — the paper's "
+          "explanation for MoE's slightly lower ETTR (Fig. 10).")
+
+
+if __name__ == "__main__":
+    main()

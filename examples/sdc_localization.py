@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Reproduce Algorithm 1 / Fig. 6: dual-phase replay isolates an SDC.
+
+A silent-data-corruption defect produces NaN losses but passes every
+standard health check (the paper measures EUD at only 70% recall on
+SDC).  Dual-phase replay partitions the 24 machines into horizontal
+groups (x // m) and vertical groups (x mod n), replays a reduced-DP job
+on each group, and intersects the failing groups' constraints to name
+the machine — two replay rounds instead of hours of stress testing.
+
+Run:  python examples/sdc_localization.py
+"""
+
+from repro.cluster import Cluster, ClusterSpec, Fault, FaultInjector
+from repro.cluster.faults import (
+    FaultSymptom,
+    JobEffect,
+    RootCause,
+    RootCauseDetail,
+)
+from repro.diagnosis import DualPhaseReplay, solution_cardinality
+from repro.sim import RngStreams, Simulator
+
+
+def main() -> None:
+    sim = Simulator()
+    cluster = Cluster(ClusterSpec(num_machines=24, machines_per_switch=24))
+    injector = FaultInjector(sim, cluster)
+
+    # the Fig. 6 configuration: z=24 machines, m=4, n=6, SDC on #13
+    faulty = 13
+    injector.inject(Fault(
+        symptom=FaultSymptom.NAN_VALUE,
+        root_cause=RootCause.INFRASTRUCTURE,
+        detail=RootCauseDetail.GPU_SDC, machine_ids=[faulty],
+        effect=JobEffect.NAN, reproduce_prob=0.9))
+    print(f"ground truth: SDC defect on machine {faulty} "
+          f"(90% per-step reproduce probability)\n")
+
+    replay = DualPhaseReplay(cluster, RngStreams(7))
+    z, m = 24, 4
+    n = z // m
+    print(f"z={z} machines, group size m={m}, n={n} groups per phase")
+    print(f"solution cardinality |S| = {solution_cardinality(m, n)} "
+          f"(m <= n gives a unique solution)\n")
+
+    result = replay.locate_faulty_machines(list(range(z)), m=m)
+
+    print("phase 1 (horizontal, x // m):")
+    for g in range(result.n):
+        members = list(range(g * m, (g + 1) * m))
+        mark = "  <-- FAILED" if g in result.failed_horizontal else ""
+        print(f"  H{g}: {members}{mark}")
+    print("\nphase 2 (vertical, x mod n):")
+    for g in range(result.n):
+        members = [x for x in range(z) if x % n == g]
+        mark = "  <-- FAILED" if g in result.failed_vertical else ""
+        print(f"  V{g}: {members}{mark}")
+
+    a = result.failed_horizontal[0] if result.failed_horizontal else None
+    b = result.failed_vertical[0] if result.failed_vertical else None
+    print(f"\nconstraints: x // {m} == {a}  and  x mod {n} == {b}")
+    print(f"isolated suspects: {result.suspects}")
+    print(f"replay wall time:  {result.duration_s:.0f} s "
+          f"(two parallel replay phases)")
+    assert result.suspects == [faulty], "localization failed!"
+    print("\nSDC machine correctly isolated — compare with the >8 hours "
+          "of offline stress testing the paper reports for manual "
+          "SDC diagnosis.")
+
+
+if __name__ == "__main__":
+    main()

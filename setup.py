@@ -1,0 +1,24 @@
+"""Setup shim.
+
+The execution environment has no network and no ``wheel`` package, so
+PEP 660 editable installs fail.  Keeping a classic ``setup.py`` lets
+``pip install -e .`` fall back to the legacy ``setup.py develop`` path,
+which works with a bare setuptools.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "ByteRobust: robust LLM training infrastructure (SOSP 2025) — "
+        "full Python reproduction"
+    ),
+    license="Apache-2.0",
+    python_requires=">=3.9",
+    install_requires=["numpy"],
+    extras_require={"dev": ["pytest", "pytest-benchmark", "hypothesis"]},
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+)

@@ -1,0 +1,30 @@
+"""ByteRobust reproduction — robust LLM training infrastructure.
+
+A full Python reproduction of *Robust LLM Training Infrastructure at
+ByteDance* (SOSP 2025): the automated fault-tolerance framework
+(Fig. 5), data-driven over-eviction via stack aggregation (Sec. 5),
+dual-phase replay for SDC localization (Alg. 1), in-place hot updates,
+P99-sized warm standby pools, and over-eviction-aware every-step
+checkpointing — all running on a deterministic discrete-event simulated
+GPU cluster.
+
+Quickstart::
+
+    from repro import ByteRobustSystem, SystemConfig
+    from repro.parallelism import ParallelismConfig
+    from repro.training import TrainingJobConfig, dense_70b
+
+    config = SystemConfig(job=TrainingJobConfig(
+        model=dense_70b(),
+        parallelism=ParallelismConfig(tp=8, pp=2, dp=8)))
+    system = ByteRobustSystem(config)
+    system.start()
+    system.run_until(6 * 3600)
+    print(system.report().summary())
+"""
+
+from repro.core import ByteRobustSystem, RunReport, SystemConfig
+
+__version__ = "1.0.0"
+
+__all__ = ["ByteRobustSystem", "RunReport", "SystemConfig", "__version__"]

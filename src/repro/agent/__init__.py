@@ -1,0 +1,34 @@
+"""The per-pod Robust Agent (data plane).
+
+In production the agent is a Python daemon in every training pod that
+relays control signals, heartbeats to the Robust Controller, and hosts
+the monitor / diagnoser / tracer / checkpoint sub-modules.  In the
+reproduction, monitoring and checkpointing are packages of their own;
+this package carries the agent-specific pieces:
+
+* :mod:`repro.agent.process_tree` — the pod's process tree (launch
+  script → daemon + torchrun → rank workers, dataloader and checkpoint
+  subprocesses), which the runtime analyzer parses to decide *which*
+  processes' stacks matter;
+* :mod:`repro.agent.tracer` — the on-demand tracer (py-spy /
+  flight-recorder stand-in) that captures stack traces from every
+  training-related process on request.
+"""
+
+from repro.agent.flight_recorder import (
+    CollectiveOp,
+    CollectiveRecord,
+    FlightRecorder,
+)
+from repro.agent.process_tree import ProcessNode, build_pod_process_tree
+from repro.agent.tracer import OnDemandTracer, TraceCapture
+
+__all__ = [
+    "CollectiveOp",
+    "CollectiveRecord",
+    "FlightRecorder",
+    "OnDemandTracer",
+    "ProcessNode",
+    "TraceCapture",
+    "build_pod_process_tree",
+]

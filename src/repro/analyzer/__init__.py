@@ -1,0 +1,32 @@
+"""Runtime Analyzer (control plane, Sec. 5): data-driven over-eviction.
+
+Given stack captures from the on-demand tracer, the analyzer
+
+1. groups identical stack texts (string matching),
+2. declares the dominant group(s) healthy and the rest outliers,
+3. finds the smallest family of parallel groups shared by the outliers
+   and isolates **all machines those groups span** — over-evicting on
+   purpose, because evicting a whole PP group immediately beats chasing
+   the one or two truly-faulty nodes while thousands of GPUs idle.
+
+For fail-slow incidents (MFU decline) the analyzer repeats aggregation
+every 10 seconds and flags the parallel group with the most outliers
+each round; the group with the highest cumulative flag count across
+five rounds is the degrader.
+"""
+
+from repro.analyzer.aggregation import (
+    AggregationConfig,
+    AggregationResult,
+    RuntimeAnalyzer,
+    TraceGroup,
+)
+from repro.analyzer.failslow import FailSlowVoter
+
+__all__ = [
+    "AggregationConfig",
+    "AggregationResult",
+    "FailSlowVoter",
+    "RuntimeAnalyzer",
+    "TraceGroup",
+]

@@ -1,0 +1,186 @@
+"""Stack-trace aggregation and shared-parallel-group isolation.
+
+The three-step procedure of Fig. 7:
+
+1. **Parse process trees** — done by the tracer; the analyzer receives
+   traces only from training-related processes (trainer / dataloader /
+   checkpoint workers).
+2. **Aggregate and identify outliers** — traces are grouped by their
+   rendered text.  Within each process role, the *largest* group is
+   healthy; groups at or below ``outlier_frac`` of the largest are
+   outliers.  (Roles are aggregated separately: every dataloader waits
+   on its pipe, and lumping those in with trainer stacks would swamp
+   the signal.)
+3. **Find the outliers' shared parallel groups** — for each parallel
+   dimension, collect the groups containing outlier ranks; choose the
+   dimension needing the fewest groups (ties: smaller machine span,
+   then PP > TP > DP, pipeline groups being the common fault domain).
+   The machines spanned by the chosen groups form the eviction set.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.parallelism import RankTopology
+from repro.training.stacks import StackTrace
+
+_DIM_PREFERENCE = ("pp", "tp", "dp")
+
+
+@dataclass
+class TraceGroup:
+    """One cluster of identical stack texts."""
+
+    text: str
+    role: str
+    traces: List[StackTrace] = field(default_factory=list)
+    is_outlier: bool = False
+
+    @property
+    def size(self) -> int:
+        return len(self.traces)
+
+    @property
+    def ranks(self) -> List[int]:
+        return sorted({t.rank for t in self.traces})
+
+    @property
+    def machine_ids(self) -> List[int]:
+        return sorted({t.machine_id for t in self.traces})
+
+
+@dataclass
+class AggregationResult:
+    """Outcome of one aggregation round."""
+
+    groups: List[TraceGroup]
+    outlier_ranks: List[int]
+    outlier_machines: List[int]
+    #: Parallel dimension whose groups the outliers share (None if the
+    #: capture looked healthy or no dimension isolates the outliers).
+    shared_dim: Optional[str]
+    #: Rank groups (along ``shared_dim``) implicated by the outliers.
+    shared_groups: List[List[int]]
+    #: Machines to evict (the shared groups' span, or the outlier
+    #: machines themselves as a fallback).
+    eviction_machines: List[int]
+
+    @property
+    def found_suspects(self) -> bool:
+        return bool(self.eviction_machines)
+
+
+@dataclass(frozen=True)
+class AggregationConfig:
+    """Knobs for outlier classification."""
+
+    #: A group is an outlier if its size ≤ this fraction of the largest
+    #: same-role group.
+    outlier_frac: float = 0.5
+    #: Ignore roles with fewer traces than this (not enough signal).
+    min_role_traces: int = 2
+
+
+def _role_of(process_name: str) -> str:
+    for role in ("dataloader", "ckpt"):
+        if process_name.startswith(role):
+            return role
+    return "trainer"
+
+
+class RuntimeAnalyzer:
+    """Aggregates captured stacks and proposes machines to isolate."""
+
+    def __init__(self, topology: RankTopology,
+                 config: Optional[AggregationConfig] = None):
+        self.topology = topology
+        self.config = config or AggregationConfig()
+
+    # ------------------------------------------------------------------
+    def aggregate(self, traces: Sequence[StackTrace],
+                  slot_to_machine: Optional[Dict[int, int]] = None
+                  ) -> AggregationResult:
+        """Run the three-step aggregation over one capture."""
+        if not traces:
+            raise ValueError("no traces to aggregate")
+        groups = self._group_traces(traces)
+        self._mark_outliers(groups)
+        outlier_ranks = sorted({
+            t.rank for g in groups if g.is_outlier for t in g.traces})
+        outlier_machines = sorted({
+            t.machine_id for g in groups if g.is_outlier for t in g.traces})
+        if not outlier_ranks:
+            return AggregationResult(
+                groups=groups, outlier_ranks=[], outlier_machines=[],
+                shared_dim=None, shared_groups=[], eviction_machines=[])
+        dim, shared = self._shared_parallel_groups(outlier_ranks)
+        if dim is None:
+            eviction = outlier_machines
+            shared = []
+        else:
+            slots = sorted({self.topology.machine_of_rank(r)
+                            for g in shared for r in g})
+            mapping = slot_to_machine or {}
+            eviction = sorted(mapping.get(s, s) for s in slots)
+        return AggregationResult(
+            groups=groups, outlier_ranks=outlier_ranks,
+            outlier_machines=outlier_machines, shared_dim=dim,
+            shared_groups=shared, eviction_machines=eviction)
+
+    # ------------------------------------------------------------------
+    def _group_traces(self, traces: Sequence[StackTrace]
+                      ) -> List[TraceGroup]:
+        buckets: Dict[Tuple[str, str], TraceGroup] = {}
+        for trace in traces:
+            role = _role_of(trace.process_name)
+            key = (role, trace.text())
+            group = buckets.get(key)
+            if group is None:
+                group = TraceGroup(text=trace.text(), role=role)
+                buckets[key] = group
+            group.traces.append(trace)
+        # deterministic ordering: biggest first, then text
+        return sorted(buckets.values(),
+                      key=lambda g: (-g.size, g.role, g.text))
+
+    def _mark_outliers(self, groups: List[TraceGroup]) -> None:
+        by_role: Dict[str, List[TraceGroup]] = defaultdict(list)
+        for group in groups:
+            by_role[group.role].append(group)
+        for role, role_groups in by_role.items():
+            total = sum(g.size for g in role_groups)
+            if total < self.config.min_role_traces:
+                continue
+            largest = max(g.size for g in role_groups)
+            for group in role_groups:
+                if group.size < largest and (
+                        group.size <= self.config.outlier_frac * largest):
+                    group.is_outlier = True
+
+    def _shared_parallel_groups(self, outlier_ranks: List[int]
+                                ) -> Tuple[Optional[str], List[List[int]]]:
+        """Pick the dimension whose groups most tightly cover the outliers."""
+        best: Optional[Tuple[int, int, int, str, List[List[int]]]] = None
+        outliers = set(outlier_ranks)
+        for pref, dim in enumerate(_DIM_PREFERENCE):
+            if self.topology.group_size(dim) <= 1:
+                continue
+            implicated = [g for g in self.topology.groups(dim)
+                          if outliers & set(g)]
+            span_slots = {self.topology.machine_of_rank(r)
+                          for g in implicated for r in g}
+            candidate = (len(implicated), len(span_slots), pref, dim,
+                         implicated)
+            if best is None or candidate[:3] < best[:3]:
+                best = candidate
+        if best is None:
+            return None, []
+        # If the chosen dimension implicates more than half the job's
+        # machines, isolation failed — fall back to the raw outliers.
+        span = best[1]
+        if span > self.topology.num_machines // 2 and span > 1:
+            return None, []
+        return best[3], best[4]

@@ -1,0 +1,115 @@
+"""Fail-slow (MFU decline) localization by repeated aggregation voting.
+
+Per the paper (Sec. 5.1): "For fail-slow incidents, ByteRobust repeats
+aggregation every 10 seconds, flagging the parallel group with the most
+outliers at each round.  The parallel group with the highest cumulative
+flag count across 5 rounds is marked as the degrader for over-eviction."
+
+Repeated rounds matter because a slow machine is only *sometimes*
+distinguishable — at capture time it may happen to be at the same
+barrier as everyone else.  Voting integrates the noisy per-round signal.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.analyzer.aggregation import AggregationResult, RuntimeAnalyzer
+from repro.sim import Simulator
+from repro.training.stacks import StackTrace
+
+
+@dataclass
+class FailSlowVerdict:
+    """Outcome of a voting run."""
+
+    rounds: int
+    flag_counts: Dict[Tuple[str, int], int]
+    #: (dim, group_index) with the most flags, or None if nothing stood out.
+    degrader: Optional[Tuple[str, int]]
+    eviction_machines: List[int] = field(default_factory=list)
+
+    @property
+    def found_suspects(self) -> bool:
+        return bool(self.eviction_machines)
+
+
+class FailSlowVoter:
+    """Aggregates repeatedly and votes on the degrading parallel group."""
+
+    def __init__(self, analyzer: RuntimeAnalyzer, rounds: int = 5,
+                 interval_s: float = 10.0):
+        if rounds < 1:
+            raise ValueError("need at least one round")
+        self.analyzer = analyzer
+        self.rounds = rounds
+        self.interval_s = interval_s
+
+    def run(self, sim: Simulator,
+            capture_fn: Callable[[], Sequence[StackTrace]],
+            slot_to_machine: Optional[Dict[int, int]] = None,
+            done: Optional[Callable[[FailSlowVerdict], None]] = None
+            ) -> None:
+        """Schedule the voting rounds on the simulator.
+
+        ``capture_fn`` is invoked once per round (10 s apart); ``done``
+        receives the verdict after the final round.
+        """
+        flags: Counter = Counter()
+        group_machines: Dict[Tuple[str, int], List[int]] = {}
+
+        def one_round(round_index: int) -> None:
+            result = self.analyzer.aggregate(list(capture_fn()),
+                                             slot_to_machine)
+            flagged = self._flag_of(result)
+            if flagged is not None:
+                flags[flagged] += 1
+                group_machines[flagged] = result.eviction_machines
+            if round_index + 1 < self.rounds:
+                sim.schedule(self.interval_s,
+                             lambda: one_round(round_index + 1))
+            elif done is not None:
+                done(self._verdict(flags, group_machines))
+
+        one_round(0)
+
+    def run_sync(self, captures: Sequence[Sequence[StackTrace]],
+                 slot_to_machine: Optional[Dict[int, int]] = None
+                 ) -> FailSlowVerdict:
+        """Vote over pre-collected captures (no simulator needed)."""
+        flags: Counter = Counter()
+        group_machines: Dict[Tuple[str, int], List[int]] = {}
+        for traces in captures[:self.rounds]:
+            result = self.analyzer.aggregate(list(traces), slot_to_machine)
+            flagged = self._flag_of(result)
+            if flagged is not None:
+                flags[flagged] += 1
+                group_machines[flagged] = result.eviction_machines
+        return self._verdict(flags, group_machines)
+
+    # ------------------------------------------------------------------
+    def _flag_of(self, result: AggregationResult
+                 ) -> Optional[Tuple[str, int]]:
+        """The (dim, group_index) flagged by one round, if any."""
+        if result.shared_dim is None or not result.shared_groups:
+            return None
+        # the group with the most outliers among the implicated ones
+        outliers = set(result.outlier_ranks)
+        best_group = max(result.shared_groups,
+                         key=lambda g: len(outliers & set(g)))
+        groups = self.analyzer.topology.groups(result.shared_dim)
+        return (result.shared_dim, groups.index(best_group))
+
+    def _verdict(self, flags: Counter,
+                 group_machines: Dict[Tuple[str, int], List[int]]
+                 ) -> FailSlowVerdict:
+        if not flags:
+            return FailSlowVerdict(rounds=self.rounds, flag_counts={},
+                                   degrader=None)
+        degrader, _count = max(flags.items(),
+                               key=lambda kv: (kv[1], kv[0]))
+        return FailSlowVerdict(
+            rounds=self.rounds, flag_counts=dict(flags), degrader=degrader,
+            eviction_machines=group_machines.get(degrader, []))

@@ -1,0 +1,32 @@
+"""Baselines the paper compares against.
+
+* :mod:`repro.baselines.restart` — job-restart flavours (full requeue,
+  reschedule-evicted-only, oracle standby) and the weighted-average
+  scheduling time (WAS) computation of Fig. 12;
+* :mod:`repro.baselines.detection` — timeout-only failure detection
+  (the NCCL/PyTorch-Distributed watchdog world ByteRobust replaces);
+* :mod:`repro.baselines.stress` — selective stress testing, the prior
+  troubleshooting practice of Table 6.
+"""
+
+from repro.baselines.restart import (
+    ByteRobustRestart,
+    OracleRestart,
+    RequeueRestart,
+    RescheduleRestart,
+    RestartStrategy,
+    weighted_average_scheduling_time,
+)
+from repro.baselines.detection import TimeoutOnlyDetection
+from repro.baselines.stress import SelectiveStressTesting
+
+__all__ = [
+    "ByteRobustRestart",
+    "OracleRestart",
+    "RequeueRestart",
+    "RescheduleRestart",
+    "RestartStrategy",
+    "SelectiveStressTesting",
+    "TimeoutOnlyDetection",
+    "weighted_average_scheduling_time",
+]

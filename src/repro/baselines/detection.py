@@ -1,0 +1,56 @@
+"""Timeout-only detection baseline (the Table 3 "w/o Inspection" column).
+
+Without proactive inspections, failure detection falls back on:
+
+* the collective-communication watchdog — PyTorch-Distributed's default
+  timeout (~10 minutes; NCCL's own is 30–60 minutes) — for anything
+  that stops progress (crashes whose logs nobody tails, hangs, lost
+  GPUs, downed NICs);
+* multi-iteration performance statistics for gray failures like
+  thermal throttling, which only surface once enough steps complete to
+  show an MFU decline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cluster.faults import RootCauseDetail
+
+
+@dataclass
+class TimeoutOnlyDetection:
+    """Detection-latency model without real-time inspections."""
+
+    #: PyTorch-Distributed collective timeout (paper: ~10 minutes).
+    torch_timeout_s: float = 600.0
+    #: Iterations of metrics needed to flag an MFU decline, times the
+    #: step duration, gives the monitor-based latency.
+    mfu_monitor_iterations: int = 20
+
+    def detection_seconds(self, detail: RootCauseDetail,
+                          step_time_s: float = 15.0) -> float:
+        """Expected detection latency for a root cause."""
+        if detail is RootCauseDetail.GPU_HIGH_TEMPERATURE:
+            # gray failure: only statistical MFU monitoring catches it
+            return self.mfu_monitor_iterations * step_time_s
+        if detail is RootCauseDetail.SWITCH_DOWN:
+            # both directions of traffic die; watchdog fires once
+            return self.torch_timeout_s
+        # everything else waits for the collective timeout
+        return self.torch_timeout_s
+
+    def table3_column(self, step_time_s: float = 15.0) -> dict:
+        """The "w/o Inspection" column of Table 3."""
+        rows = {
+            RootCauseDetail.NIC_CRASH: "T_timeout",
+            RootCauseDetail.PORT_FLAPPING: "T_timeout",
+            RootCauseDetail.SWITCH_DOWN: "T_timeout",
+            RootCauseDetail.GPU_DRIVER_HANG: "T_timeout",
+            RootCauseDetail.GPU_HIGH_TEMPERATURE: "T_monitor",
+            RootCauseDetail.GPU_LOST: "T_timeout",
+            RootCauseDetail.OS_KERNEL_FAULT: "T_timeout",
+        }
+        return {detail: (label,
+                         self.detection_seconds(detail, step_time_s))
+                for detail, label in rows.items()}

@@ -1,0 +1,124 @@
+"""Restart-strategy baselines and the Fig. 12 WAS computation.
+
+Four strategies, all expressed over the same
+:class:`~repro.cluster.pool.ProvisioningTimes` so comparisons are
+apples-to-apples:
+
+* **requeue** — kill the job, clear metadata, reallocate *every*
+  machine, rebuild every pod (KubeDL/Kubeflow/Volcano-style);
+* **reschedule** — keep survivors, allocate + rebuild pods only for the
+  evicted machines (Pathways-style);
+* **oracle** — an unlimited pre-warmed standby pool: every eviction is
+  absorbed at wake-up cost;
+* **ByteRobust** — P99-sized warm standby pool: evictions within the
+  pool cost a wake-up; beyond it, only the shortfall is rescheduled.
+
+Fig. 12 weights eviction counts k = 1..P99 by the binomial
+simultaneous-failure distribution, with catastrophic events (a whole
+switch, e.g. 32 machines) pinned at 1% total probability.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.cluster.pool import ProvisioningTimes
+from repro.controller.standby import (
+    StandbyPolicy,
+    simultaneous_failure_pmf,
+)
+
+
+class RestartStrategy:
+    """Base: time from failure detection to job resume."""
+
+    name = "base"
+
+    def __init__(self, times: Optional[ProvisioningTimes] = None):
+        self.times = times or ProvisioningTimes()
+
+    def restart_seconds(self, num_machines: int, evicted: int) -> float:
+        raise NotImplementedError
+
+
+class RequeueRestart(RestartStrategy):
+    """Kill + requeue the entire job regardless of eviction size."""
+
+    name = "requeue"
+
+    def restart_seconds(self, num_machines: int, evicted: int) -> float:
+        return self.times.requeue_time(num_machines)
+
+
+class RescheduleRestart(RestartStrategy):
+    """Replace only the evicted machines, rebuilding their pods."""
+
+    name = "reschedule"
+
+    def restart_seconds(self, num_machines: int, evicted: int) -> float:
+        return self.times.reschedule_time(evicted)
+
+
+class OracleRestart(RestartStrategy):
+    """Unlimited warm standbys: upper bound on recovery speed."""
+
+    name = "oracle"
+
+    def restart_seconds(self, num_machines: int, evicted: int) -> float:
+        return self.times.standby_wake_time(evicted)
+
+
+class ByteRobustRestart(RestartStrategy):
+    """P99 warm standby pool + reschedule for the shortfall."""
+
+    name = "byterobust"
+
+    def __init__(self, times: Optional[ProvisioningTimes] = None,
+                 standby_policy: Optional[StandbyPolicy] = None):
+        super().__init__(times)
+        self.standby_policy = standby_policy or StandbyPolicy()
+
+    def restart_seconds(self, num_machines: int, evicted: int) -> float:
+        pool = self.standby_policy.standby_count(num_machines)
+        if evicted <= pool:
+            return self.times.standby_wake_time(evicted)
+        shortfall = evicted - pool
+        # standbys wake while the shortfall reschedules; the job waits
+        # for the slower of the two paths
+        return max(self.times.standby_wake_time(pool),
+                   self.times.reschedule_time(shortfall))
+
+
+def eviction_scenario_weights(num_machines: int,
+                              daily_failure_prob: float,
+                              p99_count: int,
+                              catastrophic_size: int,
+                              catastrophic_prob: float = 0.01
+                              ) -> Dict[int, float]:
+    """Probability weights for eviction sizes, per the Fig. 12 setup.
+
+    Sizes 1..p99 are weighted by the binomial pmf conditioned on at
+    least one failure; the catastrophic size carries a fixed 1%.
+    """
+    if not 0.0 <= catastrophic_prob < 1.0:
+        raise ValueError("catastrophic_prob must be in [0, 1)")
+    pmf = simultaneous_failure_pmf(num_machines, daily_failure_prob,
+                                   k_max=max(p99_count, 1))
+    mass = {k: pmf[k] for k in range(1, p99_count + 1)}
+    total = sum(mass.values())
+    if total <= 0:
+        raise ValueError("degenerate failure distribution")
+    scale = (1.0 - catastrophic_prob) / total
+    weights = {k: v * scale for k, v in mass.items()}
+    weights[catastrophic_size] = (
+        weights.get(catastrophic_size, 0.0) + catastrophic_prob)
+    return weights
+
+
+def weighted_average_scheduling_time(strategy: RestartStrategy,
+                                     num_machines: int,
+                                     weights: Dict[int, float]) -> float:
+    """WAS time: eviction-size-weighted mean restart time (Fig. 12)."""
+    return sum(prob * strategy.restart_seconds(num_machines, k)
+               for k, prob in weights.items())

@@ -1,0 +1,62 @@
+"""Selective stress testing — the prior troubleshooting practice
+compared against in Table 6.
+
+The baseline reads the incident's logs/exit codes and launches the
+corresponding stress-test battery (GPU burn-in, network soak, storage
+probes).  Two structural weaknesses the paper highlights:
+
+* stress tests are *slow* — they must run long enough to shake out
+  intermittent faults, so even a crisp GPU fault costs minutes;
+* incidents rooted in human mistakes (code bugs, data adjustments)
+  never fail a hardware stress test: the baseline cannot localize them
+  at all (the ``INF`` entries of Table 6).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.cluster.faults import FaultSymptom, RootCause
+
+#: Stress-test durations by symptom (seconds), calibrated to Table 6's
+#: "Selective" column.  None = the baseline cannot localize (INF).
+_SELECTIVE_COSTS: Dict[FaultSymptom, Optional[float]] = {
+    FaultSymptom.CUDA_ERROR: 518.0,         # INF when user code at fault
+    FaultSymptom.INFINIBAND_ERROR: 288.0,
+    FaultSymptom.HDFS_ERROR: None,          # storage service: no HW test
+    FaultSymptom.OS_KERNEL_PANIC: 168.0,
+    FaultSymptom.GPU_MEMORY_ERROR: 600.0,
+    FaultSymptom.NAN_VALUE: 7200.0,         # INF when not reproducible
+    FaultSymptom.GPU_UNAVAILABLE: 120.0,
+    FaultSymptom.CODE_DATA_ADJUSTMENT: None,  # human change: untestable
+}
+
+
+@dataclass
+class SelectiveStressTesting:
+    """Resolution-cost model for symptom-guided stress testing."""
+
+    costs: Dict[FaultSymptom, Optional[float]] = field(
+        default_factory=lambda: dict(_SELECTIVE_COSTS))
+
+    def resolution_seconds(self, symptom: FaultSymptom,
+                           root_cause: RootCause = RootCause.INFRASTRUCTURE
+                           ) -> float:
+        """Time to localize + resolve; inf when the baseline cannot.
+
+        Human-mistake root causes defeat hardware stress testing even
+        for symptoms that are normally testable (the "(INF)" footnotes
+        in Table 6).
+        """
+        if root_cause in (RootCause.USER_CODE, RootCause.DATA,
+                          RootCause.NONE):
+            return math.inf
+        cost = self.costs.get(symptom)
+        return math.inf if cost is None else cost
+
+    def can_localize(self, symptom: FaultSymptom,
+                     root_cause: RootCause = RootCause.INFRASTRUCTURE
+                     ) -> bool:
+        return math.isfinite(self.resolution_seconds(symptom, root_cause))

@@ -1,0 +1,56 @@
+"""Over-eviction-aware, high-frequency checkpointing (Sec. 6.3).
+
+Four pieces:
+
+* :mod:`repro.checkpoint.planner` — the cross-parallel-group backup
+  strategy: each rank's shards are replicated onto a peer rank that
+  shares **none** of its TP/PP/DP groups, so evicting any whole parallel
+  group still leaves one copy of everything (Fig. 9);
+* :mod:`repro.checkpoint.storage` — storage tiers (HBM → CPU DRAM →
+  local SSD → remote FS) with bandwidth/latency parameters;
+* :mod:`repro.checkpoint.strategies` — per-step stall models for the
+  three approaches compared in Table 8 (Megatron save, Gemini-style
+  in-memory save, ByteRobust's dual-buffered async save);
+* :mod:`repro.checkpoint.manager` — the runtime engine: every-step
+  asynchronous checkpoints, dual-buffer semantics, and recovery-source
+  selection after machine evictions.
+"""
+
+from repro.checkpoint.planner import BackupPlan, plan_cross_group_backup
+from repro.checkpoint.storage import StorageTiers
+from repro.checkpoint.strategies import (
+    ByteRobustSave,
+    CheckpointContext,
+    MegatronSave,
+    MemorySave,
+    SaveStrategy,
+)
+from repro.checkpoint.reshard import (
+    ReshardPlan,
+    ReshardTransfer,
+    plan_reshard,
+    reshard_load_seconds,
+)
+from repro.checkpoint.manager import (
+    CheckpointManager,
+    RecoveryDecision,
+    RecoverySource,
+)
+
+__all__ = [
+    "BackupPlan",
+    "ByteRobustSave",
+    "CheckpointContext",
+    "CheckpointManager",
+    "MegatronSave",
+    "MemorySave",
+    "RecoveryDecision",
+    "RecoverySource",
+    "ReshardPlan",
+    "ReshardTransfer",
+    "SaveStrategy",
+    "StorageTiers",
+    "plan_cross_group_backup",
+    "plan_reshard",
+    "reshard_load_seconds",
+]

@@ -1,0 +1,208 @@
+"""The checkpoint manager: every-step async checkpoints + recovery.
+
+Runtime behaviour (Sec. 6.3 / Sec. 7 "High-Frequency Checkpointing"):
+
+* each completed step kicks off an asynchronous save: after the D2H +
+  serialization tail, the step's **local** checkpoint is durable in
+  host memory; after the P2P exchange, its **backup** copy is durable
+  on the cross-group peer machine;
+* dual-buffering means a failure mid-save never corrupts the previous
+  checkpoint — the latest *completed* step is always recoverable;
+* a remote persist runs every ``remote_every_steps`` as a last-resort
+  tier (kept off the hot restart path);
+* on recovery, each rank prefers local CPU memory, then its backup
+  peer, then remote; the job restarts from the *minimum* step available
+  across ranks, and the manager reports where that step came from and
+  how long loading takes.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.checkpoint.planner import BackupPlan, plan_cross_group_backup
+from repro.checkpoint.storage import StorageTiers
+from repro.checkpoint.strategies import ByteRobustSave, CheckpointContext, SaveStrategy
+from repro.parallelism import ShardedStateSizes
+from repro.sim import Simulator
+from repro.training.job import TrainingJob
+from repro.training.metrics import StepMetrics
+
+
+class RecoverySource(enum.Enum):
+    LOCAL_MEMORY = "local_memory"
+    PEER_BACKUP = "peer_backup"
+    REMOTE_STORAGE = "remote_storage"
+    NONE = "none"          # nothing recoverable (restart from step 0)
+
+
+@dataclass
+class RecoveryDecision:
+    """Where to restart from after evicting ``evicted_machines``."""
+
+    restart_step: int
+    source: RecoverySource
+    load_seconds: float
+    #: steps of progress lost relative to the last completed step
+    lost_steps: int = 0
+
+
+@dataclass
+class _SlotCheckpointState:
+    """Durable checkpoint steps for the ranks of one machine slot."""
+
+    local_step: int = -1       # in host memory of the slot's machine
+    backup_step: int = -1      # on the cross-group peer machine
+
+
+class CheckpointManager:
+    """Every-step asynchronous checkpointing for one training job."""
+
+    def __init__(self, sim: Simulator, job: TrainingJob,
+                 shard_sizes: ShardedStateSizes, tiers: StorageTiers,
+                 strategy: Optional[SaveStrategy] = None,
+                 remote_every_steps: int = 100):
+        self.sim = sim
+        self.job = job
+        self.shard_sizes = shard_sizes
+        self.tiers = tiers
+        self.strategy = strategy or ByteRobustSave()
+        self.remote_every_steps = remote_every_steps
+        self.plan: BackupPlan = plan_cross_group_backup(job.topology)
+        self.slot_states: Dict[int, _SlotCheckpointState] = {
+            slot: _SlotCheckpointState()
+            for slot in range(job.num_machines)}
+        self.remote_step: int = -1
+        self.saves_started = 0
+        self.enabled = True
+        job.step_listeners.append(self._on_step)
+        job.overhead_providers.append(self._blocking_overhead)
+
+    # ------------------------------------------------------------------
+    def _context(self) -> CheckpointContext:
+        return CheckpointContext(
+            shard_sizes=self.shard_sizes, tiers=self.tiers,
+            base_step_s=self.job.mfu_model.step_time(
+                self.job.config.model.flops_per_step(
+                    self.job.config.global_batch_size),
+                self.job.topology.world_size,
+                self.job.config.gpu_peak_tflops))
+
+    def _blocking_overhead(self, step: int) -> float:
+        if not self.enabled:
+            return 0.0
+        return self.strategy.blocking_seconds(self._context())
+
+    def _on_step(self, metrics: StepMetrics) -> None:
+        if not self.enabled:
+            return
+        self.saves_started += 1
+        ctx = self._context()
+        step = metrics.step
+        nbytes = self.shard_sizes.checkpoint_bytes
+        local_delay = (self.strategy.async_tail_seconds(ctx)
+                       or self.tiers.serialize_seconds(nbytes))
+        # local durability: after D2H + serialization complete
+        self.sim.schedule(self.tiers.serialize_seconds(nbytes),
+                          lambda: self._mark_local(step))
+        # backup durability: after the P2P exchange also lands
+        self.sim.schedule(local_delay, lambda: self._mark_backup(step))
+        if self.remote_every_steps > 0 and (
+                step % self.remote_every_steps == 0):
+            remote_delay = local_delay + self.tiers.remote_seconds(nbytes) \
+                if self.tiers.remote_available else None
+            if remote_delay is not None:
+                self.sim.schedule(remote_delay,
+                                  lambda: self._mark_remote(step))
+
+    def _mark_local(self, step: int) -> None:
+        for state in self.slot_states.values():
+            state.local_step = max(state.local_step, step)
+
+    def _mark_backup(self, step: int) -> None:
+        for state in self.slot_states.values():
+            state.backup_step = max(state.backup_step, step)
+
+    def _mark_remote(self, step: int) -> None:
+        self.remote_step = max(self.remote_step, step)
+
+    # ------------------------------------------------------------------
+    # recovery
+    # ------------------------------------------------------------------
+    def plan_recovery(self, evicted_machines: Sequence[int]
+                      ) -> RecoveryDecision:
+        """Best restart step after evicting those physical machines.
+
+        For each machine slot, the slot's shards survive locally if its
+        machine was not evicted; otherwise the backup copy survives if
+        the backup-holder machine was not evicted; otherwise only the
+        remote tier remains for that slot.
+        """
+        evicted_slots = {
+            slot for mid in evicted_machines
+            for slot in [self.job.slot_of_machine(mid)] if slot is not None}
+        best_step = None
+        worst_source = RecoverySource.LOCAL_MEMORY
+        nbytes = self.shard_sizes.checkpoint_bytes
+        for slot, state in self.slot_states.items():
+            backup_slot = self._backup_holder_slot(slot)
+            if slot not in evicted_slots:
+                step, source = state.local_step, RecoverySource.LOCAL_MEMORY
+            elif backup_slot not in evicted_slots:
+                step, source = state.backup_step, RecoverySource.PEER_BACKUP
+            elif self.tiers.remote_available and self.remote_step >= 0:
+                step, source = self.remote_step, RecoverySource.REMOTE_STORAGE
+            else:
+                step, source = -1, RecoverySource.NONE
+            if best_step is None or step < best_step:
+                best_step = step
+            worst_source = self._worse(worst_source, source)
+        assert best_step is not None
+        restart_step = max(0, best_step)
+        if best_step < 0:
+            worst_source = RecoverySource.NONE
+        load = self._load_seconds(worst_source, nbytes)
+        lost = max(0, self.job.current_step - restart_step)
+        return RecoveryDecision(restart_step=restart_step,
+                                source=worst_source, load_seconds=load,
+                                lost_steps=lost)
+
+    def _backup_holder_slot(self, slot: int) -> int:
+        """Machine slot that holds backups of ``slot``'s ranks.
+
+        The plan maps every rank of a machine to peers on one machine
+        (shifting pp/dp moves whole machines), so any rank's peer
+        machine represents the slot.
+        """
+        first_rank = self.job.topology.ranks_on_machine(slot)[0]
+        return self.plan.machine_of_backup(first_rank)
+
+    @staticmethod
+    def _worse(a: RecoverySource, b: RecoverySource) -> RecoverySource:
+        order = [RecoverySource.LOCAL_MEMORY, RecoverySource.PEER_BACKUP,
+                 RecoverySource.REMOTE_STORAGE, RecoverySource.NONE]
+        return max(a, b, key=order.index)
+
+    def _load_seconds(self, source: RecoverySource, nbytes: int) -> float:
+        if source is RecoverySource.LOCAL_MEMORY:
+            return self.tiers.load_local_seconds(nbytes)
+        if source is RecoverySource.PEER_BACKUP:
+            return (self.tiers.p2p_seconds(nbytes)
+                    + self.tiers.load_local_seconds(nbytes))
+        if source is RecoverySource.REMOTE_STORAGE:
+            return (self.tiers.remote_seconds(nbytes)
+                    + self.tiers.load_local_seconds(nbytes))
+        return 0.0
+
+    # ------------------------------------------------------------------
+    def after_recovery(self, restart_step: int) -> None:
+        """Reset durable state to the restarted step on every slot."""
+        for state in self.slot_states.values():
+            state.local_step = min(state.local_step, restart_step)
+            state.backup_step = min(state.backup_step, restart_step)
+        # A fresh copy now exists everywhere (the loaded checkpoint).
+        for state in self.slot_states.values():
+            state.local_step = max(state.local_step, restart_step)
+            state.backup_step = max(state.backup_step, restart_step)

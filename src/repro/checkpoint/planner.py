@@ -1,0 +1,165 @@
+"""Cross-parallel-group backup planning (Sec. 6.3, Fig. 9).
+
+Machine over-eviction removes an entire parallel group at once, so a
+backup peer must share **no** TP, PP, or DP group with the rank it
+protects.  Shifting both the PP and DP coordinates by one achieves
+this whenever both dimensions are non-trivial:
+
+* same TP group requires equal (pp, dp) — both differ;
+* same PP group requires equal (tp, dp) — dp differs;
+* same DP group requires equal (tp, pp) — pp differs.
+
+In Fig. 9's TP=2 / PP=4 / DP=2 layout this pairs ranks 8, 9 (machine 4)
+with ranks 2, 3 (machine 1), exactly the example in the paper.  When
+only a single non-trivial dimension exists (pure-DP / ZeRO jobs), the
+plan falls back to the neighboring machine, as the paper specifies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from repro.parallelism import RankTopology
+
+
+@dataclass
+class BackupPlan:
+    """rank → backup-peer rank, with placement validity queries."""
+
+    topology: RankTopology
+    peer_of: Dict[int, int] = field(default_factory=dict)
+
+    def machine_of_backup(self, rank: int) -> int:
+        """Machine slot holding ``rank``'s backup copy."""
+        return self.topology.machine_of_rank(self.peer_of[rank])
+
+    def ranks_backed_up_on(self, machine_slot: int) -> List[int]:
+        """Ranks whose backup copies live on ``machine_slot``."""
+        return sorted(r for r, p in self.peer_of.items()
+                      if self.topology.machine_of_rank(p) == machine_slot)
+
+    def survives_eviction(self, evicted_slots: Sequence[int]) -> bool:
+        """True if every rank's state survives evicting those machines.
+
+        A rank's state survives if its own machine or its backup peer's
+        machine remains.
+        """
+        evicted = set(evicted_slots)
+        for rank, peer in self.peer_of.items():
+            own = self.topology.machine_of_rank(rank)
+            backup = self.topology.machine_of_rank(peer)
+            if own in evicted and backup in evicted:
+                return False
+        return True
+
+    def validate(self) -> None:
+        """Raise if any pairing violates the cross-group requirement."""
+        topo = self.topology
+        multi_dims = sum(
+            1 for d in ("tp", "pp", "dp") if topo.group_size(d) > 1)
+        for rank, peer in self.peer_of.items():
+            if rank == peer:
+                raise ValueError(f"rank {rank} backs up onto itself")
+            if (topo.machine_of_rank(rank)
+                    == topo.machine_of_rank(peer)):
+                raise ValueError(
+                    f"rank {rank} backs up onto its own machine")
+            if multi_dims >= 2 and topo.shares_any_group(rank, peer):
+                raise ValueError(
+                    f"ranks {rank} and {peer} share a parallel group")
+
+
+def plan_cross_group_backup(topology: RankTopology) -> BackupPlan:
+    """Build the backup plan for a topology.
+
+    The mapping is a bijection (each machine hosts exactly as many
+    backups as it owns shards), keeping backup memory balanced.
+    """
+    topo = topology
+    cfg = topo.config
+    plan = BackupPlan(topology=topo)
+    nontrivial = [d for d in ("tp", "pp", "dp") if topo.group_size(d) > 1]
+
+    if len(nontrivial) >= 2:
+        # Cross-group pairing: shift the two (or three) non-trivial
+        # dimensions.  A shift of one in each dimension is the paper's
+        # Fig. 9 pairing and suffices when every machine hosts a single
+        # (pp, dp) coordinate; when machines pack several pipeline
+        # stages, some shifts land the backup inside the rank's own
+        # group *machine span*, so search shift combinations for one
+        # whose backups survive eviction of any group's machines.
+        shifts = _find_surviving_shifts(topo, nontrivial)
+        if shifts is None:
+            raise ValueError(
+                "no cross-group backup placement exists for "
+                f"{cfg.describe()} at {cfg.gpus_per_machine} GPUs/machine")
+        for rank in topo.iter_ranks():
+            coord = topo.coord_of(rank)
+            updates = {
+                dim: (coord.axis(dim) + shifts[dim])
+                % topo.group_size(dim)
+                for dim in shifts}
+            plan.peer_of[rank] = topo.rank_of(coord.replace(**updates))
+    else:
+        # single parallel dimension (e.g. pure ZeRO): neighbor machine
+        gpm = cfg.gpus_per_machine
+        world = topo.world_size
+        if topo.num_machines < 2:
+            raise ValueError(
+                "cross-machine backup needs at least two machines")
+        for rank in topo.iter_ranks():
+            plan.peer_of[rank] = (rank + gpm) % world
+
+    plan.validate()
+    return plan
+
+
+def _find_surviving_shifts(topo: RankTopology,
+                           nontrivial: list) -> "dict | None":
+    """Smallest per-dimension shifts whose backups survive eviction of
+    any single parallel group's machine span.
+
+    Candidates are ordered so that the all-ones shift (the paper's
+    Fig. 9 pairing) is tried first.
+    """
+    import itertools
+
+    ranges = [range(0, topo.group_size(dim)) for dim in nontrivial]
+    candidates = sorted(
+        (c for c in itertools.product(*ranges) if any(c)),
+        key=lambda c: (sum(1 for x in c if x), sum(c), c))
+    for combo in candidates:
+        shifts = dict(zip(nontrivial, combo))
+        if _shifts_survive(topo, shifts):
+            return shifts
+    return None
+
+
+def _shifts_survive(topo: RankTopology, shifts: dict) -> bool:
+    """True if the shifted pairing satisfies both placement rules:
+
+    * rank level — the peer shares none of the rank's parallel groups;
+    * machine level — the backup machine lies outside the machine span
+      of each of the rank's groups, except spans that already cover the
+      whole fleet (evicting everything loses data under any placement).
+    """
+    for rank in topo.iter_ranks():
+        coord = topo.coord_of(rank)
+        updates = {dim: (coord.axis(dim) + delta) % topo.group_size(dim)
+                   for dim, delta in shifts.items()}
+        peer = topo.rank_of(coord.replace(**updates))
+        backup_machine = topo.machine_of_rank(peer)
+        if backup_machine == topo.machine_of_rank(rank):
+            return False
+        if topo.shares_any_group(rank, peer):
+            return False
+        for dim in ("tp", "pp", "dp"):
+            if topo.group_size(dim) <= 1:
+                continue
+            span = topo.machines_of_group(rank, dim)
+            if len(span) == topo.num_machines:
+                continue
+            if backup_machine in span:
+                return False
+    return True

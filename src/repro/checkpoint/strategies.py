@@ -1,0 +1,123 @@
+"""Per-step checkpoint stall models for the Table 8 comparison.
+
+Each strategy answers two questions for a given job shape:
+
+* ``blocking_seconds()`` — how long training stalls per checkpointed
+  step (the "Blocking Time" column of Table 8);
+* ``async_tail_seconds()`` — how long after the step the checkpoint
+  keeps completing in the background (affects which step's checkpoint
+  is durable when a failure strikes, not the step time).
+
+The three strategies:
+
+* **Megatron save** — synchronous: D2H, serialization, and the remote-FS
+  write all block training.
+* **Memory save** (Gemini-style) — snapshot to CPU memory blocks
+  training for the D2H copy; serialization and inter-machine backup
+  proceed asynchronously.
+* **ByteRobust save** — dual CPU buffers plus a dedicated CUDA stream
+  overlap D2H with compute, and backup P2P traffic interleaves with
+  training communication in idle cycles; only a small residual
+  synchronization at the optimizer step blocks (the paper measures
+  0.01–0.04 s, <1% MFU loss).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.checkpoint.storage import StorageTiers
+from repro.parallelism import ShardedStateSizes
+
+
+@dataclass(frozen=True)
+class CheckpointContext:
+    """Job shape a strategy is evaluated against."""
+
+    shard_sizes: ShardedStateSizes
+    tiers: StorageTiers
+    #: Healthy step time (without checkpoint overhead), seconds.
+    base_step_s: float
+
+    @property
+    def ckpt_bytes(self) -> int:
+        return self.shard_sizes.checkpoint_bytes
+
+
+class SaveStrategy:
+    """Base class for checkpoint stall models."""
+
+    name = "base"
+
+    def blocking_seconds(self, ctx: CheckpointContext) -> float:
+        raise NotImplementedError
+
+    def async_tail_seconds(self, ctx: CheckpointContext) -> float:
+        return 0.0
+
+    def relative_mfu(self, ctx: CheckpointContext) -> float:
+        """MFU with checkpointing relative to without (Table 8)."""
+        blocking = self.blocking_seconds(ctx)
+        return ctx.base_step_s / (ctx.base_step_s + blocking)
+
+
+class MegatronSave(SaveStrategy):
+    """Blocking checkpoint straight to remote storage (Megatron-LM)."""
+
+    name = "megatron_save"
+
+    def blocking_seconds(self, ctx: CheckpointContext) -> float:
+        nbytes = ctx.ckpt_bytes
+        return (ctx.tiers.d2h_seconds(nbytes)
+                + ctx.tiers.serialize_seconds(nbytes)
+                + ctx.tiers.remote_seconds(nbytes))
+
+
+class MemorySave(SaveStrategy):
+    """Gemini-style in-memory checkpointing with CPU-side backup.
+
+    Training blocks while the snapshot lands in host memory; the
+    inter-machine backup and any persistence continue asynchronously.
+    """
+
+    name = "memory_save"
+
+    def blocking_seconds(self, ctx: CheckpointContext) -> float:
+        return ctx.tiers.d2h_seconds(ctx.ckpt_bytes)
+
+    def async_tail_seconds(self, ctx: CheckpointContext) -> float:
+        nbytes = ctx.ckpt_bytes
+        return (ctx.tiers.serialize_seconds(nbytes)
+                + ctx.tiers.p2p_seconds(nbytes))
+
+
+class ByteRobustSave(SaveStrategy):
+    """Dual-buffer async save with scheduled backup traffic (Sec. 6.3).
+
+    ``overlap_frac`` of the D2H copy hides under forward/backward via
+    the dedicated CUDA stream; the optimizer step only waits for the
+    small unoverlapped residual (data-integrity barrier).  Backup P2P
+    chunks ride idle communication cycles and never block.
+    """
+
+    name = "byterobust_save"
+
+    def __init__(self, overlap_frac: float = 0.99,
+                 residual_floor_s: float = 0.01):
+        if not 0.0 <= overlap_frac < 1.0:
+            raise ValueError("overlap_frac must be in [0, 1)")
+        self.overlap_frac = overlap_frac
+        self.residual_floor_s = residual_floor_s
+
+    def blocking_seconds(self, ctx: CheckpointContext) -> float:
+        d2h = ctx.tiers.d2h_seconds(ctx.ckpt_bytes)
+        residual = d2h * (1.0 - self.overlap_frac)
+        # overlap cannot exceed the step's compute window
+        unhideable = max(0.0, d2h - ctx.base_step_s)
+        return max(self.residual_floor_s, residual, unhideable)
+
+    def async_tail_seconds(self, ctx: CheckpointContext) -> float:
+        nbytes = ctx.ckpt_bytes
+        return (ctx.tiers.serialize_seconds(nbytes)
+                + ctx.tiers.p2p_seconds(nbytes))

@@ -1,0 +1,171 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+
+``run-dense`` / ``run-moe``
+    Simulate a managed production pretraining job (the Sec. 8.1 jobs)
+    under Table 1-distributed Poisson incidents and print (or save) the
+    run report.
+
+``standby-size``
+    Print the P99 standby pool size for a fleet (Table 5's math).
+
+``replay``
+    Run a dual-phase replay localization demo (Algorithm 1).
+
+``was``
+    Print the Fig. 12 weighted-average scheduling time comparison.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    from repro.workloads import (
+        dense_production_scenario,
+        moe_production_scenario,
+    )
+
+    build = (dense_production_scenario if args.flavor == "dense"
+             else moe_production_scenario)
+    scenario = build(num_machines=args.machines,
+                     duration_s=args.hours * 3600.0,
+                     seed=args.seed, mtbf_scale=args.mtbf_scale)
+    report = scenario.run()
+    print(report.summary())
+    if args.output:
+        with open(args.output, "w") as fh:
+            json.dump(report.to_dict(), fh, indent=2)
+        print(f"\nfull report written to {args.output}")
+    return 0
+
+
+def _cmd_standby_size(args: argparse.Namespace) -> int:
+    from repro.controller import StandbyPolicy
+
+    policy = StandbyPolicy(daily_failure_prob=args.daily_failure_prob,
+                           quantile=args.quantile)
+    row = policy.table5_row(args.machines, args.gpus_per_machine)
+    print(f"fleet:              {args.machines} machines x "
+          f"{args.gpus_per_machine} GPUs")
+    print(f"failure prob/day:   {args.daily_failure_prob:.4%} per machine")
+    print(f"quantile:           P{args.quantile * 100:g}")
+    print(f"standby pool:       {row['p99_standby_machines']} machines "
+          f"({row['p99_standby_gpus']} GPUs)")
+    return 0
+
+
+def _cmd_replay(args: argparse.Namespace) -> int:
+    from repro.cluster import Cluster, ClusterSpec, Fault, FaultInjector
+    from repro.cluster.faults import (
+        FaultSymptom,
+        JobEffect,
+        RootCause,
+        RootCauseDetail,
+    )
+    from repro.diagnosis import DualPhaseReplay
+    from repro.sim import RngStreams, Simulator
+
+    sim = Simulator()
+    cluster = Cluster(ClusterSpec(num_machines=args.machines,
+                                  machines_per_switch=args.machines))
+    injector = FaultInjector(sim, cluster)
+    injector.inject(Fault(
+        symptom=FaultSymptom.NAN_VALUE,
+        root_cause=RootCause.INFRASTRUCTURE,
+        detail=RootCauseDetail.GPU_SDC, machine_ids=[args.faulty],
+        effect=JobEffect.NAN, reproduce_prob=args.reproduce_prob))
+    replay = DualPhaseReplay(cluster, RngStreams(args.seed))
+    result = replay.locate_faulty_machines(
+        list(range(args.machines)), m=args.group_size)
+    print(f"machines: {args.machines}, m={args.group_size}, n={result.n}")
+    print(f"failed horizontal groups: {result.failed_horizontal}")
+    print(f"failed vertical groups:   {result.failed_vertical}")
+    print(f"isolated suspects:        {result.suspects}")
+    print(f"wall time:                {result.duration_s:.0f} s")
+    return 0 if result.suspects == [args.faulty] else 1
+
+
+def _cmd_was(args: argparse.Namespace) -> int:
+    from repro.baselines import (
+        ByteRobustRestart,
+        OracleRestart,
+        RequeueRestart,
+        RescheduleRestart,
+        weighted_average_scheduling_time,
+    )
+    from repro.baselines.restart import eviction_scenario_weights
+    from repro.controller import StandbyPolicy
+
+    policy = StandbyPolicy()
+    strategies = [RequeueRestart(), RescheduleRestart(), OracleRestart(),
+                  ByteRobustRestart(standby_policy=policy)]
+    print(f"{'scale':>8}  " + "  ".join(f"{s.name:>11}"
+                                        for s in strategies))
+    for n in args.scales:
+        p99 = policy.standby_count(n)
+        weights = eviction_scenario_weights(
+            n, policy.daily_failure_prob, p99_count=p99,
+            catastrophic_size=args.catastrophic)
+        cells = [weighted_average_scheduling_time(s, n, weights)
+                 for s in strategies]
+        print(f"{n:>8}  " + "  ".join(f"{c:>10.0f}s" for c in cells))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="ByteRobust reproduction — simulated robust LLM "
+                    "training infrastructure")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    for flavor in ("dense", "moe"):
+        p = sub.add_parser(f"run-{flavor}",
+                           help=f"simulate the {flavor} production job")
+        p.add_argument("--machines", type=int, default=8)
+        p.add_argument("--hours", type=float, default=24.0)
+        p.add_argument("--seed", type=int, default=0)
+        p.add_argument("--mtbf-scale", type=float, default=0.01,
+                       help="compress the fleet MTBF (small fleets need "
+                            "small values to see incidents)")
+        p.add_argument("--output", type=str, default=None,
+                       help="write the full JSON report here")
+        p.set_defaults(func=_cmd_run, flavor=flavor)
+
+    p = sub.add_parser("standby-size", help="P99 standby pool sizing")
+    p.add_argument("--machines", type=int, default=1024)
+    p.add_argument("--gpus-per-machine", type=int, default=16)
+    p.add_argument("--daily-failure-prob", type=float, default=0.0012)
+    p.add_argument("--quantile", type=float, default=0.99)
+    p.set_defaults(func=_cmd_standby_size)
+
+    p = sub.add_parser("replay", help="dual-phase replay localization")
+    p.add_argument("--machines", type=int, default=24)
+    p.add_argument("--group-size", type=int, default=4)
+    p.add_argument("--faulty", type=int, default=13)
+    p.add_argument("--reproduce-prob", type=float, default=1.0)
+    p.add_argument("--seed", type=int, default=7)
+    p.set_defaults(func=_cmd_replay)
+
+    p = sub.add_parser("was", help="Fig. 12 WAS time comparison")
+    p.add_argument("--scales", type=int, nargs="+",
+                   default=[128, 256, 512, 1024])
+    p.add_argument("--catastrophic", type=int, default=32)
+    p.set_defaults(func=_cmd_was)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,179 @@
+"""Machines, GPUs and NICs with the health state ByteRobust inspects.
+
+Each component exposes exactly the signals the paper's real-time checks
+read (Sec. 4.1): DCGM service status, PCIe bandwidth, row-remapping
+pressure, temperature and Xid events on the GPU side; link state,
+flapping and packet loss on the NIC side; kernel events, CPU load,
+memory and disk pressure on the host side.  Faults mutate these fields;
+inspections read them.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+class MachineState(enum.Enum):
+    """Lifecycle of a machine within the pool."""
+
+    FREE = "free"                 # unallocated capacity
+    PROVISIONING = "provisioning"  # pod env being built / self-checks
+    STANDBY = "standby"           # warm standby: pod ready, low-power poll
+    ACTIVE = "active"             # serving a training job
+    EVICTED = "evicted"           # removed from the job, pending triage
+    BLACKLISTED = "blacklisted"   # confirmed bad; IP blocked
+
+
+@dataclass
+class Gpu:
+    """One GPU's inspectable health state."""
+
+    index: int
+    #: DCGM service reachable and healthy.
+    dcgm_healthy: bool = True
+    #: Device visible to the driver (False == "GPU lost").
+    available: bool = True
+    #: Measured PCIe bandwidth as a fraction of spec (1.0 == nominal).
+    pcie_bandwidth_frac: float = 1.0
+    #: Pending HBM row remaps (row-remapping pressure; high == failing HBM).
+    pending_row_remaps: int = 0
+    #: Core temperature, Celsius.
+    temperature_c: float = 55.0
+    #: Driver wedged (kernel launches never return).
+    driver_hung: bool = False
+    #: Broken HBM cell → illegal-memory-access class errors.
+    hbm_faulty: bool = False
+    #: Silent-data-corruption defect (wrong arithmetic, no error signal).
+    sdc_defective: bool = False
+    #: Probability a single training step on this GPU reproduces the SDC.
+    sdc_reproduce_prob: float = 1.0
+    #: Thermal-throttling active (downclocked).
+    throttled: bool = False
+    #: Xid codes observed in dmesg since last drain.
+    xid_events: List[int] = field(default_factory=list)
+
+    THROTTLE_TEMP_C = 88.0
+
+    @property
+    def overheating(self) -> bool:
+        return self.temperature_c >= self.THROTTLE_TEMP_C
+
+    def healthy(self) -> bool:
+        """True when no inspectable defect is present (SDC is *not*
+        inspectable — that is the whole problem with it)."""
+        return (self.dcgm_healthy and self.available
+                and not self.driver_hung and not self.hbm_faulty
+                and not self.overheating
+                and self.pcie_bandwidth_frac >= 0.8
+                and self.pending_row_remaps < 8)
+
+
+@dataclass
+class Nic:
+    """One RDMA NIC's inspectable state."""
+
+    index: int
+    up: bool = True
+    flapping: bool = False
+    packet_loss_rate: float = 0.0
+
+    FLAP_LOSS_THRESHOLD = 0.01
+
+    def healthy(self) -> bool:
+        return (self.up and not self.flapping
+                and self.packet_loss_rate < self.FLAP_LOSS_THRESHOLD)
+
+
+@dataclass
+class HostState:
+    """Host-side (non-GPU) inspectable state."""
+
+    kernel_panic: bool = False
+    #: Xid-bearing kernel events visible in dmesg.
+    dmesg_xids: List[int] = field(default_factory=list)
+    cpu_load_frac: float = 0.3       # 1.0 == all cores saturated
+    mem_used_frac: float = 0.4
+    disk_free_gb: float = 500.0
+    disk_faulty: bool = False
+    fs_mounted: bool = True
+    container_healthy: bool = True
+
+    CPU_OVERLOAD_FRAC = 0.95
+    MEM_OOM_FRAC = 0.98
+    DISK_MIN_FREE_GB = 5.0
+
+    def healthy(self) -> bool:
+        return (not self.kernel_panic and not self.disk_faulty
+                and self.fs_mounted and self.container_healthy
+                and self.cpu_load_frac < self.CPU_OVERLOAD_FRAC
+                and self.mem_used_frac < self.MEM_OOM_FRAC
+                and self.disk_free_gb > self.DISK_MIN_FREE_GB)
+
+
+@dataclass
+class MachineSpec:
+    """Hardware parameters shared by a homogeneous fleet."""
+
+    gpus_per_machine: int = 8
+    nics_per_machine: int = 8
+    #: Per-GPU dense peak, TFLOPs (bf16).  Hopper ~989; L20 ~119.
+    gpu_peak_tflops: float = 989.0
+    #: GPU HBM capacity, GB.
+    gpu_memory_gb: float = 80.0
+    #: Host DRAM, GB (paper: 2 TB).
+    host_memory_gb: float = 2048.0
+    #: D2H PCIe bandwidth per GPU, GB/s (paper's L20 fleet: 30 GB/s).
+    pcie_bandwidth_gbps: float = 30.0
+    #: Per-NIC RDMA bandwidth, GB/s (8 x 400 Gbps links).
+    rdma_bandwidth_gbps: float = 50.0
+    #: Local SSD write bandwidth, GB/s.
+    ssd_bandwidth_gbps: float = 3.0
+    #: Remote (frontend network) storage bandwidth per machine, GB/s.
+    remote_fs_bandwidth_gbps: float = 0.5
+
+
+class Machine:
+    """A training machine: GPUs + NICs + host, plus pool lifecycle."""
+
+    def __init__(self, machine_id: int, spec: Optional[MachineSpec] = None):
+        self.id = machine_id
+        self.spec = spec or MachineSpec()
+        self.gpus = [Gpu(i) for i in range(self.spec.gpus_per_machine)]
+        self.nics = [Nic(i) for i in range(self.spec.nics_per_machine)]
+        self.host = HostState()
+        self.state = MachineState.FREE
+        #: Identifier of the leaf switch this machine hangs off.
+        self.switch_id: Optional[int] = None
+        #: Set by the injector while a fault is active on this machine.
+        self.active_fault_ids: List[int] = []
+
+    # ------------------------------------------------------------------
+    def healthy(self) -> bool:
+        """All inspectable components healthy (SDC excluded by design)."""
+        return (self.host.healthy()
+                and all(g.healthy() for g in self.gpus)
+                and all(n.healthy() for n in self.nics))
+
+    def has_sdc_defect(self) -> bool:
+        return any(g.sdc_defective for g in self.gpus)
+
+    def reset_health(self) -> None:
+        """Restore all components to nominal (used after repair)."""
+        self.gpus = [Gpu(i) for i in range(self.spec.gpus_per_machine)]
+        self.nics = [Nic(i) for i in range(self.spec.nics_per_machine)]
+        self.host = HostState()
+        self.active_fault_ids.clear()
+
+    def component_summary(self) -> Dict[str, bool]:
+        """Inspection-level health rollup, one flag per subsystem."""
+        return {
+            "gpus": all(g.healthy() for g in self.gpus),
+            "nics": all(n.healthy() for n in self.nics),
+            "host": self.host.healthy(),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"<Machine {self.id} {self.state.value} "
+                f"{'ok' if self.healthy() else 'UNHEALTHY'}>")

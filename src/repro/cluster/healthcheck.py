@@ -1,0 +1,104 @@
+"""Machine self-checks: the pre-delivery validation of standby machines.
+
+The warm-standby design (Sec. 6.2) only works if delivered machines are
+actually healthy — a degraded replacement re-introduces the fault it
+was meant to cure (the paper's "uncertainty of failover").  Standby
+provisioning therefore runs a battery of self-checks before a machine
+may enter the pool: GPU presence and DCGM status, HBM row-remap
+pressure, PCIe bandwidth, NIC link state and loopback, disk and
+filesystem health, and container runtime sanity.
+
+Each item reports pass/fail plus a duration; the battery short-circuits
+on the first failure (no point bandwidth-testing a machine whose GPU is
+missing).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Tuple
+
+from repro.cluster.components import Machine
+
+
+@dataclass(frozen=True)
+class CheckItem:
+    """One self-check: a predicate over machine state plus a cost."""
+
+    name: str
+    duration_s: float
+    passes: Callable[[Machine], bool]
+
+
+def default_check_battery() -> List[CheckItem]:
+    """The standard pre-delivery battery, cheapest checks first."""
+    return [
+        CheckItem("container_runtime", 2.0,
+                  lambda m: m.host.container_healthy),
+        CheckItem("filesystem_mounts", 3.0,
+                  lambda m: m.host.fs_mounted
+                  and not m.host.disk_faulty
+                  and m.host.disk_free_gb > m.host.DISK_MIN_FREE_GB),
+        CheckItem("kernel_health", 2.0,
+                  lambda m: not m.host.kernel_panic),
+        CheckItem("gpu_presence", 5.0,
+                  lambda m: all(g.available for g in m.gpus)),
+        CheckItem("dcgm_status", 8.0,
+                  lambda m: all(g.dcgm_healthy and not g.driver_hung
+                                for g in m.gpus)),
+        CheckItem("hbm_row_remaps", 10.0,
+                  lambda m: all(not g.hbm_faulty
+                                and g.pending_row_remaps < 8
+                                for g in m.gpus)),
+        CheckItem("gpu_thermals", 5.0,
+                  lambda m: all(not g.overheating for g in m.gpus)),
+        CheckItem("pcie_bandwidth", 25.0,
+                  lambda m: all(g.pcie_bandwidth_frac >= 0.8
+                                for g in m.gpus)),
+        CheckItem("nic_link_state", 10.0,
+                  lambda m: all(n.up and not n.flapping
+                                for n in m.nics)),
+        CheckItem("nic_loopback", 20.0,
+                  lambda m: all(n.packet_loss_rate
+                                < n.FLAP_LOSS_THRESHOLD
+                                for n in m.nics)),
+    ]
+
+
+@dataclass
+class SelfCheckResult:
+    """Outcome of running the battery on one machine."""
+
+    machine_id: int
+    passed: bool
+    duration_s: float
+    items_run: List[str] = field(default_factory=list)
+    failed_item: Optional[str] = None
+
+
+class SelfCheckRunner:
+    """Runs the battery, short-circuiting on first failure."""
+
+    def __init__(self, battery: Optional[List[CheckItem]] = None):
+        self.battery = (battery if battery is not None
+                        else default_check_battery())
+        if not self.battery:
+            raise ValueError("battery must not be empty")
+
+    def run(self, machine: Machine) -> SelfCheckResult:
+        duration = 0.0
+        items_run: List[str] = []
+        for item in self.battery:
+            duration += item.duration_s
+            items_run.append(item.name)
+            if not item.passes(machine):
+                return SelfCheckResult(
+                    machine_id=machine.id, passed=False,
+                    duration_s=duration, items_run=items_run,
+                    failed_item=item.name)
+        return SelfCheckResult(machine_id=machine.id, passed=True,
+                               duration_s=duration, items_run=items_run)
+
+    def full_duration(self) -> float:
+        """Cost of a clean pass over the whole battery."""
+        return sum(item.duration_s for item in self.battery)

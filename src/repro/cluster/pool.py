@@ -1,0 +1,242 @@
+"""Machine pool: active / warm-standby / free machines + provisioning.
+
+The pool owns the scheduling-time model that Table 7 and Fig. 12 are
+built on.  All restart flavours (full requeue, reschedule-evicted-only,
+warm standby, oracle) are expressed in terms of the same primitive
+delays so the comparisons stay internally consistent:
+
+* ``requeue`` pays metadata clearing + quota reallocation + full pod
+  rebuilds, and grows with cluster scale;
+* ``reschedule`` pays pod rebuilds for the evicted machines only;
+* ``warm standby`` pays just the wake-from-low-power delay because pod
+  environments were built (and self-checked) ahead of time;
+* ``oracle`` is warm standby with an infinite pool.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Set
+
+from repro.cluster.components import MachineState
+from repro.cluster.topology import Cluster
+from repro.sim import Simulator
+
+
+@dataclass(frozen=True)
+class ProvisioningTimes:
+    """Calibrated scheduling/provisioning delays (seconds).
+
+    Calibration anchors (paper Table 7 / Fig. 12): full requeue of a
+    128-machine job ≈ 454 s growing ≈ 105 s per doubling of scale; hot
+    update ≈ 46 s at 128 machines growing ≈ 6 s per doubling; warm
+    standby wake is scale-independent at ~30 s.
+    """
+
+    #: Full-requeue base cost at the reference scale.
+    requeue_base_s: float = 454.0
+    #: Extra requeue cost per doubling of machine count.
+    requeue_per_doubling_s: float = 105.0
+    #: Reference scale for the two constants above.
+    reference_machines: int = 128
+    #: Building a pod environment from scratch (image + libs).
+    pod_build_s: float = 210.0
+    #: Machine self-check before delivery (standby pre-validation).
+    self_check_s: float = 90.0
+    #: Scheduler round trip to allocate replacement machines.
+    schedule_alloc_s: float = 45.0
+    #: Per-machine incremental allocation cost.
+    schedule_per_machine_s: float = 1.5
+    #: Waking a warm standby out of low-power sleep.
+    standby_wake_s: float = 45.0
+    #: Stopping processes + applying a code patch in place.
+    hot_update_base_s: float = 42.0
+    #: Hot-update growth per doubling (barrier sync across more pods).
+    hot_update_per_doubling_s: float = 6.5
+    #: Restart barrier: relaunching training processes after any restart.
+    process_relaunch_s: float = 15.0
+    #: Repairing an evicted machine (offline triage) before reuse.
+    repair_s: float = 4 * 3600.0
+
+    def _doublings(self, num_machines: int) -> float:
+        return max(0.0, math.log2(max(1, num_machines)
+                                  / self.reference_machines))
+
+    def requeue_time(self, num_machines: int) -> float:
+        """Kill + requeue the whole job, reallocating every machine."""
+        return (self.requeue_base_s
+                + self.requeue_per_doubling_s * self._doublings(num_machines)
+                + self.process_relaunch_s)
+
+    def reschedule_time(self, evicted: int) -> float:
+        """Allocate + rebuild pods for evicted machines only."""
+        if evicted <= 0:
+            return self.process_relaunch_s
+        return (self.schedule_alloc_s
+                + self.schedule_per_machine_s * evicted
+                + self.pod_build_s + self.self_check_s
+                + self.process_relaunch_s)
+
+    def standby_wake_time(self, evicted: int) -> float:
+        """Wake pre-validated standbys (pod env already built)."""
+        if evicted <= 0:
+            return self.process_relaunch_s
+        return self.standby_wake_s + self.process_relaunch_s
+
+    def hot_update_time(self, num_machines: int) -> float:
+        """In-place code update: no machine change, no pod rebuild."""
+        return (self.hot_update_base_s
+                + self.hot_update_per_doubling_s
+                * self._doublings(num_machines))
+
+
+class InsufficientMachines(RuntimeError):
+    """Raised when the pool cannot satisfy an allocation."""
+
+
+class MachinePool:
+    """Tracks machine lifecycle and provisions warm standbys.
+
+    The pool is deliberately mechanism-only: *when* to evict and *how
+    many* standbys to keep are policy decisions made by the controller
+    (:mod:`repro.controller.standby`); the pool executes them.
+    """
+
+    def __init__(self, sim: Simulator, cluster: Cluster,
+                 times: Optional[ProvisioningTimes] = None,
+                 self_check: Optional["SelfCheckRunner"] = None):
+        from repro.cluster.healthcheck import SelfCheckRunner
+        self.sim = sim
+        self.cluster = cluster
+        self.times = times or ProvisioningTimes()
+        self.self_check = self_check or SelfCheckRunner()
+        self.self_check_results: List["SelfCheckResult"] = []
+        self.active: Set[int] = set()
+        self.standby: Set[int] = set()
+        self.provisioning: Set[int] = set()
+        self.evicted: Set[int] = set()
+        self.blacklist: Set[int] = set()
+        self.free: Set[int] = {m.id for m in cluster.machines}
+        #: Called with the machine id whenever a standby becomes ready.
+        self.on_standby_ready: Optional[Callable[[int], None]] = None
+        #: Total machine-seconds spent idling in the standby pool.
+        self.standby_idle_machine_seconds = 0.0
+        self._standby_since: dict = {}
+
+    # ------------------------------------------------------------------
+    # initial allocation
+    # ------------------------------------------------------------------
+    def allocate_active(self, count: int) -> List[int]:
+        """Take ``count`` machines for the job (instant; job start cost
+        is accounted separately by the recovery model)."""
+        chosen = self._take_free(count)
+        for mid in chosen:
+            self._set_state(mid, MachineState.ACTIVE)
+            self.active.add(mid)
+        return chosen
+
+    def _take_free(self, count: int) -> List[int]:
+        usable = sorted(m for m in self.free if m not in self.blacklist)
+        if len(usable) < count:
+            raise InsufficientMachines(
+                f"need {count} machines, only {len(usable)} free")
+        chosen = usable[:count]
+        self.free.difference_update(chosen)
+        return chosen
+
+    def _set_state(self, mid: int, state: MachineState) -> None:
+        self.cluster.machine(mid).state = state
+
+    # ------------------------------------------------------------------
+    # warm standby provisioning
+    # ------------------------------------------------------------------
+    def provision_standbys(self, count: int) -> List[int]:
+        """Start building pod environments on ``count`` free machines.
+
+        Each machine becomes STANDBY after pod build + self-check; the
+        self-check rejects machines that are currently unhealthy and
+        sends them to repair instead (pre-validation, Sec. 6.2).
+        """
+        chosen = self._take_free(count)
+        delay = self.times.pod_build_s + self.times.self_check_s
+        for mid in chosen:
+            self._set_state(mid, MachineState.PROVISIONING)
+            self.provisioning.add(mid)
+            self.sim.schedule(delay, lambda mid=mid: self._finish_provision(mid))
+        return chosen
+
+    def _finish_provision(self, mid: int) -> None:
+        if mid not in self.provisioning:
+            return  # was cancelled
+        self.provisioning.discard(mid)
+        machine = self.cluster.machine(mid)
+        result = self.self_check.run(machine)
+        self.self_check_results.append(result)
+        if result.passed:
+            self._set_state(mid, MachineState.STANDBY)
+            self.standby.add(mid)
+            self._standby_since[mid] = self.sim.now
+            if self.on_standby_ready is not None:
+                self.on_standby_ready(mid)
+        else:
+            self._send_to_repair(mid)
+
+    def take_standbys(self, count: int) -> List[int]:
+        """Activate up to ``count`` warm standbys (may return fewer)."""
+        chosen = sorted(self.standby)[:count]
+        for mid in chosen:
+            self.standby.discard(mid)
+            idle = self.sim.now - self._standby_since.pop(mid, self.sim.now)
+            self.standby_idle_machine_seconds += idle
+            self._set_state(mid, MachineState.ACTIVE)
+            self.active.add(mid)
+        return chosen
+
+    @property
+    def standby_count(self) -> int:
+        return len(self.standby)
+
+    # ------------------------------------------------------------------
+    # eviction & repair
+    # ------------------------------------------------------------------
+    def evict(self, machine_ids: List[int], blacklist: bool = True) -> None:
+        """Remove machines from the job; optionally block their IPs."""
+        for mid in machine_ids:
+            if mid in self.active:
+                self.active.discard(mid)
+            elif mid in self.standby:
+                self.standby.discard(mid)
+                self._standby_since.pop(mid, None)
+            self.evicted.add(mid)
+            if blacklist:
+                self.blacklist.add(mid)
+            self._set_state(mid, MachineState.BLACKLISTED if blacklist
+                            else MachineState.EVICTED)
+            self._send_to_repair(mid)
+
+    def _send_to_repair(self, mid: int) -> None:
+        self.sim.schedule(self.times.repair_s,
+                          lambda: self._finish_repair(mid))
+
+    def _finish_repair(self, mid: int) -> None:
+        """Repair restores full health and returns the machine to FREE."""
+        machine = self.cluster.machine(mid)
+        machine.reset_health()
+        self.evicted.discard(mid)
+        self.blacklist.discard(mid)
+        if machine.state in (MachineState.EVICTED, MachineState.BLACKLISTED,
+                             MachineState.PROVISIONING):
+            self._set_state(mid, MachineState.FREE)
+            self.free.add(mid)
+
+    # ------------------------------------------------------------------
+    def counts(self) -> dict:
+        return {
+            "active": len(self.active),
+            "standby": len(self.standby),
+            "provisioning": len(self.provisioning),
+            "evicted": len(self.evicted),
+            "free": len(self.free),
+            "blacklisted": len(self.blacklist),
+        }

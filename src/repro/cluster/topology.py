@@ -1,0 +1,108 @@
+"""Cluster-level wiring: machines hanging off a two-level switch fabric.
+
+Switch state matters because a down leaf switch simultaneously takes
+every attached machine off the network — the paper's inspection rules
+treat switch events specially (two consecutive unresponsive events
+before alerting, Table 3) precisely because switches sometimes recover
+on their own.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+from repro.cluster.components import Machine, MachineSpec, MachineState
+
+
+@dataclass
+class Switch:
+    """A leaf switch connecting a block of machines."""
+
+    id: int
+    up: bool = True
+    #: Machines cabled to this switch (ids).
+    machine_ids: List[int] = field(default_factory=list)
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """Fleet shape: how many machines, their hardware, and cabling."""
+
+    num_machines: int
+    machine_spec: MachineSpec = field(default_factory=MachineSpec)
+    machines_per_switch: int = 16
+
+    def __post_init__(self) -> None:
+        if self.num_machines < 1:
+            raise ValueError("cluster needs at least one machine")
+        if self.machines_per_switch < 1:
+            raise ValueError("machines_per_switch must be >= 1")
+
+    @property
+    def total_gpus(self) -> int:
+        return self.num_machines * self.machine_spec.gpus_per_machine
+
+
+class Cluster:
+    """The full fleet: machines + switches with health queries."""
+
+    def __init__(self, spec: ClusterSpec):
+        self.spec = spec
+        self.machines: List[Machine] = [
+            Machine(i, spec.machine_spec) for i in range(spec.num_machines)]
+        self.switches: List[Switch] = []
+        per = spec.machines_per_switch
+        for sw_id in range(-(-spec.num_machines // per)):
+            ids = list(range(sw_id * per,
+                             min((sw_id + 1) * per, spec.num_machines)))
+            self.switches.append(Switch(id=sw_id, machine_ids=ids))
+            for mid in ids:
+                self.machines[mid].switch_id = sw_id
+
+    # ------------------------------------------------------------------
+    def machine(self, machine_id: int) -> Machine:
+        if not 0 <= machine_id < len(self.machines):
+            raise ValueError(f"machine {machine_id} out of range")
+        return self.machines[machine_id]
+
+    def switch_of(self, machine_id: int) -> Switch:
+        sw_id = self.machine(machine_id).switch_id
+        assert sw_id is not None
+        return self.switches[sw_id]
+
+    def machines_on_switch(self, switch_id: int) -> List[Machine]:
+        return [self.machines[i] for i in self.switches[switch_id].machine_ids]
+
+    def network_reachable(self, machine_id: int) -> bool:
+        """Machine has a working network path (NICs up and switch up)."""
+        machine = self.machine(machine_id)
+        return (self.switch_of(machine_id).up
+                and any(n.up for n in machine.nics))
+
+    def machines_in_state(self, state: MachineState) -> List[Machine]:
+        return [m for m in self.machines if m.state == state]
+
+    def unhealthy_machines(self,
+                           among: Optional[Iterable[int]] = None
+                           ) -> List[int]:
+        ids = range(len(self.machines)) if among is None else among
+        return [i for i in ids
+                if not self.machines[i].healthy()
+                or not self.network_reachable(i)]
+
+    def health_snapshot(self) -> Dict[int, bool]:
+        """machine_id → fully-healthy flag, for dashboards/tests."""
+        return {m.id: m.healthy() and self.network_reachable(m.id)
+                for m in self.machines}
+
+    @property
+    def total_gpus(self) -> int:
+        return self.spec.total_gpus
+
+    def __len__(self) -> int:
+        return len(self.machines)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"<Cluster {len(self.machines)} machines, "
+                f"{len(self.switches)} switches>")

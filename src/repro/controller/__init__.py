@@ -1,0 +1,46 @@
+"""The Robust Controller (control plane).
+
+* :mod:`repro.controller.hotupdate` — in-place hot updates: immediate
+  application for critical fixes, lazy merging of non-critical updates
+  into failure-triggered restarts, a 24-hour forced-apply window, and
+  code rollback (Sec. 6.1);
+* :mod:`repro.controller.standby` — warm-standby pool sizing at the
+  P99 of a binomial simultaneous-failure model (Sec. 6.2);
+* :mod:`repro.controller.policy` — the automated fault-tolerance state
+  machine of Fig. 5, as pure decision logic;
+* :mod:`repro.controller.controller` — the orchestrator: consumes
+  inspection and anomaly events, drives stop-time checks / aggregation
+  analysis / dual-phase replay, executes evictions and restarts, and
+  records every incident's timeline.
+"""
+
+from repro.controller.hotupdate import CodeUpdate, HotUpdateManager
+from repro.controller.standby import (
+    StandbyPolicy,
+    binomial_p99,
+    simultaneous_failure_pmf,
+)
+from repro.controller.policy import (
+    EscalationLevel,
+    PolicyAction,
+    RecoveryPolicy,
+)
+from repro.controller.controller import (
+    ControllerConfig,
+    IncidentMechanism,
+    RobustController,
+)
+
+__all__ = [
+    "CodeUpdate",
+    "ControllerConfig",
+    "EscalationLevel",
+    "HotUpdateManager",
+    "IncidentMechanism",
+    "PolicyAction",
+    "RecoveryPolicy",
+    "RobustController",
+    "StandbyPolicy",
+    "binomial_p99",
+    "simultaneous_failure_pmf",
+]

@@ -1,0 +1,140 @@
+"""The automated fault-tolerance policy of Fig. 5, as pure logic.
+
+The policy decides *what to do next* given how an incident entered the
+pipeline and how far the escalation has progressed; the controller
+executes the decision.  Keeping the decision function pure makes the
+Fig. 5 graph auditable and unit-testable in isolation.
+
+Escalation ladder for a recurring incident (Fig. 5 steps 5–9):
+
+    fresh ──stop-time──▶ suspects? evict : REATTEMPT
+          ──fails again──▶ stop-time ──▶ suspects? evict : ROLLBACK
+          ──fails again──▶ DUAL-PHASE REPLAY ──▶ suspects? evict
+          ──nothing──▶ escalate to humans (No Conclusion)
+
+A job surviving ``stable_window_s`` after recovery resets the ladder.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class PolicyAction(enum.Enum):
+    """What the controller should do for an incident."""
+
+    EVICT_AND_RESTART = "evict_and_restart"           # Fig. 5 eviction arms
+    ROLLBACK_AND_RESTART = "rollback_and_restart"     # step 2 / 6
+    REATTEMPT = "reattempt"                           # step 5
+    STOP_TIME_CHECKS = "stop_time_checks"             # step 3
+    AGGREGATION_ANALYSIS = "aggregation_analysis"     # Sec. 5 path
+    DUAL_PHASE_REPLAY = "dual_phase_replay"           # step 8
+    HOT_UPDATE_RESTART = "hot_update_restart"         # manual restarts
+    TOLERATE = "tolerate"                             # transient network
+    ESCALATE_HUMAN = "escalate_human"                 # no conclusion
+
+
+class EscalationLevel(enum.IntEnum):
+    """How far down the Fig. 5 ladder this incident chain has gone."""
+
+    FRESH = 0
+    REATTEMPTED = 1
+    ROLLED_BACK = 2
+    REPLAYED = 3
+    ESCALATED = 4
+
+
+class IncidentEntry(enum.Enum):
+    """How the incident entered the policy (the Fig. 5 entrypoints)."""
+
+    HIGH_CONFIDENCE_INSPECTION = "high_confidence_inspection"
+    NETWORK_INSPECTION = "network_inspection"
+    CRASH_WITH_MACHINES = "crash_with_machines"
+    USER_SPACE_ERROR = "user_space_error"
+    CRASH_NO_CULPRIT = "crash_no_culprit"
+    NAN_METRIC = "nan_metric"
+    HANG_SUSPECT = "hang_suspect"
+    MFU_DECLINE = "mfu_decline"
+    MANUAL_UPDATE = "manual_update"
+
+
+@dataclass
+class RecoveryPolicy:
+    """Pure decision rules for the Fig. 5 state machine."""
+
+    #: A recovered job surviving this long resets the escalation ladder.
+    stable_window_s: float = 1800.0
+    #: Network alerts tolerated within ``network_window_s`` before evicting.
+    network_alert_threshold: int = 2
+    network_window_s: float = 300.0
+
+    # ------------------------------------------------------------------
+    def entry_action(self, entry: IncidentEntry,
+                     escalation: EscalationLevel,
+                     network_alert_count: int = 0,
+                     can_rollback: bool = True) -> PolicyAction:
+        """First action for a newly observed incident."""
+        if entry is IncidentEntry.HIGH_CONFIDENCE_INSPECTION:
+            return PolicyAction.EVICT_AND_RESTART
+        if entry is IncidentEntry.NETWORK_INSPECTION:
+            if network_alert_count >= self.network_alert_threshold:
+                return PolicyAction.EVICT_AND_RESTART
+            return PolicyAction.TOLERATE
+        if entry is IncidentEntry.CRASH_WITH_MACHINES:
+            return PolicyAction.EVICT_AND_RESTART
+        if entry is IncidentEntry.USER_SPACE_ERROR:
+            if can_rollback:
+                return PolicyAction.ROLLBACK_AND_RESTART
+            return PolicyAction.REATTEMPT
+        if entry in (IncidentEntry.CRASH_NO_CULPRIT,
+                     IncidentEntry.NAN_METRIC):
+            # escalating re-entries skip straight down the ladder
+            if escalation >= EscalationLevel.ROLLED_BACK:
+                return PolicyAction.DUAL_PHASE_REPLAY
+            return PolicyAction.STOP_TIME_CHECKS
+        if entry in (IncidentEntry.HANG_SUSPECT, IncidentEntry.MFU_DECLINE):
+            return PolicyAction.AGGREGATION_ANALYSIS
+        if entry is IncidentEntry.MANUAL_UPDATE:
+            return PolicyAction.HOT_UPDATE_RESTART
+        raise ValueError(f"unhandled entry {entry}")  # pragma: no cover
+
+    def after_stop_time_checks(self, found_suspects: bool,
+                               escalation: EscalationLevel,
+                               can_rollback: bool = True) -> PolicyAction:
+        """Fig. 5 steps 4–8: what to do with the diagnosis outcome."""
+        if found_suspects:
+            return PolicyAction.EVICT_AND_RESTART
+        if escalation <= EscalationLevel.FRESH:
+            return PolicyAction.REATTEMPT
+        if escalation <= EscalationLevel.REATTEMPTED and can_rollback:
+            return PolicyAction.ROLLBACK_AND_RESTART
+        if escalation <= EscalationLevel.ROLLED_BACK:
+            return PolicyAction.DUAL_PHASE_REPLAY
+        return PolicyAction.ESCALATE_HUMAN
+
+    def after_aggregation(self, found_suspects: bool) -> PolicyAction:
+        """Sec. 5: aggregation either isolates a group or falls back."""
+        if found_suspects:
+            return PolicyAction.EVICT_AND_RESTART
+        return PolicyAction.STOP_TIME_CHECKS
+
+    def after_replay(self, found_suspects: bool) -> PolicyAction:
+        """Fig. 5 step 9 or the No-Conclusion arm."""
+        if found_suspects:
+            return PolicyAction.EVICT_AND_RESTART
+        return PolicyAction.ESCALATE_HUMAN
+
+    @staticmethod
+    def escalate(level: EscalationLevel,
+                 action: PolicyAction) -> EscalationLevel:
+        """Advance the ladder after executing ``action``."""
+        if action is PolicyAction.REATTEMPT:
+            return max(level, EscalationLevel.REATTEMPTED)
+        if action is PolicyAction.ROLLBACK_AND_RESTART:
+            return max(level, EscalationLevel.ROLLED_BACK)
+        if action is PolicyAction.DUAL_PHASE_REPLAY:
+            return max(level, EscalationLevel.REPLAYED)
+        if action is PolicyAction.ESCALATE_HUMAN:
+            return EscalationLevel.ESCALATED
+        return level

@@ -1,0 +1,33 @@
+"""ByteRobust's top-level API.
+
+* :mod:`repro.core.incidents` — incident records and the incident log
+  (symptom, mechanism, timeline, evicted machines);
+* :mod:`repro.core.ettr` — ETTR accounting: cumulative and
+  sliding-window effective-training-time ratio, plus the unproductive-
+  time breakdown of Fig. 3 (detection / localization / failover /
+  recompute);
+* :mod:`repro.core.byterobust` — the :class:`ByteRobustSystem` facade
+  that wires the cluster, training job, monitor, controller, analyzer,
+  and checkpoint engine together, and the :class:`RunReport` produced
+  by a simulated production run.
+"""
+
+from repro.core.incidents import Incident, IncidentLog, IncidentPhase
+from repro.core.ettr import EttrSeries, EttrTracker, UnproductiveBreakdown
+from repro.core.byterobust import (
+    ByteRobustSystem,
+    RunReport,
+    SystemConfig,
+)
+
+__all__ = [
+    "ByteRobustSystem",
+    "EttrSeries",
+    "EttrTracker",
+    "Incident",
+    "IncidentLog",
+    "IncidentPhase",
+    "RunReport",
+    "SystemConfig",
+    "UnproductiveBreakdown",
+]

@@ -1,0 +1,171 @@
+"""Multi-job platform: several managed training jobs on one fleet.
+
+ByteRobust manages an entire GPU platform (778,135 jobs over three
+months, Table 1), not a single run.  The :class:`TrainingPlatform`
+stands up N independently-managed jobs — each with its own monitor,
+controller, analyzer, and checkpoint engine — sharing one cluster, one
+machine pool, and one warm-standby reserve.  Evictions from any job
+compete for the same standbys, which is exactly the contention the P99
+pool sizing is meant to absorb.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.agent.tracer import OnDemandTracer
+from repro.analyzer.aggregation import RuntimeAnalyzer
+from repro.cluster.components import MachineSpec
+from repro.cluster.faults import FaultInjector
+from repro.cluster.pool import MachinePool
+from repro.cluster.topology import Cluster, ClusterSpec
+from repro.controller.controller import ControllerConfig, RobustController
+from repro.controller.hotupdate import HotUpdateManager
+from repro.controller.policy import RecoveryPolicy
+from repro.controller.standby import StandbyPolicy
+from repro.core.ettr import EttrTracker
+from repro.core.incidents import IncidentLog
+from repro.diagnosis.diagnoser import Diagnoser
+from repro.diagnosis.replay import DualPhaseReplay
+from repro.monitor.collectors import CollectorConfig, MetricsCollector
+from repro.monitor.detectors import AnomalyDetector, DetectorConfig
+from repro.monitor.inspections import InspectionConfig, InspectionEngine
+from repro.sim import RngStreams, Simulator
+from repro.training.job import TrainingJob, TrainingJobConfig
+from repro.training.metrics import CodeVersionProfile, MfuModel
+
+
+@dataclass
+class ManagedJob:
+    """One job plus its dedicated management stack."""
+
+    name: str
+    job: TrainingJob
+    collector: MetricsCollector
+    detector: AnomalyDetector
+    inspections: InspectionEngine
+    controller: RobustController
+    incident_log: IncidentLog
+    tracer: OnDemandTracer
+
+
+@dataclass
+class PlatformConfig:
+    """Fleet-level knobs."""
+
+    seed: int = 0
+    machine_spec: MachineSpec = field(default_factory=MachineSpec)
+    machines_per_switch: int = 16
+    standby: StandbyPolicy = field(default_factory=StandbyPolicy)
+    detector: DetectorConfig = field(
+        default_factory=lambda: DetectorConfig(hang_zero_rdma_s=300.0))
+    inspections: InspectionConfig = field(default_factory=InspectionConfig)
+    policy: RecoveryPolicy = field(default_factory=RecoveryPolicy)
+    controller: ControllerConfig = field(default_factory=ControllerConfig)
+
+
+class TrainingPlatform:
+    """N managed jobs sharing one cluster and one standby pool."""
+
+    def __init__(self, total_machines: int,
+                 config: Optional[PlatformConfig] = None):
+        self.config = config or PlatformConfig()
+        self.sim = Simulator()
+        self.rng = RngStreams(self.config.seed)
+        self.cluster = Cluster(ClusterSpec(
+            num_machines=total_machines,
+            machine_spec=self.config.machine_spec,
+            machines_per_switch=self.config.machines_per_switch))
+        self.injector = FaultInjector(self.sim, self.cluster)
+        self.pool = MachinePool(self.sim, self.cluster)
+        self.jobs: Dict[str, ManagedJob] = {}
+        self._started = False
+
+    # ------------------------------------------------------------------
+    def add_job(self, name: str, job_config: TrainingJobConfig,
+                initial_mfu: float = 0.30) -> ManagedJob:
+        """Register a job; machines are allocated at :meth:`start`."""
+        if self._started:
+            raise RuntimeError("platform already started")
+        if name in self.jobs:
+            raise ValueError(f"duplicate job name {name!r}")
+        job = TrainingJob(
+            self.sim, job_config, injector=self.injector,
+            mfu_model=MfuModel(CodeVersionProfile("v0", initial_mfu)))
+        collector = MetricsCollector(self.sim, job, CollectorConfig())
+        detector = AnomalyDetector(self.sim, collector,
+                                   self.config.detector)
+        inspections = InspectionEngine(
+            self.sim, self.cluster, lambda j=job: j.machines,
+            self.config.inspections)
+        tracer = OnDemandTracer(self.sim, job)
+        incident_log = IncidentLog()
+        controller = RobustController(
+            self.sim, job, self.pool, self.injector,
+            Diagnoser(self.cluster, self.rng.fork(f"diag:{name}")),
+            DualPhaseReplay(self.cluster, self.rng.fork(f"replay:{name}")),
+            RuntimeAnalyzer(job.topology), tracer,
+            HotUpdateManager(self.sim),
+            standby_policy=self.config.standby,
+            detector=detector, policy=self.config.policy,
+            incident_log=incident_log, config=self.config.controller)
+        detector.add_listener(controller.on_anomaly)
+        inspections.add_listener(controller.on_inspection_event)
+        managed = ManagedJob(
+            name=name, job=job, collector=collector, detector=detector,
+            inspections=inspections, controller=controller,
+            incident_log=incident_log, tracer=tracer)
+        self.jobs[name] = managed
+        return managed
+
+    def start(self) -> None:
+        """Allocate machines to every job and launch everything."""
+        if self._started:
+            raise RuntimeError("platform already started")
+        self._started = True
+        total_needed = sum(m.job.num_machines for m in self.jobs.values())
+        if total_needed > len(self.cluster.machines):
+            raise ValueError(
+                f"jobs need {total_needed} machines, cluster has "
+                f"{len(self.cluster.machines)}")
+        for managed in self.jobs.values():
+            machines = self.pool.allocate_active(managed.job.num_machines)
+            managed.job.bind_machines(machines)
+            managed.collector.start()
+            managed.inspections.start()
+            managed.job.start()
+        # one shared standby reserve sized for the whole active fleet
+        target = self.config.standby.standby_count(len(self.pool.active))
+        available = len(self.pool.free - self.pool.blacklist)
+        if available > 0:
+            self.pool.provision_standbys(min(target, available))
+
+    def run_until(self, t: float) -> None:
+        self.sim.run(until=t)
+
+    # ------------------------------------------------------------------
+    def fleet_report(self, run_end: Optional[float] = None) -> dict:
+        """Platform-wide rollup across all jobs."""
+        end = run_end if run_end is not None else self.sim.now
+        tracker = EttrTracker()
+        jobs = {}
+        total_incidents = 0
+        for name, managed in self.jobs.items():
+            ettr = tracker.cumulative_at(managed.job.step_records, end)
+            resolved = managed.incident_log.resolved()
+            total_incidents += len(resolved)
+            jobs[name] = {
+                "cumulative_ettr": ettr,
+                "final_step": managed.job.current_step,
+                "incidents": len(resolved),
+                "state": managed.job.state.value,
+            }
+        return {
+            "wall_time_s": end,
+            "jobs": jobs,
+            "total_incidents": total_incidents,
+            "pool": self.pool.counts(),
+            "standby_idle_machine_seconds":
+                self.pool.standby_idle_machine_seconds,
+        }

@@ -1,0 +1,56 @@
+"""Hierarchical stop-time diagnostics (Sec. 4.2).
+
+Stop-time checks run after a job is suspended:
+
+* :mod:`repro.diagnosis.suites` — the individual test models: NVIDIA
+  EUD, intra-machine all-to-all, inter-machine all-gather, and the
+  MiniGPT bit-wise alignment suite.  Each is a *model* of the real test:
+  fixed duration plus a recall/false-positive profile against injected
+  ground truth (EUD's SDC recall is 70%, the figure the paper reports).
+* :mod:`repro.diagnosis.diagnoser` — the hierarchy: logs/exit codes pick
+  a test sequence; earlier (cheaper) tests short-circuit later ones.
+* :mod:`repro.diagnosis.replay` — dual-phase replay (Algorithm 1):
+  dimension-aware group testing that keeps TP/PP sizes fixed and varies
+  only DP, localizing an SDC machine in two replay rounds.
+"""
+
+from repro.diagnosis.suites import (
+    BitwiseAlignmentTest,
+    DiagnosticTest,
+    EudTest,
+    InterMachineAllGatherTest,
+    IntraMachineAllToAllTest,
+    TestReport,
+)
+from repro.diagnosis.diagnoser import Diagnoser, DiagnosisReport
+from repro.diagnosis.minigpt import (
+    MiniGpt,
+    MiniGptReport,
+    MiniGptSpec,
+    MiniGptVerificationSuite,
+    SdcPerturbation,
+)
+from repro.diagnosis.replay import (
+    DualPhaseReplay,
+    ReplayResult,
+    solution_cardinality,
+)
+
+__all__ = [
+    "BitwiseAlignmentTest",
+    "DiagnosticTest",
+    "Diagnoser",
+    "DiagnosisReport",
+    "DualPhaseReplay",
+    "EudTest",
+    "InterMachineAllGatherTest",
+    "MiniGpt",
+    "MiniGptReport",
+    "MiniGptSpec",
+    "MiniGptVerificationSuite",
+    "SdcPerturbation",
+    "IntraMachineAllToAllTest",
+    "ReplayResult",
+    "TestReport",
+    "solution_cardinality",
+]

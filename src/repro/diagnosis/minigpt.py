@@ -1,0 +1,277 @@
+"""The MiniGPT verification suite (Sec. 9): a real, deterministic
+reference workload for bit-wise alignment testing.
+
+The paper's answer to EUD's 70% SDC recall is MiniGPT: every machine
+runs one training step of a small reference transformer with predefined
+weights on fixed inputs; outputs must agree **bit-for-bit** across
+machines, because the computation is fully deterministic.  A machine
+whose arithmetic is corrupted — even by a single flipped mantissa bit —
+produces a different checksum and is isolated.
+
+Unlike the probabilistic test models in :mod:`repro.diagnosis.suites`,
+this module executes an actual numerical forward + backward pass
+(numpy, float32).  The simulated GPU's SDC defect is realized as a
+physical perturbation: a bit flip injected into one intermediate
+activation with the defect's reproduce probability per step.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.cluster.topology import Cluster
+from repro.sim import RngStreams
+from repro.sim.rng import derive_seed
+
+
+@dataclass(frozen=True)
+class MiniGptSpec:
+    """Shape of the reference model (small on purpose — it must run on
+    every machine in seconds)."""
+
+    vocab_size: int = 128
+    d_model: int = 32
+    n_heads: int = 4
+    n_layers: int = 2
+    seq_len: int = 16
+    batch: int = 4
+
+    def __post_init__(self) -> None:
+        if self.d_model % self.n_heads != 0:
+            raise ValueError("d_model must be divisible by n_heads")
+
+
+class MiniGpt:
+    """A tiny deterministic decoder-only transformer in numpy.
+
+    All parameters derive from a fixed seed, all math is float32 with a
+    fixed operation order, so two healthy executions agree exactly.
+    """
+
+    def __init__(self, spec: Optional[MiniGptSpec] = None, seed: int = 1234):
+        self.spec = spec or MiniGptSpec()
+        self.seed = seed
+        rng = np.random.default_rng(seed)
+        s = self.spec
+        scale = np.float32(0.08)
+
+        def mat(*shape):
+            return (rng.standard_normal(shape).astype(np.float32) * scale)
+
+        self.wte = mat(s.vocab_size, s.d_model)
+        self.wpe = mat(s.seq_len, s.d_model)
+        self.layers = []
+        for _ in range(s.n_layers):
+            self.layers.append({
+                "wq": mat(s.d_model, s.d_model),
+                "wk": mat(s.d_model, s.d_model),
+                "wv": mat(s.d_model, s.d_model),
+                "wo": mat(s.d_model, s.d_model),
+                "w1": mat(s.d_model, 4 * s.d_model),
+                "w2": mat(4 * s.d_model, s.d_model),
+            })
+        self.head = mat(s.d_model, s.vocab_size)
+
+    # ------------------------------------------------------------------
+    def fixed_batch(self) -> Tuple[np.ndarray, np.ndarray]:
+        """The predefined (inputs, targets) every machine uses."""
+        s = self.spec
+        rng = np.random.default_rng(derive_seed(self.seed, "batch"))
+        tokens = rng.integers(0, s.vocab_size,
+                              size=(s.batch, s.seq_len + 1))
+        return tokens[:, :-1], tokens[:, 1:]
+
+    @staticmethod
+    def _softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
+        x = x - x.max(axis=axis, keepdims=True)
+        e = np.exp(x, dtype=np.float32)
+        return e / e.sum(axis=axis, keepdims=True)
+
+    @staticmethod
+    def _layernorm(x: np.ndarray) -> np.ndarray:
+        mu = x.mean(axis=-1, keepdims=True, dtype=np.float32)
+        var = x.var(axis=-1, keepdims=True, dtype=np.float32)
+        return ((x - mu) / np.sqrt(var + np.float32(1e-5))).astype(
+            np.float32)
+
+    def forward(self, tokens: np.ndarray,
+                corrupt: Optional["SdcPerturbation"] = None) -> np.ndarray:
+        """Logits for a token batch; optional SDC perturbation applied
+        to one intermediate activation (what a faulty ALU would do)."""
+        s = self.spec
+        x = (self.wte[tokens] + self.wpe[np.arange(tokens.shape[1])]
+             ).astype(np.float32)
+        causal = np.triu(np.full((tokens.shape[1], tokens.shape[1]),
+                                 np.float32(-1e9)), k=1)
+        for li, layer in enumerate(self.layers):
+            h = self._layernorm(x)
+            q = h @ layer["wq"]
+            k = h @ layer["wk"]
+            v = h @ layer["wv"]
+            b, t, d = q.shape
+            hd = d // s.n_heads
+
+            def split(m):
+                return m.reshape(b, t, s.n_heads, hd).transpose(0, 2, 1, 3)
+
+            att = (split(q) @ split(k).transpose(0, 1, 3, 2)
+                   / np.float32(np.sqrt(hd)))
+            att = self._softmax(att + causal)
+            out = (att @ split(v)).transpose(0, 2, 1, 3).reshape(b, t, d)
+            x = x + out @ layer["wo"]
+            if corrupt is not None and corrupt.layer == li:
+                x = corrupt.apply(x)
+            h = self._layernorm(x)
+            x = x + np.maximum(h @ layer["w1"], np.float32(0)) @ layer["w2"]
+        return self._layernorm(x) @ self.head
+
+    def training_step_digest(self,
+                             corrupt: Optional["SdcPerturbation"] = None
+                             ) -> str:
+        """One forward + loss + (input-)gradient pass, digested.
+
+        The digest covers the loss and the logit gradients, so both
+        forward and backward corruption are caught.
+        """
+        tokens, targets = self.fixed_batch()
+        logits = self.forward(tokens, corrupt=corrupt)
+        probs = self._softmax(logits)
+        b, t, v = probs.shape
+        onehot = np.zeros_like(probs)
+        onehot[np.arange(b)[:, None], np.arange(t)[None, :], targets] = 1
+        loss = np.float32(-(onehot * np.log(probs + np.float32(1e-9)))
+                          .sum() / (b * t))
+        grad = ((probs - onehot) / np.float32(b * t)).astype(np.float32)
+        digest = hashlib.sha256()
+        digest.update(np.float32(loss).tobytes())
+        digest.update(grad.tobytes())
+        return digest.hexdigest()
+
+
+@dataclass
+class SdcPerturbation:
+    """A faulty-ALU model: flips one mantissa bit of one activation."""
+
+    layer: int = 0
+    flat_index: int = 7
+    bit: int = 13     # a mantissa bit: tiny numeric change, silent
+
+    def apply(self, x: np.ndarray) -> np.ndarray:
+        out = x.copy()
+        flat = out.reshape(-1)
+        idx = self.flat_index % flat.size
+        as_int = flat[idx:idx + 1].view(np.uint32)
+        as_int ^= np.uint32(1 << self.bit)
+        flat[idx:idx + 1] = as_int.view(np.float32)
+        return out
+
+
+class MiniGptVerificationSuite:
+    """Fleet-wide bit-wise alignment using the real MiniGpt workload.
+
+    Every machine computes the training-step digest; the **majority**
+    digest is the reference, and machines disagreeing with it are
+    isolated.  A machine with an SDC defect perturbs its computation
+    with probability ``sdc_reproduce_prob`` per step (SDCs are input-
+    and timing-sensitive), so several steps may be run for recall.
+    """
+
+    duration_s_per_step = 12.0
+
+    def __init__(self, cluster: Cluster, rng: RngStreams,
+                 spec: Optional[MiniGptSpec] = None, seed: int = 1234):
+        self.cluster = cluster
+        self.model = MiniGpt(spec, seed=seed)
+        self._rng = rng.get("diag:minigpt")
+        self._reference = self.model.training_step_digest()
+
+    # ------------------------------------------------------------------
+    def run_machine_step(self, machine_id: int) -> str:
+        """One verification step on one machine (digest returned)."""
+        machine = self.cluster.machine(machine_id)
+        defective = [g for g in machine.gpus if g.sdc_defective]
+        if defective and any(
+                self._rng.random() < g.sdc_reproduce_prob
+                for g in defective):
+            corrupt = SdcPerturbation(
+                layer=int(self._rng.integers(
+                    0, self.model.spec.n_layers)),
+                flat_index=int(self._rng.integers(0, 2048)),
+                bit=int(self._rng.integers(8, 20)))
+            return self.model.training_step_digest(corrupt=corrupt)
+        return self.model.training_step_digest()
+
+    def run(self, machine_ids: Sequence[int],
+            steps: int = 3) -> "MiniGptReport":
+        """Run ``steps`` verification rounds across machines."""
+        if steps < 1:
+            raise ValueError("need at least one step")
+        mismatches: Dict[int, int] = {}
+        for _ in range(steps):
+            digests = {mid: self.run_machine_step(mid)
+                       for mid in machine_ids}
+            # majority digest is the reference (and equals the healthy
+            # digest unless most of the fleet is corrupt)
+            counts: Dict[str, int] = {}
+            for d in digests.values():
+                counts[d] = counts.get(d, 0) + 1
+            majority = max(counts, key=lambda k: counts[k])
+            for mid, d in digests.items():
+                if d != majority:
+                    mismatches[mid] = mismatches.get(mid, 0) + 1
+        return MiniGptReport(
+            tested_machines=list(machine_ids), steps=steps,
+            mismatch_counts=mismatches,
+            suspects=sorted(mismatches),
+            duration_s=steps * self.duration_s_per_step,
+            reference_digest=self._reference)
+
+
+class MiniGptAlignmentTest:
+    """Adapter exposing the MiniGPT suite as a stop-time
+    :class:`~repro.diagnosis.suites.DiagnosticTest`-compatible stage.
+
+    Drop-in replacement for the probabilistic
+    :class:`~repro.diagnosis.suites.BitwiseAlignmentTest`: same
+    interface, but the verdict comes from actually executing the
+    deterministic reference workload on every machine.
+    """
+
+    name = "bitwise_alignment"
+
+    def __init__(self, cluster: Cluster, rng: RngStreams,
+                 steps: int = 3, spec: Optional[MiniGptSpec] = None):
+        self.suite = MiniGptVerificationSuite(cluster, rng, spec=spec)
+        self.steps = steps
+
+    @property
+    def duration_s(self) -> float:
+        return self.steps * self.suite.duration_s_per_step
+
+    def run(self, machine_ids: Sequence[int]):
+        from repro.diagnosis.suites import TestReport
+        report = self.suite.run(machine_ids, steps=self.steps)
+        return TestReport(test_name=self.name,
+                          duration_s=report.duration_s,
+                          tested_machines=list(machine_ids),
+                          suspects=report.suspects)
+
+
+@dataclass
+class MiniGptReport:
+    """Outcome of a MiniGPT verification run."""
+
+    tested_machines: List[int]
+    steps: int
+    mismatch_counts: Dict[int, int]
+    suspects: List[int]
+    duration_s: float
+    reference_digest: str
+
+    @property
+    def passed(self) -> bool:
+        return not self.suspects

@@ -1,0 +1,145 @@
+"""Dual-phase replay (Algorithm 1): dimension-aware group testing.
+
+Given ``z`` machines partitioned into ``n = z / m`` groups of size
+``m`` (``m`` a multiple of the PP size, so intra-group communication
+stays representative of the real job):
+
+* **Phase 1 (horizontal)** — groups by ``x // m``; replay each group as
+  a reduced-DP job; record which group(s) fail;
+* **Phase 2 (vertical)** — groups by ``x mod n``; replay again;
+* the solution of ``x // m == a  ∧  x mod n == b`` pinpoints the faulty
+  machine(s).  With ``m ≤ n`` the solution is unique (cardinality 1);
+  otherwise it has ``⌈m / n⌉`` candidates, all evicted.
+
+Replays reproduce SDC only probabilistically — each group run executes
+``steps_per_replay`` steps and trips with per-step probability equal to
+the defect's reproduce probability.  All groups of a phase replay in
+parallel, so a phase costs one replay's wall time.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence
+
+from repro.cluster.topology import Cluster
+from repro.sim import RngStreams
+
+
+def solution_cardinality(m: int, n: int) -> int:
+    """|S| per Algorithm 1 line 10: 1 if m ≤ n else ⌈m / n⌉."""
+    if m < 1 or n < 1:
+        raise ValueError("group sizes must be positive")
+    return 1 if m <= n else math.ceil(m / n)
+
+
+@dataclass
+class ReplayResult:
+    """Outcome of one dual-phase replay run."""
+
+    machine_ids: List[int]
+    m: int
+    n: int
+    #: Indices (within ``machine_ids``) of horizontal groups that failed.
+    failed_horizontal: List[int] = field(default_factory=list)
+    failed_vertical: List[int] = field(default_factory=list)
+    #: Physical machine ids isolated by the constraint intersection.
+    suspects: List[int] = field(default_factory=list)
+    #: Wall time consumed (two phases of parallel replays).
+    duration_s: float = 0.0
+
+    @property
+    def found_suspects(self) -> bool:
+        return bool(self.suspects)
+
+
+class DualPhaseReplay:
+    """Runs Algorithm 1 against the cluster's (hidden) ground truth."""
+
+    def __init__(self, cluster: Cluster, rng: RngStreams,
+                 replay_step_s: float = 30.0, steps_per_replay: int = 20,
+                 setup_s: float = 120.0):
+        self.cluster = cluster
+        self._rng = rng.get("diag:replay")
+        self.replay_step_s = replay_step_s
+        self.steps_per_replay = steps_per_replay
+        self.setup_s = setup_s
+
+    # ------------------------------------------------------------------
+    def locate_faulty_machines(self, machine_ids: Sequence[int], m: int,
+                               group_fails: Optional[
+                                   Callable[[List[int]], bool]] = None
+                               ) -> ReplayResult:
+        """Algorithm 1 over ``machine_ids`` with group size ``m``.
+
+        ``group_fails`` overrides the default ground-truth-based replay
+        model (used by tests and what-if analyses).
+        """
+        z = len(machine_ids)
+        if z == 0:
+            raise ValueError("no machines to replay")
+        if m < 1 or z % m != 0:
+            raise ValueError(f"group size {m} must divide machine count {z}")
+        n = z // m
+        fails = group_fails or self._group_fails
+        ids = list(machine_ids)
+
+        # Phase 1: horizontal grouping by x // m.
+        horizontal = [ids[g * m:(g + 1) * m] for g in range(n)]
+        failed_h = [g for g, group in enumerate(horizontal)
+                    if fails(group)]
+
+        # Phase 2: vertical grouping by x mod n.
+        vertical = [[ids[x] for x in range(z) if x % n == g]
+                    for g in range(n)]
+        failed_v = [g for g, group in enumerate(vertical) if fails(group)]
+
+        suspects = [ids[x] for x in range(z)
+                    if (x // m) in failed_h and (x % n) in failed_v]
+        duration = self.setup_s + 2 * (self.replay_step_s
+                                       * self.steps_per_replay)
+        return ReplayResult(
+            machine_ids=ids, m=m, n=n,
+            failed_horizontal=failed_h, failed_vertical=failed_v,
+            suspects=sorted(suspects), duration_s=duration)
+
+    def recommended_group_size(self, pp_size: int, dp_size: int,
+                               num_machines: int) -> int:
+        """Pick m = k · PP_size with m ≤ n (unique solutions), per Sec. 4.2."""
+        if pp_size < 1 or num_machines < 1:
+            raise ValueError("sizes must be positive")
+        best = None
+        for k in range(1, num_machines + 1):
+            m = k * pp_size
+            if num_machines % m != 0:
+                continue
+            n = num_machines // m
+            if m <= n:
+                best = m          # largest m with unique solutions
+            elif best is not None:
+                break
+        if best is None:
+            # degenerate shapes: fall back to the largest divisor ≤ sqrt
+            divisors = [d for d in range(1, num_machines + 1)
+                        if num_machines % d == 0
+                        and d <= num_machines // d]
+            best = divisors[-1]
+        return best
+
+    # ------------------------------------------------------------------
+    def _group_fails(self, group: List[int]) -> bool:
+        """Replay model: a group's run fails if any member machine's
+        defect reproduces during the replayed steps."""
+        for mid in group:
+            machine = self.cluster.machine(mid)
+            if not machine.healthy():
+                return True          # hard faults always reproduce
+            for gpu in machine.gpus:
+                if not gpu.sdc_defective:
+                    continue
+                miss_all = (1.0 - gpu.sdc_reproduce_prob) \
+                    ** self.steps_per_replay
+                if self._rng.random() < 1.0 - miss_all:
+                    return True
+        return False

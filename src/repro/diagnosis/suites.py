@@ -1,0 +1,145 @@
+"""Diagnostic test models: duration + detection profile vs ground truth.
+
+The control-plane policy only ever sees :class:`TestReport` objects; it
+never touches the injector's ground truth directly.  Each test model
+decides, per machine, whether the underlying defect class is *in scope*
+for that test and then flips a recall-weighted coin — which is exactly
+how real diagnostics behave: NCCL perf tests cannot see SDC, EUD sees
+only ~70% of it, and every tool has some false-positive floor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.cluster.topology import Cluster
+from repro.sim import RngStreams
+
+
+@dataclass
+class TestReport:
+    """Outcome of one diagnostic test over a set of machines."""
+
+    test_name: str
+    duration_s: float
+    tested_machines: List[int]
+    suspects: List[int] = field(default_factory=list)
+
+    @property
+    def passed(self) -> bool:
+        return not self.suspects
+
+
+class DiagnosticTest:
+    """Base class: subclasses define scope and recall."""
+
+    name = "base"
+    duration_s = 60.0
+    false_positive_rate = 0.0005
+
+    def __init__(self, cluster: Cluster, rng: RngStreams):
+        self.cluster = cluster
+        self._rng = rng.get(f"diag:{self.name}")
+
+    def run(self, machine_ids: Sequence[int]) -> TestReport:
+        suspects = []
+        for mid in machine_ids:
+            detect_prob = self._detect_probability(mid)
+            if detect_prob > 0 and self._rng.random() < detect_prob:
+                suspects.append(mid)
+            elif self._rng.random() < self.false_positive_rate:
+                suspects.append(mid)  # healthy machine wrongly flagged
+        return TestReport(test_name=self.name, duration_s=self.duration_s,
+                          tested_machines=list(machine_ids),
+                          suspects=sorted(suspects))
+
+    def _detect_probability(self, machine_id: int) -> float:
+        raise NotImplementedError
+
+
+class EudTest(DiagnosticTest):
+    """NVIDIA Extended Utility Diagnostics: GPU-level hardware checks.
+
+    Catches hard GPU defects reliably; catches SDC-class defects with
+    only ~70% recall (Sec. 9).
+    """
+
+    name = "eud"
+    duration_s = 300.0
+    sdc_recall = 0.70
+
+    def _detect_probability(self, machine_id: int) -> float:
+        machine = self.cluster.machine(machine_id)
+        hard_defect = any(
+            (not g.available) or g.driver_hung or g.hbm_faulty
+            or (not g.dcgm_healthy) or g.pending_row_remaps >= 8
+            for g in machine.gpus)
+        if hard_defect:
+            return 0.98
+        if machine.has_sdc_defect():
+            return self.sdc_recall
+        if any(g.overheating for g in machine.gpus):
+            return 0.9
+        return 0.0
+
+
+class IntraMachineAllToAllTest(DiagnosticTest):
+    """Intra-machine all-to-all: verifies inter-GPU link bandwidth."""
+
+    name = "intra_all_to_all"
+    duration_s = 120.0
+
+    def _detect_probability(self, machine_id: int) -> float:
+        machine = self.cluster.machine(machine_id)
+        if any(g.pcie_bandwidth_frac < 0.8 for g in machine.gpus):
+            return 0.95
+        if any(g.throttled for g in machine.gpus):
+            return 0.6
+        return 0.0
+
+
+class InterMachineAllGatherTest(DiagnosticTest):
+    """Neighbor all-gather: verifies NIC/switch connectivity + integrity."""
+
+    name = "inter_all_gather"
+    duration_s = 180.0
+
+    def _detect_probability(self, machine_id: int) -> float:
+        machine = self.cluster.machine(machine_id)
+        if not self.cluster.network_reachable(machine_id):
+            return 0.99
+        if any(not nic.up for nic in machine.nics):
+            return 0.99
+        if any(nic.flapping for nic in machine.nics):
+            return 0.80   # flaps reproduce only sometimes
+        return 0.0
+
+
+class BitwiseAlignmentTest(DiagnosticTest):
+    """MiniGPT bit-wise alignment (Sec. 4.3 / Sec. 9).
+
+    Every machine runs one training step of a reference model on fixed
+    inputs with predefined weights; outputs must match bit-for-bit.
+    Detection of an SDC defect requires the defect to *reproduce* during
+    that step, so recall is the defect's reproduce probability (scaled
+    by a harness recall just below 1).
+    """
+
+    name = "bitwise_alignment"
+    duration_s = 240.0
+    harness_recall = 0.95
+
+    def _detect_probability(self, machine_id: int) -> float:
+        machine = self.cluster.machine(machine_id)
+        probs = [g.sdc_reproduce_prob for g in machine.gpus
+                 if g.sdc_defective]
+        if not probs:
+            return 0.0
+        # independent chance any defective GPU trips during the step
+        miss = 1.0
+        for p in probs:
+            miss *= (1.0 - p)
+        return self.harness_recall * (1.0 - miss)

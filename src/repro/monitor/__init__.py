@@ -1,0 +1,34 @@
+"""Real-time monitoring (the data plane's Monitor module, Sec. 4.1).
+
+Three layers, mirroring the paper:
+
+* :mod:`repro.monitor.inspections` — lightweight periodic system
+  inspections (network / GPU / host) with per-item intervals and
+  consecutive-event thresholds (Table 3);
+* :mod:`repro.monitor.collectors` — collection of workload metrics
+  (loss, grad norm, MFU), gauges (RDMA traffic, TensorCore
+  utilization), and stdout/stderr log events;
+* :mod:`repro.monitor.detectors` — anomaly rules over the collected
+  streams: NaN values, 5x loss/grad-norm spikes, zero-RDMA hang
+  suspicion, sustained MFU decline.
+"""
+
+from repro.monitor.inspections import (
+    InspectionConfig,
+    InspectionEngine,
+    InspectionEvent,
+    SignalConfidence,
+)
+from repro.monitor.collectors import MetricsCollector
+from repro.monitor.detectors import AnomalyDetector, AnomalyEvent, AnomalyKind
+
+__all__ = [
+    "AnomalyDetector",
+    "AnomalyEvent",
+    "AnomalyKind",
+    "InspectionConfig",
+    "InspectionEngine",
+    "InspectionEvent",
+    "MetricsCollector",
+    "SignalConfidence",
+]

@@ -1,0 +1,114 @@
+"""Workload metric / gauge / log collection (Sec. 4.1, "Metrics
+collection").
+
+The collector subscribes to the training job's step completions (the
+wandb-style continuously observable metrics), polls its RDMA-traffic and
+TensorCore-utilization gauges (the event-derived system performance
+metrics), and tails its log events.  Detectors consume these streams.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from repro.sim import Simulator
+from repro.training.job import LogEvent, TrainingJob
+from repro.training.metrics import StepMetrics
+
+
+@dataclass
+class GaugeSample:
+    time: float
+    rdma_traffic_frac: float
+    tensorcore_util_frac: float
+
+
+@dataclass(frozen=True)
+class CollectorConfig:
+    #: Gauge poll cadence (RDMA counters / DCGM utilization).
+    gauge_interval_s: float = 10.0
+    #: Log tail cadence — bounds explicit-failure detection latency
+    #: (the paper reports ~60 s detection via log indicators).
+    log_interval_s: float = 30.0
+    #: History retention (samples); old samples are dropped.
+    max_samples: int = 100_000
+
+
+class MetricsCollector:
+    """Gathers step metrics, gauges, and logs from one training job."""
+
+    def __init__(self, sim: Simulator, job: TrainingJob,
+                 config: Optional[CollectorConfig] = None):
+        self.sim = sim
+        self.job = job
+        self.config = config or CollectorConfig()
+        self.steps: List[StepMetrics] = []
+        self.gauges: List[GaugeSample] = []
+        self.new_logs: List[LogEvent] = []
+        self._log_cursor = 0
+        self._step_listeners: List[Callable[[StepMetrics], None]] = []
+        self._gauge_listeners: List[Callable[[GaugeSample], None]] = []
+        self._log_listeners: List[Callable[[LogEvent], None]] = []
+        self._tasks: list = []
+        job.step_listeners.append(self._on_step)
+
+    # ------------------------------------------------------------------
+    def on_step(self, fn: Callable[[StepMetrics], None]) -> None:
+        self._step_listeners.append(fn)
+
+    def on_gauge(self, fn: Callable[[GaugeSample], None]) -> None:
+        self._gauge_listeners.append(fn)
+
+    def on_log(self, fn: Callable[[LogEvent], None]) -> None:
+        self._log_listeners.append(fn)
+
+    def start(self) -> None:
+        if self._tasks:
+            return
+        self._tasks = [
+            self.sim.every(self.config.gauge_interval_s, self._poll_gauges,
+                           first_delay=self.config.gauge_interval_s),
+            self.sim.every(self.config.log_interval_s, self._poll_logs,
+                           first_delay=self.config.log_interval_s),
+        ]
+
+    def stop(self) -> None:
+        for task in self._tasks:
+            task.stop()
+        self._tasks = []
+
+    # ------------------------------------------------------------------
+    def _on_step(self, metrics: StepMetrics) -> None:
+        self.steps.append(metrics)
+        if len(self.steps) > self.config.max_samples:
+            del self.steps[:len(self.steps) // 2]
+        for fn in list(self._step_listeners):
+            fn(metrics)
+
+    def _poll_gauges(self) -> None:
+        sample = GaugeSample(
+            time=self.sim.now,
+            rdma_traffic_frac=self.job.rdma_traffic_frac(),
+            tensorcore_util_frac=self.job.tensorcore_util_frac())
+        self.gauges.append(sample)
+        if len(self.gauges) > self.config.max_samples:
+            del self.gauges[:len(self.gauges) // 2]
+        for fn in list(self._gauge_listeners):
+            fn(sample)
+
+    def _poll_logs(self) -> None:
+        while self._log_cursor < len(self.job.log_events):
+            event = self.job.log_events[self._log_cursor]
+            self._log_cursor += 1
+            self.new_logs.append(event)
+            for fn in list(self._log_listeners):
+                fn(event)
+
+    # ------------------------------------------------------------------
+    def recent_steps(self, count: int) -> List[StepMetrics]:
+        return self.steps[-count:]
+
+    def gauge_window(self, window_s: float) -> List[GaugeSample]:
+        cutoff = self.sim.now - window_s
+        return [g for g in self.gauges if g.time >= cutoff]

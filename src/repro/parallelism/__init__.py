@@ -1,0 +1,27 @@
+"""Parallelism math for 3D (TP/PP/DP) and MoE (EP) training topologies.
+
+This package is pure arithmetic — no simulation.  It answers the
+questions the rest of the system keeps asking:
+
+* which ranks form each TP / PP / DP (/EP) group
+  (:class:`~repro.parallelism.topology.RankTopology`);
+* which machine hosts which ranks, and which machines a parallel group
+  spans (needed for over-eviction and backup placement);
+* how large each rank's ZeRO shard of model / gradient / optimizer
+  state is (:mod:`repro.parallelism.sharding`).
+"""
+
+from repro.parallelism.topology import (
+    ParallelismConfig,
+    RankCoord,
+    RankTopology,
+)
+from repro.parallelism.sharding import ShardedStateSizes, zero_shard_sizes
+
+__all__ = [
+    "ParallelismConfig",
+    "RankCoord",
+    "RankTopology",
+    "ShardedStateSizes",
+    "zero_shard_sizes",
+]

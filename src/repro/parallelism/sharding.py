@@ -1,0 +1,77 @@
+"""ZeRO shard-size math for checkpoint planning.
+
+The paper's checkpointing module (Sec. 6.3) backs up each rank's
+*sharded* model and optimizer states; the byte volumes determine both
+the D2H copy time and the P2P backup traffic interleaved with training.
+These helpers compute per-rank shard sizes for ZeRO stages 0–3 under
+mixed-precision Adam training (bf16 weights/grads, fp32 master weights
+and two fp32 moments — the classic "optimizer is 6x the weights").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+BYTES_PER_PARAM_BF16 = 2
+BYTES_PER_PARAM_FP32 = 4
+#: fp32 master copy + Adam first/second moments.
+ADAM_STATE_BYTES_PER_PARAM = 3 * BYTES_PER_PARAM_FP32
+
+
+@dataclass(frozen=True)
+class ShardedStateSizes:
+    """Per-rank state sizes (bytes) after TP/PP/ZeRO partitioning."""
+
+    model_bytes: int
+    gradient_bytes: int
+    optimizer_bytes: int
+
+    @property
+    def total_bytes(self) -> int:
+        return self.model_bytes + self.gradient_bytes + self.optimizer_bytes
+
+    @property
+    def checkpoint_bytes(self) -> int:
+        """Bytes persisted per checkpoint (weights + optimizer, no grads)."""
+        return self.model_bytes + self.optimizer_bytes
+
+
+def zero_shard_sizes(num_params: int, tp: int, pp: int, dp: int,
+                     zero_stage: int = 1) -> ShardedStateSizes:
+    """Per-rank shard sizes for a model of ``num_params`` parameters.
+
+    TP and PP split the *model* ``tp * pp`` ways.  ZeRO then shards
+    across the DP group: stage >= 1 shards optimizer states, stage >= 2
+    shards gradients, stage 3 shards parameters as well.
+
+    Sizes are conservative upper bounds (layer-granularity imbalance is
+    ignored); the checkpoint engine only needs volumes, not addresses.
+    """
+    if num_params <= 0:
+        raise ValueError(f"num_params must be positive: {num_params}")
+    if min(tp, pp, dp) < 1:
+        raise ValueError("parallel sizes must be >= 1")
+    if zero_stage not in (0, 1, 2, 3):
+        raise ValueError(f"zero_stage must be 0..3, got {zero_stage}")
+
+    params_per_model_shard = -(-num_params // (tp * pp))  # ceil div
+
+    def dp_sharded(nbytes: int) -> int:
+        return -(-nbytes // dp)
+
+    model_bytes = params_per_model_shard * BYTES_PER_PARAM_BF16
+    grad_bytes = params_per_model_shard * BYTES_PER_PARAM_BF16
+    opt_bytes = params_per_model_shard * ADAM_STATE_BYTES_PER_PARAM
+
+    if zero_stage >= 1:
+        opt_bytes = dp_sharded(opt_bytes)
+    if zero_stage >= 2:
+        grad_bytes = dp_sharded(grad_bytes)
+    if zero_stage >= 3:
+        model_bytes = dp_sharded(model_bytes)
+
+    return ShardedStateSizes(
+        model_bytes=model_bytes,
+        gradient_bytes=grad_bytes,
+        optimizer_bytes=opt_bytes,
+    )

@@ -1,0 +1,240 @@
+"""Rank ↔ coordinate ↔ machine mapping for 3D/4D parallel training.
+
+The canonical dimension order follows the paper's figures: **TP varies
+fastest, then PP, then DP** (Fig. 7 and Fig. 9 are both consistent with
+this layout).  EP, when present, is folded inside the DP dimension the
+way Megatron-style MoE training does (expert parallelism re-uses data-
+parallel replicas).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Sequence, Tuple
+
+DIM_NAMES = ("tp", "pp", "dp")
+
+
+@dataclass(frozen=True)
+class RankCoord:
+    """Coordinates of one rank in the (tp, pp, dp) grid."""
+
+    tp: int
+    pp: int
+    dp: int
+
+    def replace(self, **kwargs: int) -> "RankCoord":
+        vals = {"tp": self.tp, "pp": self.pp, "dp": self.dp}
+        vals.update(kwargs)
+        return RankCoord(**vals)
+
+    def axis(self, dim: str) -> int:
+        if dim not in DIM_NAMES:
+            raise ValueError(f"unknown parallel dim {dim!r}")
+        return getattr(self, dim)
+
+
+@dataclass(frozen=True)
+class ParallelismConfig:
+    """Sizes of each parallel dimension plus the physical packing.
+
+    ``gpus_per_machine`` controls how many consecutive ranks share one
+    machine (one rank per GPU, ranks packed in rank order, the standard
+    Megatron placement).
+    """
+
+    tp: int = 1
+    pp: int = 1
+    dp: int = 1
+    ep: int = 1
+    gpus_per_machine: int = 8
+
+    def __post_init__(self) -> None:
+        for name in ("tp", "pp", "dp", "ep", "gpus_per_machine"):
+            value = getattr(self, name)
+            if value < 1:
+                raise ValueError(f"{name} must be >= 1, got {value}")
+        if self.dp % self.ep != 0:
+            raise ValueError(
+                f"ep ({self.ep}) must divide dp ({self.dp}): expert "
+                "parallelism is folded inside the data-parallel dimension")
+        if self.world_size % self.gpus_per_machine != 0:
+            raise ValueError(
+                f"world size {self.world_size} is not a multiple of "
+                f"gpus_per_machine ({self.gpus_per_machine})")
+
+    @property
+    def world_size(self) -> int:
+        return self.tp * self.pp * self.dp
+
+    @property
+    def num_machines(self) -> int:
+        return self.world_size // self.gpus_per_machine
+
+    def describe(self) -> str:
+        parts = [f"TP={self.tp}", f"PP={self.pp}", f"DP={self.dp}"]
+        if self.ep > 1:
+            parts.append(f"EP={self.ep}")
+        return ", ".join(parts)
+
+
+class RankTopology:
+    """All group/placement queries for one :class:`ParallelismConfig`.
+
+    Rank numbering: ``rank = dp * (pp*tp) + pp * tp + tp_index``
+    (TP fastest, DP slowest).
+    """
+
+    def __init__(self, config: ParallelismConfig):
+        self.config = config
+        self._tp = config.tp
+        self._pp = config.pp
+        self._dp = config.dp
+        self._strides = {"tp": 1, "pp": self._tp, "dp": self._tp * self._pp}
+        self._group_cache: Dict[str, List[List[int]]] = {}
+
+    # ------------------------------------------------------------------
+    # rank <-> coordinate
+    # ------------------------------------------------------------------
+    @property
+    def world_size(self) -> int:
+        return self.config.world_size
+
+    @property
+    def num_machines(self) -> int:
+        return self.config.num_machines
+
+    def coord_of(self, rank: int) -> RankCoord:
+        self._check_rank(rank)
+        tp = rank % self._tp
+        pp = (rank // self._tp) % self._pp
+        dp = rank // (self._tp * self._pp)
+        return RankCoord(tp=tp, pp=pp, dp=dp)
+
+    def rank_of(self, coord: RankCoord) -> int:
+        if not (0 <= coord.tp < self._tp and 0 <= coord.pp < self._pp
+                and 0 <= coord.dp < self._dp):
+            raise ValueError(f"coordinate out of range: {coord}")
+        return (coord.dp * self._pp * self._tp + coord.pp * self._tp
+                + coord.tp)
+
+    def _check_rank(self, rank: int) -> None:
+        if not 0 <= rank < self.world_size:
+            raise ValueError(
+                f"rank {rank} out of range [0, {self.world_size})")
+
+    # ------------------------------------------------------------------
+    # parallel groups
+    # ------------------------------------------------------------------
+    def group_size(self, dim: str) -> int:
+        if dim == "ep":
+            return self.config.ep
+        if dim not in DIM_NAMES:
+            raise ValueError(f"unknown parallel dim {dim!r}")
+        return {"tp": self._tp, "pp": self._pp, "dp": self._dp}[dim]
+
+    def groups(self, dim: str) -> List[List[int]]:
+        """All parallel groups along ``dim``, each a sorted rank list."""
+        cached = self._group_cache.get(dim)
+        if cached is not None:
+            return cached
+        groups: List[List[int]] = []
+        if dim == "ep":
+            groups = self._ep_groups()
+        else:
+            size = self.group_size(dim)
+            stride = self._strides[dim]
+            seen = set()
+            for rank in range(self.world_size):
+                if rank in seen:
+                    continue
+                base = rank - self.coord_of(rank).axis(dim) * stride
+                group = [base + i * stride for i in range(size)]
+                groups.append(group)
+                seen.update(group)
+        self._group_cache[dim] = groups
+        return groups
+
+    def _ep_groups(self) -> List[List[int]]:
+        """Expert-parallel groups: consecutive chunks of each DP group."""
+        ep = self.config.ep
+        groups: List[List[int]] = []
+        for dp_group in self.groups("dp"):
+            for start in range(0, len(dp_group), ep):
+                groups.append(dp_group[start:start + ep])
+        return groups
+
+    def group_of(self, rank: int, dim: str) -> List[int]:
+        """The ``dim`` parallel group containing ``rank``."""
+        self._check_rank(rank)
+        for group in self.groups(dim):
+            if rank in group:
+                return group
+        raise AssertionError("every rank belongs to a group")  # pragma: no cover
+
+    def group_index_of(self, rank: int, dim: str) -> int:
+        """Index of ``rank``'s group within ``groups(dim)``."""
+        self._check_rank(rank)
+        for i, group in enumerate(self.groups(dim)):
+            if rank in group:
+                return i
+        raise AssertionError  # pragma: no cover
+
+    def peers(self, rank: int, dim: str) -> List[int]:
+        """Other members of ``rank``'s group along ``dim``."""
+        return [r for r in self.group_of(rank, dim) if r != rank]
+
+    def shares_any_group(self, rank_a: int, rank_b: int) -> bool:
+        """True if the two ranks share a TP, PP, or DP group."""
+        ca, cb = self.coord_of(rank_a), self.coord_of(rank_b)
+        same = {dim: ca.axis(dim) == cb.axis(dim) for dim in DIM_NAMES}
+        # Sharing a group along one dim means matching along the other two.
+        return (
+            (same["pp"] and same["dp"])      # same TP group
+            or (same["tp"] and same["dp"])   # same PP group
+            or (same["tp"] and same["pp"]))  # same DP group
+
+    # ------------------------------------------------------------------
+    # machine placement
+    # ------------------------------------------------------------------
+    def machine_of_rank(self, rank: int) -> int:
+        self._check_rank(rank)
+        return rank // self.config.gpus_per_machine
+
+    def ranks_on_machine(self, machine: int) -> List[int]:
+        if not 0 <= machine < self.num_machines:
+            raise ValueError(f"machine {machine} out of range")
+        g = self.config.gpus_per_machine
+        return list(range(machine * g, (machine + 1) * g))
+
+    def machines_of_ranks(self, ranks: Sequence[int]) -> List[int]:
+        return sorted({self.machine_of_rank(r) for r in ranks})
+
+    def machines_of_group(self, rank: int, dim: str) -> List[int]:
+        """Machines spanned by ``rank``'s parallel group along ``dim``."""
+        return self.machines_of_ranks(self.group_of(rank, dim))
+
+    def iter_ranks(self) -> Iterator[int]:
+        return iter(range(self.world_size))
+
+    # ------------------------------------------------------------------
+    # pipeline helpers
+    # ------------------------------------------------------------------
+    def pipeline_prev(self, rank: int) -> int:
+        """Rank of the previous pipeline stage (wraps at stage 0)."""
+        coord = self.coord_of(rank)
+        return self.rank_of(coord.replace(pp=(coord.pp - 1) % self._pp))
+
+    def pipeline_next(self, rank: int) -> int:
+        """Rank of the next pipeline stage (wraps at the last stage)."""
+        coord = self.coord_of(rank)
+        return self.rank_of(coord.replace(pp=(coord.pp + 1) % self._pp))
+
+    def is_first_stage(self, rank: int) -> bool:
+        return self.coord_of(rank).pp == 0
+
+    def is_last_stage(self, rank: int) -> bool:
+        return self.coord_of(rank).pp == self._pp - 1
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<RankTopology {self.config.describe()}>"

@@ -1,0 +1,186 @@
+"""The discrete-event simulator: event queue plus simulated clock.
+
+The simulator is deliberately minimal: callbacks scheduled at absolute
+simulated times, executed in (time, priority, sequence) order.  Richer
+abstractions (processes, events with waiters) are layered on top in
+:mod:`repro.sim.process` and :mod:`repro.sim.events`.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, List, Optional, Tuple
+
+
+class SimulationError(RuntimeError):
+    """Raised when the simulator is used incorrectly."""
+
+
+class EventHandle:
+    """A cancellable handle for a scheduled callback."""
+
+    __slots__ = ("time", "priority", "seq", "callback", "cancelled")
+
+    def __init__(self, time: float, priority: int, seq: int,
+                 callback: Callable[[], Any]):
+        self.time = time
+        self.priority = priority
+        self.seq = seq
+        self.callback = callback
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the callback from running.  Idempotent."""
+        self.cancelled = True
+
+    def __lt__(self, other: "EventHandle") -> bool:
+        return (self.time, self.priority, self.seq) < (
+            other.time, other.priority, other.seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "cancelled" if self.cancelled else "pending"
+        return f"<EventHandle t={self.time:.3f} {state}>"
+
+
+class Simulator:
+    """Deterministic discrete-event loop with a simulated clock.
+
+    Time is a float in **seconds**.  Two callbacks scheduled for the same
+    instant run in (priority, insertion) order, which keeps runs
+    reproducible regardless of heap internals.
+    """
+
+    def __init__(self, start_time: float = 0.0):
+        self._now = start_time
+        self._queue: List[EventHandle] = []
+        self._seq = itertools.count()
+        self._running = False
+        self._pending = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    def schedule(self, delay: float, callback: Callable[[], Any],
+                 priority: int = 0) -> EventHandle:
+        """Schedule ``callback`` to run ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule in the past: {delay}")
+        return self.schedule_at(self._now + delay, callback, priority)
+
+    def schedule_at(self, time: float, callback: Callable[[], Any],
+                    priority: int = 0) -> EventHandle:
+        """Schedule ``callback`` at an absolute simulated time."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at {time} before now ({self._now})")
+        handle = EventHandle(time, priority, next(self._seq), callback)
+        heapq.heappush(self._queue, handle)
+        self._pending += 1
+        return handle
+
+    def peek(self) -> Optional[float]:
+        """Time of the next pending event, or None if the queue is empty."""
+        self._drop_cancelled()
+        return self._queue[0].time if self._queue else None
+
+    def _drop_cancelled(self) -> None:
+        while self._queue and self._queue[0].cancelled:
+            heapq.heappop(self._queue)
+            self._pending -= 1
+
+    def step(self) -> bool:
+        """Run the next pending event.  Returns False if none remain."""
+        self._drop_cancelled()
+        if not self._queue:
+            return False
+        handle = heapq.heappop(self._queue)
+        self._pending -= 1
+        if handle.time < self._now:  # pragma: no cover - invariant guard
+            raise SimulationError("event queue went backwards in time")
+        self._now = handle.time
+        handle.callback()
+        return True
+
+    def run(self, until: Optional[float] = None,
+            max_events: Optional[int] = None) -> int:
+        """Run events until the queue empties or ``until`` is reached.
+
+        Returns the number of events executed.  When ``until`` is given,
+        the clock is advanced to exactly ``until`` even if the last event
+        fires earlier, mirroring how a wall-clock observation window ends
+        at a fixed time.
+        """
+        if self._running:
+            raise SimulationError("simulator is not reentrant")
+        self._running = True
+        executed = 0
+        try:
+            while True:
+                if max_events is not None and executed >= max_events:
+                    break
+                self._drop_cancelled()
+                if not self._queue:
+                    break
+                if until is not None and self._queue[0].time > until:
+                    break
+                self.step()
+                executed += 1
+        finally:
+            self._running = False
+        if until is not None and until > self._now:
+            self._now = until
+        return executed
+
+    def pending_count(self) -> int:
+        """Number of scheduled, not-yet-cancelled callbacks."""
+        self._drop_cancelled()
+        return sum(1 for h in self._queue if not h.cancelled)
+
+    def every(self, interval: float, callback: Callable[[], Any],
+              first_delay: Optional[float] = None,
+              jitter: Callable[[], float] = lambda: 0.0) -> "PeriodicTask":
+        """Run ``callback`` every ``interval`` seconds until stopped.
+
+        ``jitter`` may return a per-invocation offset (e.g. from an RNG
+        stream) added to the interval; inspection loops use it so that
+        thousands of machines do not tick in lock-step.
+        """
+        return PeriodicTask(self, interval, callback, first_delay, jitter)
+
+
+class PeriodicTask:
+    """A repeating callback; stop with :meth:`stop`."""
+
+    def __init__(self, sim: Simulator, interval: float,
+                 callback: Callable[[], Any],
+                 first_delay: Optional[float],
+                 jitter: Callable[[], float]):
+        if interval <= 0:
+            raise SimulationError(f"interval must be positive: {interval}")
+        self._sim = sim
+        self._interval = interval
+        self._callback = callback
+        self._jitter = jitter
+        self._stopped = False
+        delay = interval if first_delay is None else first_delay
+        self._handle = sim.schedule(max(0.0, delay + jitter()), self._fire)
+
+    def _fire(self) -> None:
+        if self._stopped:
+            return
+        self._callback()
+        if not self._stopped:
+            self._handle = self._sim.schedule(
+                max(0.0, self._interval + self._jitter()), self._fire)
+
+    def stop(self) -> None:
+        """Stop future invocations.  Idempotent."""
+        self._stopped = True
+        self._handle.cancel()
+
+    @property
+    def stopped(self) -> bool:
+        return self._stopped

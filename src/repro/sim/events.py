@@ -1,0 +1,141 @@
+"""Waitable events for generator-based processes.
+
+A :class:`Event` is a one-shot synchronization point: processes yield it
+to suspend until some other actor calls :meth:`Event.succeed` (or
+:meth:`Event.fail`).  A :class:`Timeout` is the degenerate case of an
+event that fires after a fixed simulated delay.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.engine import Simulator
+
+
+class EventAlreadyFired(RuntimeError):
+    """Raised when succeeding/failing an event twice."""
+
+
+class Event:
+    """A one-shot waitable event.
+
+    States: pending → succeeded | failed.  Callbacks registered via
+    :meth:`add_callback` run synchronously when the event fires; if the
+    event already fired, new callbacks run immediately (so late waiters
+    never deadlock).
+    """
+
+    def __init__(self, sim: "Simulator", name: str = ""):
+        self._sim = sim
+        self.name = name
+        self._fired = False
+        self._ok = False
+        self._value: Any = None
+        self._callbacks: List[Callable[["Event"], None]] = []
+
+    @property
+    def fired(self) -> bool:
+        return self._fired
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded.  Only meaningful once fired."""
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        """The success value or failure exception."""
+        return self._value
+
+    def add_callback(self, fn: Callable[["Event"], None]) -> None:
+        if self._fired:
+            fn(self)
+        else:
+            self._callbacks.append(fn)
+
+    def succeed(self, value: Any = None) -> "Event":
+        self._fire(True, value)
+        return self
+
+    def fail(self, exc: BaseException) -> "Event":
+        self._fire(False, exc)
+        return self
+
+    def _fire(self, ok: bool, value: Any) -> None:
+        if self._fired:
+            raise EventAlreadyFired(f"event {self.name!r} already fired")
+        self._fired = True
+        self._ok = ok
+        self._value = value
+        callbacks, self._callbacks = self._callbacks, []
+        for fn in callbacks:
+            fn(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = ("pending" if not self._fired
+                 else "ok" if self._ok else "failed")
+        return f"<Event {self.name!r} {state}>"
+
+
+class Timeout(Event):
+    """An event that succeeds after ``delay`` simulated seconds."""
+
+    def __init__(self, sim: "Simulator", delay: float, value: Any = None):
+        super().__init__(sim, name=f"timeout({delay})")
+        self.delay = delay
+        self._handle = sim.schedule(delay, lambda: self.succeed(value))
+
+    def cancel(self) -> None:
+        """Cancel the pending timeout (no-op if it already fired)."""
+        if not self.fired:
+            self._handle.cancel()
+
+
+class AnyOf(Event):
+    """Fires when any of the given events fires (with that event's value)."""
+
+    def __init__(self, sim: "Simulator", events: List[Event]):
+        super().__init__(sim, name="any_of")
+        self.triggered_by: Optional[Event] = None
+        if not events:
+            raise ValueError("AnyOf requires at least one event")
+        for ev in events:
+            ev.add_callback(self._on_child)
+
+    def _on_child(self, ev: Event) -> None:
+        if self.fired:
+            return
+        self.triggered_by = ev
+        if ev.ok:
+            self.succeed(ev.value)
+        else:
+            self.fail(ev.value)
+
+
+class AllOf(Event):
+    """Fires when all given events succeed (or the first one fails)."""
+
+    def __init__(self, sim: "Simulator", events: List[Event]):
+        super().__init__(sim, name="all_of")
+        self._remaining = len(events)
+        if not events:
+            self.succeed([])
+            return
+        self._values: List[Any] = [None] * len(events)
+        for i, ev in enumerate(events):
+            ev.add_callback(self._make_cb(i))
+
+    def _make_cb(self, index: int) -> Callable[[Event], None]:
+        def cb(ev: Event) -> None:
+            if self.fired:
+                return
+            if not ev.ok:
+                self.fail(ev.value)
+                return
+            self._values[index] = ev.value
+            self._remaining -= 1
+            if self._remaining == 0:
+                self.succeed(list(self._values))
+        return cb

@@ -1,0 +1,108 @@
+"""Generator-based cooperative processes on top of the simulator.
+
+A process body is a generator that yields :class:`~repro.sim.events.Event`
+instances (most commonly :class:`~repro.sim.events.Timeout`).  The
+process suspends until the yielded event fires; a failed event is raised
+back into the generator as an exception so processes can ``try/except``
+around waits.  A process is itself an event that fires when the body
+returns (success) or raises (failure), so processes compose.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Optional, TYPE_CHECKING
+
+from repro.sim.events import Event
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.engine import Simulator
+
+ProcessBody = Generator[Event, Any, Any]
+
+
+class ProcessExit(Exception):
+    """Thrown into a process body by :meth:`Process.interrupt`."""
+
+    def __init__(self, reason: Any = None):
+        super().__init__(reason)
+        self.reason = reason
+
+
+class Process(Event):
+    """A running simulated process.
+
+    The process starts on the next simulator step (not synchronously at
+    construction) so that creation order within a single instant does
+    not matter.
+    """
+
+    def __init__(self, sim: "Simulator", body: ProcessBody, name: str = ""):
+        super().__init__(sim, name=name or getattr(body, "__name__", "proc"))
+        self._body = body
+        self._waiting_on: Optional[Event] = None
+        self._interrupted: Optional[ProcessExit] = None
+        sim.schedule(0.0, lambda: self._resume(None, None))
+
+    @property
+    def alive(self) -> bool:
+        return not self.fired
+
+    def interrupt(self, reason: Any = None) -> None:
+        """Throw :class:`ProcessExit` into the process at its next wait.
+
+        If the process is currently waiting, it is woken immediately
+        (at the current simulated instant).  Interrupting a finished
+        process is a no-op.
+        """
+        if self.fired:
+            return
+        exit_exc = ProcessExit(reason)
+        if self._waiting_on is not None:
+            waiting = self._waiting_on
+            self._waiting_on = None
+            # Detach: the event may still fire later; ignore it then.
+            self._sim.schedule(0.0, lambda: self._resume(None, exit_exc))
+            _ = waiting  # the stale callback checks _waiting_on identity
+        else:
+            self._interrupted = exit_exc
+
+    def _resume(self, event: Optional[Event],
+                exc: Optional[BaseException]) -> None:
+        if self.fired:
+            return
+        try:
+            if exc is not None:
+                target = self._body.throw(exc)
+            elif event is not None and not event.ok:
+                target = self._body.throw(
+                    event.value if isinstance(event.value, BaseException)
+                    else RuntimeError(event.value))
+            else:
+                pending = self._interrupted
+                self._interrupted = None
+                if pending is not None:
+                    target = self._body.throw(pending)
+                else:
+                    target = self._body.send(
+                        event.value if event is not None else None)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except ProcessExit as stop:
+            self.succeed(stop.reason)
+            return
+        except BaseException as err:  # noqa: BLE001 - propagate to waiters
+            self.fail(err)
+            return
+        if not isinstance(target, Event):
+            self.fail(TypeError(
+                f"process {self.name!r} yielded non-event: {target!r}"))
+            return
+        self._waiting_on = target
+        target.add_callback(self._on_wait_done)
+
+    def _on_wait_done(self, event: Event) -> None:
+        if self._waiting_on is not event:
+            return  # stale wake-up after an interrupt
+        self._waiting_on = None
+        self._resume(event, None)

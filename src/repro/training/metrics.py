@@ -1,0 +1,146 @@
+"""Loss, gradient-norm, and MFU models.
+
+Loss is a deterministic function of the *step index* (power-law decay
+plus seeded per-step noise), so re-running steps after a rollback
+reproduces the curve bit-for-bit — mirroring the paper's observation
+that engineers verify restarts by checking that loss curves overlap
+exactly (Fig. 2).
+
+MFU is the product of a code-version base (engineering optimizations
+raise it across hot updates, Fig. 11) and transient degradation factors
+(thermal throttling, degraded PCIe links, fail-slow NICs).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.sim.rng import derive_seed
+
+
+@dataclass
+class StepMetrics:
+    """Everything the monitor collects about one completed step."""
+
+    step: int
+    time: float
+    duration_s: float
+    loss: float
+    grad_norm: float
+    mfu: float
+    tokens: int
+
+
+class LossCurve:
+    """Deterministic power-law loss with seeded noise and spikes.
+
+    loss(s) = (l0 - l_inf) · (1 + s/s0)^(-alpha) + l_inf + noise(s)
+
+    ``noise(s)`` is drawn from an RNG seeded by (root_seed, s), so the
+    value at a given step never depends on execution history.
+    """
+
+    def __init__(self, l0: float = 11.0, l_inf: float = 1.6,
+                 alpha: float = 0.32, s0: float = 120.0,
+                 noise_scale: float = 0.012, seed: int = 0):
+        if l0 <= l_inf:
+            raise ValueError("initial loss must exceed asymptotic loss")
+        self.l0 = l0
+        self.l_inf = l_inf
+        self.alpha = alpha
+        self.s0 = s0
+        self.noise_scale = noise_scale
+        self.seed = seed
+
+    def base(self, step: int) -> float:
+        return ((self.l0 - self.l_inf)
+                * (1.0 + step / self.s0) ** (-self.alpha) + self.l_inf)
+
+    def noise(self, step: int) -> float:
+        rng = np.random.default_rng(derive_seed(self.seed, f"loss:{step}"))
+        return float(rng.normal(0.0, self.noise_scale))
+
+    def loss(self, step: int, nan: bool = False,
+             spike_factor: float = 1.0) -> float:
+        """Loss at ``step``; NaN faults and loss spikes override."""
+        if nan:
+            return float("nan")
+        return (self.base(step) + self.noise(step)) * spike_factor
+
+    def grad_norm(self, step: int, nan: bool = False,
+                  spike_factor: float = 1.0) -> float:
+        """Gradient norm tracks loss decay (scaled), same determinism."""
+        if nan:
+            return float("nan")
+        rng = np.random.default_rng(derive_seed(self.seed, f"gnorm:{step}"))
+        base = 0.4 * self.base(step) * (1.0 + float(rng.normal(0, 0.05)))
+        return base * spike_factor
+
+
+@dataclass
+class CodeVersionProfile:
+    """Performance profile of one user-code version."""
+
+    version: str
+    #: Base MFU this version achieves (fraction of peak).
+    base_mfu: float
+    #: Probability that a restart under this version crashes due to a
+    #: latent bug in the version itself (0 for vetted versions).
+    bug_crash_prob: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.base_mfu <= 1.0:
+            raise ValueError(f"base_mfu must be in (0, 1]: {self.base_mfu}")
+
+
+class MfuModel:
+    """Combines the code version's base MFU with degradation factors."""
+
+    def __init__(self, initial_profile: Optional[CodeVersionProfile] = None):
+        self.profile = initial_profile or CodeVersionProfile("v0", 0.30)
+        #: Named multiplicative degradations (e.g. "thermal" → 0.6).
+        self._degradations: Dict[str, float] = {}
+
+    def set_profile(self, profile: CodeVersionProfile) -> None:
+        self.profile = profile
+
+    def set_degradation(self, name: str, factor: float) -> None:
+        if not 0.0 < factor <= 1.0:
+            raise ValueError(f"degradation factor must be in (0,1]: {factor}")
+        self._degradations[name] = factor
+
+    def clear_degradation(self, name: str) -> None:
+        self._degradations.pop(name, None)
+
+    @property
+    def degradations(self) -> Dict[str, float]:
+        return dict(self._degradations)
+
+    def current_mfu(self) -> float:
+        mfu = self.profile.base_mfu
+        for factor in self._degradations.values():
+            mfu *= factor
+        return mfu
+
+    def step_time(self, flops_per_step: float, num_gpus: int,
+                  gpu_peak_tflops: float) -> float:
+        """Wall seconds for one step at the current effective MFU."""
+        if num_gpus <= 0:
+            raise ValueError("num_gpus must be positive")
+        achieved = num_gpus * gpu_peak_tflops * 1e12 * self.current_mfu()
+        return flops_per_step / achieved
+
+
+def mfu_relative_series(mfu_values: list) -> list:
+    """Relative MFU as plotted in Fig. 2 / Fig. 11: ratio to the minimum."""
+    finite = [v for v in mfu_values if v is not None and not math.isnan(v)]
+    if not finite:
+        return []
+    lo = min(finite)
+    if lo <= 0:
+        raise ValueError("MFU values must be positive")
+    return [v / lo for v in mfu_values]

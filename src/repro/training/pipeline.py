@@ -1,0 +1,108 @@
+"""1F1B pipeline-schedule timing: bubbles, micro-batches, step time.
+
+The job's default step-time model divides FLOPs by aggregate throughput
+at the current MFU.  For studies that vary pipeline depth or
+micro-batch count (e.g. replay groups with reduced DP keep PP fixed for
+exactly this reason), the 1F1B schedule model makes the pipeline bubble
+explicit:
+
+    bubble_fraction = (pp - 1) / (num_microbatches + pp - 1)
+
+which is why the paper's dual-phase replay keeps TP/PP sizes fixed —
+shrinking PP would change the compute/communication pattern and
+undermine reproduction fidelity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class PipelineSchedule:
+    """A 1F1B schedule over ``pp`` stages and ``num_microbatches``."""
+
+    pp: int
+    num_microbatches: int
+    #: Forward time of one micro-batch on one stage, seconds.
+    fwd_microbatch_s: float
+    #: Backward is canonically ~2x forward.
+    bwd_over_fwd: float = 2.0
+    #: P2P activation/gradient transfer per boundary, seconds.
+    p2p_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.pp < 1:
+            raise ValueError("pp must be >= 1")
+        if self.num_microbatches < 1:
+            raise ValueError("need at least one micro-batch")
+        if self.fwd_microbatch_s <= 0:
+            raise ValueError("micro-batch time must be positive")
+        if self.bwd_over_fwd <= 0:
+            raise ValueError("bwd_over_fwd must be positive")
+
+    # ------------------------------------------------------------------
+    @property
+    def microbatch_s(self) -> float:
+        """Fwd + bwd time of one micro-batch on one stage."""
+        return self.fwd_microbatch_s * (1.0 + self.bwd_over_fwd)
+
+    @property
+    def bubble_fraction(self) -> float:
+        """Idle fraction of the 1F1B schedule."""
+        return (self.pp - 1) / (self.num_microbatches + self.pp - 1)
+
+    def step_seconds(self) -> float:
+        """Wall time of one optimizer step under 1F1B.
+
+        (num_microbatches + pp - 1) micro-batch slots flow through the
+        pipeline, each costing fwd+bwd plus two P2P boundaries.
+        """
+        slots = self.num_microbatches + self.pp - 1
+        return slots * (self.microbatch_s + 2 * self.p2p_s)
+
+    def ideal_seconds(self) -> float:
+        """Bubble-free lower bound (perfect pipelining)."""
+        return self.num_microbatches * (self.microbatch_s
+                                        + 2 * self.p2p_s)
+
+    def pipeline_efficiency(self) -> float:
+        """ideal / actual == 1 - bubble_fraction."""
+        return self.ideal_seconds() / self.step_seconds()
+
+    # ------------------------------------------------------------------
+    def with_microbatches(self, num_microbatches: int
+                          ) -> "PipelineSchedule":
+        return PipelineSchedule(
+            pp=self.pp, num_microbatches=num_microbatches,
+            fwd_microbatch_s=self.fwd_microbatch_s,
+            bwd_over_fwd=self.bwd_over_fwd, p2p_s=self.p2p_s)
+
+    def stage_busy_windows(self, stage: int) -> list:
+        """(start, end) busy intervals for one stage — the idealized
+        schedule used to cross-check hang-propagation assumptions."""
+        if not 0 <= stage < self.pp:
+            raise ValueError(f"stage {stage} out of range")
+        mb = self.microbatch_s + 2 * self.p2p_s
+        windows = []
+        # stage s starts its first micro-batch after s warmup slots
+        start = stage * (self.fwd_microbatch_s + self.p2p_s)
+        for i in range(self.num_microbatches):
+            windows.append((start + i * mb, start + (i + 1) * mb))
+        return windows
+
+
+def schedule_for_job(pp: int, global_batch: int, microbatch: int,
+                     step_compute_s: float) -> PipelineSchedule:
+    """Build a schedule whose total compute matches ``step_compute_s``.
+
+    ``step_compute_s`` is the bubble-free compute time of one step (what
+    the MFU model yields); the returned schedule distributes it over
+    micro-batches so ``ideal_seconds() == step_compute_s``.
+    """
+    if global_batch % microbatch != 0:
+        raise ValueError("microbatch must divide the global batch")
+    num_mb = global_batch // microbatch
+    fwd = step_compute_s / (num_mb * 3.0)
+    return PipelineSchedule(pp=pp, num_microbatches=num_mb,
+                            fwd_microbatch_s=fwd)

@@ -1,0 +1,95 @@
+"""Multi-stage pretraining recipe (paper Fig. 1).
+
+LLM pretraining is not one long homogeneous run: it moves through
+stages (warmup → general → enhance → long-context → anneal) that change
+data mixture, context length, machine allocation, and — critically for
+robustness — the *rate of user-code churn*.  The recipe model feeds the
+workload generators: stages with higher churn produce more manual
+restarts and more user-code faults.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+
+@dataclass(frozen=True)
+class RecipeStage:
+    """One stage of the pretraining recipe."""
+
+    name: str
+    #: Fraction of the full job's steps spent in this stage.
+    step_fraction: float
+    #: Context length used during the stage.
+    seq_len: int
+    #: Fraction of the full machine allocation in use.
+    scale_fraction: float = 1.0
+    #: Expected manual code/data adjustments per day of the stage.
+    code_churn_per_day: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not 0 < self.step_fraction <= 1:
+            raise ValueError("step_fraction must be in (0, 1]")
+        if not 0 < self.scale_fraction <= 1:
+            raise ValueError("scale_fraction must be in (0, 1]")
+        if self.seq_len <= 0:
+            raise ValueError("seq_len must be positive")
+
+
+@dataclass(frozen=True)
+class PretrainRecipe:
+    """An ordered list of stages summing to the whole job."""
+
+    stages: List[RecipeStage] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.stages:
+            raise ValueError("recipe needs at least one stage")
+        total = sum(s.step_fraction for s in self.stages)
+        if abs(total - 1.0) > 1e-9:
+            raise ValueError(
+                f"stage step fractions must sum to 1, got {total}")
+
+    def stage_at(self, progress: float) -> RecipeStage:
+        """Stage active at normalized job progress ``progress`` ∈ [0, 1]."""
+        if not 0.0 <= progress <= 1.0:
+            raise ValueError("progress must be in [0, 1]")
+        acc = 0.0
+        for stage in self.stages:
+            acc += stage.step_fraction
+            if progress <= acc + 1e-12:
+                return stage
+        return self.stages[-1]
+
+    def stage_boundaries(self, total_steps: int) -> List[tuple]:
+        """(stage, first_step, last_step) tuples over ``total_steps``."""
+        out = []
+        start = 0
+        for stage in self.stages:
+            count = round(stage.step_fraction * total_steps)
+            end = min(total_steps, start + count)
+            out.append((stage, start, max(start, end - 1)))
+            start = end
+        return out
+
+
+def standard_five_stage_recipe() -> PretrainRecipe:
+    """The paper's Fig. 1 pipeline: warmup through anneal.
+
+    Churn rates encode the paper's observation that warmup sees frequent
+    code tweaks, the long-context stage integrates scenario-tailored
+    engineering (HDP etc.), and the anneal stage is comparatively calm.
+    """
+    return PretrainRecipe(stages=[
+        RecipeStage("warmup", step_fraction=0.05, seq_len=8192,
+                    scale_fraction=0.1, code_churn_per_day=4.0),
+        RecipeStage("general", step_fraction=0.55, seq_len=8192,
+                    scale_fraction=1.0, code_churn_per_day=1.0),
+        RecipeStage("enhance", step_fraction=0.20, seq_len=8192,
+                    scale_fraction=1.0, code_churn_per_day=1.5),
+        RecipeStage("long_context", step_fraction=0.12, seq_len=262144,
+                    scale_fraction=1.0, code_churn_per_day=2.5),
+        RecipeStage("anneal", step_fraction=0.08, seq_len=8192,
+                    scale_fraction=0.8, code_churn_per_day=0.5),
+    ])

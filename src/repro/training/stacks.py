@@ -1,0 +1,215 @@
+"""Per-rank stack states and textual stack-trace rendering.
+
+The runtime analyzer's aggregation (Sec. 5.1) works purely on rendered
+stack strings — string matching groups identical traces, dominant
+groups are deemed healthy, small groups are outliers.  This module
+defines the stack states a rank can be in, the frame text each state
+renders to (matching the shape shown in Fig. 7), and the **hang
+propagation** model that derives every rank's stack state from the
+identity of the initially-stalled ranks.
+
+Propagation rule (backward-communication hang, the Fig. 7 case):
+
+* the stalled rank blocks in its current collective;
+* ranks in the same PP group block on their pipeline send/recv toward
+  the stalled stage (downstream stages ``isend``, upstream ``irecv``);
+* every other rank finishes its backward kernels and parks at gradient
+  synchronization (``start_grad_sync`` → ``_reduce_scatter_tensor``).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.parallelism import RankTopology
+
+
+class StackKind(enum.Enum):
+    """What a training process is doing when its stack is captured."""
+
+    FORWARD_COMPUTE = "forward_compute"
+    BACKWARD_COMPUTE = "backward_compute"
+    GRAD_SYNC_WAIT = "grad_sync_wait"          # healthy drain point
+    PP_SEND_BLOCKED = "pp_send_blocked"
+    PP_RECV_BLOCKED = "pp_recv_blocked"
+    TP_ALLGATHER_BLOCKED = "tp_allgather_blocked"
+    EVAL_P2P_BLOCKED = "eval_p2p_blocked"
+    DATALOADER_WAIT = "dataloader_wait"
+    CKPT_D2H = "ckpt_d2h"
+    OPTIMIZER_STEP = "optimizer_step"
+    IDLE = "idle"
+
+
+#: Frame text per stack kind, innermost frame last — the same shape as
+#: the paper's Fig. 7 examples (user frame + torch.distributed frame).
+_FRAMES: Dict[StackKind, Tuple[str, ...]] = {
+    StackKind.FORWARD_COMPUTE: (
+        "forward (my_megatron/model/transformer.py:1143)",
+        "matmul (torch/_tensor.py:904)",
+    ),
+    StackKind.BACKWARD_COMPUTE: (
+        "backward (my_megatron/schedules.py:612)",
+        "run_backward (torch/autograd/__init__.py:251)",
+    ),
+    StackKind.GRAD_SYNC_WAIT: (
+        "start_grad_sync (my_megatron/distributed/param_grad_buffer.py:597)",
+        "_reduce_scatter_tensor (torch/distributed/distributed_c10d.py:3379)",
+    ),
+    StackKind.PP_SEND_BLOCKED: (
+        "send_backward_recv_backward (my_megatron/communicate.py:474)",
+        "isend (torch/distributed/distributed_c10d.py:1529)",
+    ),
+    StackKind.PP_RECV_BLOCKED: (
+        "send_backward_recv_backward (my_megatron/communicate.py:474)",
+        "irecv (torch/distributed/distributed_c10d.py:1569)",
+    ),
+    StackKind.TP_ALLGATHER_BLOCKED: (
+        "backward (my_megatron/large_centralized_op_v8.py:6770)",
+        "all_gather_into_tensor (torch/distributed/distributed_c10d.py:2898)",
+    ),
+    StackKind.EVAL_P2P_BLOCKED: (
+        "evaluate_multitask (my_megatron/evaluation.py:233)",
+        "irecv (torch/distributed/distributed_c10d.py:1569)",
+    ),
+    StackKind.DATALOADER_WAIT: (
+        "next_batch (my_megatron/data/dataloader.py:388)",
+        "recv_bytes (multiprocessing/connection.py:216)",
+    ),
+    StackKind.CKPT_D2H: (
+        "async_save (byterobust/ckpt/manager.py:142)",
+        "copy_ (torch/cuda/streams.py:31)",
+    ),
+    StackKind.OPTIMIZER_STEP: (
+        "step (my_megatron/optimizer/distrib_optimizer.py:1510)",
+        "adamw (torch/optim/adamw.py:339)",
+    ),
+    StackKind.IDLE: (
+        "wait_for_activation (byterobust/agent/barrier.py:77)",
+        "poll (byterobust/agent/rpc.py:58)",
+    ),
+}
+
+
+@dataclass(frozen=True)
+class StackTrace:
+    """A captured stack of one process on one rank."""
+
+    rank: int
+    machine_id: int
+    process_name: str
+    kind: StackKind
+    frames: Tuple[str, ...]
+
+    def text(self) -> str:
+        """Rendered trace used as the string-matching aggregation key."""
+        return "\n".join(self.frames)
+
+
+def render_stack(kind: StackKind) -> Tuple[str, ...]:
+    """Frame tuple for a stack kind (innermost last)."""
+    return _FRAMES[kind]
+
+
+def make_trace(rank: int, machine_id: int, kind: StackKind,
+               process_name: str = "trainer") -> StackTrace:
+    return StackTrace(rank=rank, machine_id=machine_id,
+                      process_name=process_name, kind=kind,
+                      frames=render_stack(kind))
+
+
+# ---------------------------------------------------------------------------
+# hang propagation
+# ---------------------------------------------------------------------------
+
+class HangScenario(enum.Enum):
+    """Families of hang, each with its own propagation pattern."""
+
+    BACKWARD_COMM = "backward_comm"   # Fig. 7: mid-backward collective
+    EVAL_P2P = "eval_p2p"             # Sec. 5.2 evaluation hang
+    DATALOADER = "dataloader"         # stuck data fetch subprocess
+    CKPT_STALL = "ckpt_stall"         # checkpoint D2H wedged
+
+
+def propagate_hang(topo: RankTopology, stalled_ranks: Sequence[int],
+                   scenario: HangScenario = HangScenario.BACKWARD_COMM
+                   ) -> Dict[int, StackKind]:
+    """Derive each rank's stack state from the initially-stalled ranks.
+
+    Returns rank → :class:`StackKind` for the whole world.  The stalled
+    ranks' own state depends on the scenario; their PP-group peers block
+    on pipeline communication pointing at the stalled stage; everyone
+    else drains to the healthy barrier for that scenario.
+    """
+    if not stalled_ranks:
+        raise ValueError("need at least one stalled rank")
+    for r in stalled_ranks:
+        if not 0 <= r < topo.world_size:
+            raise ValueError(f"stalled rank {r} out of range")
+
+    stalled = set(stalled_ranks)
+    healthy_state = (StackKind.GRAD_SYNC_WAIT
+                     if scenario is HangScenario.BACKWARD_COMM
+                     else StackKind.EVAL_P2P_BLOCKED
+                     if scenario is HangScenario.EVAL_P2P
+                     else StackKind.FORWARD_COMPUTE)
+    states: Dict[int, StackKind] = {
+        r: healthy_state for r in topo.iter_ranks()}
+
+    if scenario is HangScenario.BACKWARD_COMM:
+        for r in stalled:
+            states[r] = StackKind.TP_ALLGATHER_BLOCKED
+        for r in stalled:
+            stage = topo.coord_of(r).pp
+            for peer in topo.peers(r, "pp"):
+                if states[peer] is not StackKind.GRAD_SYNC_WAIT:
+                    continue  # already marked by another stalled rank
+                peer_stage = topo.coord_of(peer).pp
+                # Backward flows last→first: stages *before* the stalled
+                # stage wait to receive gradients (irecv); the stage
+                # immediately feeding it blocks sending (isend).
+                if peer_stage == stage - 1 or (
+                        stage == 0 and peer_stage == topo.config.pp - 1):
+                    states[peer] = StackKind.PP_SEND_BLOCKED
+                elif peer_stage < stage:
+                    states[peer] = StackKind.PP_RECV_BLOCKED
+                else:
+                    states[peer] = StackKind.PP_SEND_BLOCKED
+    elif scenario is HangScenario.EVAL_P2P:
+        # Intermediate stages of the affected pipelines show a distinct
+        # stuck-P2P stack; others sit at the same eval barrier.
+        for r in stalled:
+            states[r] = StackKind.PP_RECV_BLOCKED
+            for peer in topo.peers(r, "pp"):
+                states[peer] = StackKind.PP_SEND_BLOCKED
+    elif scenario is HangScenario.DATALOADER:
+        for r in stalled:
+            states[r] = StackKind.DATALOADER_WAIT
+            # first pipeline stage starves; downstream stages wait on
+            # activations, rendered as pipeline recv blocks
+            for peer in topo.peers(r, "pp"):
+                states[peer] = StackKind.PP_RECV_BLOCKED
+    elif scenario is HangScenario.CKPT_STALL:
+        for r in stalled:
+            states[r] = StackKind.CKPT_D2H
+            for peer in topo.peers(r, "dp"):
+                if peer not in stalled:
+                    states[peer] = StackKind.GRAD_SYNC_WAIT
+    return states
+
+
+def capture_world(topo: RankTopology,
+                  machine_slot_to_id: Optional[Dict[int, int]],
+                  states: Dict[int, StackKind]) -> List[StackTrace]:
+    """Render one :class:`StackTrace` per rank from a state map.
+
+    ``machine_slot_to_id`` maps the topology's logical machine slot to
+    the physical machine id currently filling it (None = identity).
+    """
+    traces = []
+    for rank in topo.iter_ranks():
+        slot = topo.machine_of_rank(rank)
+        mid = slot if machine_slot_to_id is None else machine_slot_to_id[slot]
+        traces.append(make_trace(rank, mid, states[rank]))
+    return traces

@@ -1,0 +1,39 @@
+"""Workload and fault-trace generators.
+
+* :mod:`repro.workloads.failure_model` — fleet failure-rate math
+  (MTBF scaling with GPU count, per-machine daily failure probability);
+* :mod:`repro.workloads.traces` — incident trace generation matching
+  the Table 1 symptom mix and Table 2 root-cause mix, plus fault
+  construction for every symptom;
+* :mod:`repro.workloads.scenarios` — ready-made production scenarios:
+  the dense / MoE pretraining jobs of Sec. 8.1 with Poisson fault
+  arrivals and periodic code updates climbing the MFU ladder.
+"""
+
+from repro.workloads.failure_model import (
+    daily_machine_failure_prob,
+    mtbf_seconds,
+)
+from repro.workloads.traces import (
+    TABLE1_COUNTS,
+    TABLE2_ROOT_CAUSES,
+    IncidentTraceGenerator,
+    TraceEvent,
+)
+from repro.workloads.scenarios import (
+    ProductionScenario,
+    dense_production_scenario,
+    moe_production_scenario,
+)
+
+__all__ = [
+    "IncidentTraceGenerator",
+    "ProductionScenario",
+    "TABLE1_COUNTS",
+    "TABLE2_ROOT_CAUSES",
+    "TraceEvent",
+    "daily_machine_failure_prob",
+    "dense_production_scenario",
+    "moe_production_scenario",
+    "mtbf_seconds",
+]

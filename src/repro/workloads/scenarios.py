@@ -1,0 +1,200 @@
+"""Ready-made production scenarios (the Sec. 8.1 deployment jobs).
+
+A :class:`ProductionScenario` couples a wired
+:class:`~repro.core.byterobust.ByteRobustSystem` with an incident trace
+and drives the whole thing: faults are injected at their trace times
+(skipped while a recovery is already in flight, since the job is down
+anyway), manual updates flow through the controller, and the run ends
+with a :class:`~repro.core.byterobust.RunReport`.
+
+The two presets mirror the paper's deployment evaluation: a dense
+Llama-like 70+B job and a 200+B MoE job on Hopper-class machines.  For
+tractable test/bench runtimes the presets default to scaled-down
+machine counts and compressed durations; the shapes (incident mix,
+mechanism distribution, ETTR plateau) are what carry over.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.cluster.faults import Fault, FaultSymptom, JobEffect, RootCause, RootCauseDetail
+from repro.core.byterobust import ByteRobustSystem, RunReport, SystemConfig
+from repro.monitor.collectors import CollectorConfig
+from repro.monitor.detectors import DetectorConfig
+from repro.parallelism import ParallelismConfig
+from repro.sim import RngStreams
+from repro.training.job import JobState, TrainingJobConfig
+from repro.training.model import dense_70b, moe_200b
+from repro.workloads.failure_model import mtbf_seconds
+from repro.workloads.traces import IncidentTraceGenerator, TraceEvent
+
+
+@dataclass
+class ProductionScenario:
+    """One system + one incident trace, ready to run."""
+
+    system: ByteRobustSystem
+    events: List[TraceEvent]
+    duration_s: float
+
+    def run(self) -> RunReport:
+        self.system.start()
+        sim = self.system.sim
+        controller = self.system.controller
+        injector = self.system.injector
+
+        def fire(event: TraceEvent) -> None:
+            if event.is_manual:
+                controller.request_manual_update(event.update)
+                return
+            # while the job is down/recovering, new faults on the same
+            # job are moot — production attributes them to the same
+            # outage; skip to keep incident accounting 1:1
+            if self.system.job.state is not JobState.RUNNING:
+                return
+            fault = event.fault
+            # retarget victim machines to the job's *current* physical
+            # machines (evictions change them over time)
+            if fault.machine_ids:
+                current = self.system.job.machines
+                fault.machine_ids = [
+                    current[hash(mid) % len(current)]
+                    for mid in fault.machine_ids]
+            injector.inject(fault)
+
+        for event in self.events:
+            sim.schedule_at(event.time, lambda ev=event: fire(ev))
+        self.system.run_until(self.duration_s)
+        return self.system.report(run_end=self.duration_s)
+
+
+def _production_config(job: TrainingJobConfig, seed: int,
+                       hang_detect_s: float) -> SystemConfig:
+    return SystemConfig(
+        job=job, seed=seed,
+        detector=DetectorConfig(hang_zero_rdma_s=hang_detect_s),
+        collector=CollectorConfig(log_interval_s=30.0),
+    )
+
+
+def dense_production_scenario(num_machines: int = 16,
+                              duration_s: float = 24 * 3600.0,
+                              seed: int = 0,
+                              mtbf_scale: float = 1.0,
+                              hang_detect_s: float = 300.0
+                              ) -> ProductionScenario:
+    """The dense-model production job (scaled down by default).
+
+    ``num_machines`` must be expressible as tp*pp*dp / gpus_per_machine;
+    the preset uses TP=8, PP=2 and scales DP.
+    """
+    gpm = 8
+    dp = max(1, num_machines * gpm // (8 * 2))
+    job = TrainingJobConfig(
+        model=dense_70b(seq_len=4096),
+        parallelism=ParallelismConfig(tp=8, pp=2, dp=dp,
+                                      gpus_per_machine=gpm),
+        global_batch_size=256,
+        gpu_peak_tflops=989.0)
+    config = _production_config(job, seed, hang_detect_s)
+    system = ByteRobustSystem(config)
+    gen = IncidentTraceGenerator(RngStreams(seed).fork("trace"))
+    mtbf = mtbf_seconds(job.parallelism.world_size) * mtbf_scale
+    events = gen.poisson_trace(duration_s, mtbf,
+                               machine_ids=list(range(num_machines)))
+    return ProductionScenario(system=system, events=events,
+                              duration_s=duration_s)
+
+
+def staged_pretrain_scenario(num_machines: int = 8,
+                             duration_s: float = 5 * 86400.0,
+                             seed: int = 7,
+                             mtbf_scale: float = 0.01,
+                             recipe: "PretrainRecipe" = None
+                             ) -> ProductionScenario:
+    """A multi-stage pretraining job following the Fig. 1 recipe.
+
+    Stage churn drives manual code/data adjustments: the warmup and
+    long-context stages request updates far more often than the anneal
+    stage, reproducing the restart clustering the paper observes across
+    the recipe.  Faults follow the same Poisson process as the flat
+    scenarios.
+    """
+    from repro.training.recipe import (
+        PretrainRecipe,
+        standard_five_stage_recipe,
+    )
+
+    recipe = recipe or standard_five_stage_recipe()
+    gpm = 8
+    dp = max(1, num_machines * gpm // (8 * 2))
+    job = TrainingJobConfig(
+        model=dense_70b(seq_len=4096),
+        parallelism=ParallelismConfig(tp=8, pp=2, dp=dp,
+                                      gpus_per_machine=gpm),
+        global_batch_size=256, gpu_peak_tflops=989.0)
+    system = ByteRobustSystem(_production_config(job, seed, 300.0))
+    rng = RngStreams(seed).fork("staged")
+    gen = IncidentTraceGenerator(rng, counts={
+        s: c for s, c in IncidentTraceGenerator(rng).counts.items()
+        if s is not FaultSymptom.CODE_DATA_ADJUSTMENT})
+    mtbf = mtbf_seconds(job.parallelism.world_size) * mtbf_scale
+    events = list(gen.poisson_trace(duration_s, mtbf,
+                                    machine_ids=list(range(num_machines)),
+                                    include_manual=False))
+
+    # stage-driven manual updates: rate follows code_churn_per_day
+    from repro.controller.hotupdate import CodeUpdate
+    from repro.training.metrics import CodeVersionProfile
+
+    churn_rng = RngStreams(seed).fork("churn").get("updates")
+    t, version, mfu = 0.0, 0, 0.30
+    while t < duration_s:
+        stage = recipe.stage_at(min(1.0, t / duration_s))
+        rate_per_s = stage.code_churn_per_day / 86400.0
+        t += float(churn_rng.exponential(1.0 / max(rate_per_s, 1e-9)))
+        if t >= duration_s:
+            break
+        version += 1
+        mfu = min(0.55, mfu * float(churn_rng.uniform(1.0, 1.03)))
+        events.append(TraceEvent(time=t, update=CodeUpdate(
+            version=f"{stage.name}-v{version}",
+            profile=CodeVersionProfile(f"{stage.name}-v{version}", mfu),
+            critical=bool(churn_rng.random() < 0.2))))
+    events.sort(key=lambda e: e.time)
+    return ProductionScenario(system=system, events=events,
+                              duration_s=duration_s)
+
+
+def moe_production_scenario(num_machines: int = 16,
+                            duration_s: float = 24 * 3600.0,
+                            seed: int = 1,
+                            mtbf_scale: float = 1.0,
+                            hang_detect_s: float = 300.0
+                            ) -> ProductionScenario:
+    """The MoE production job: more custom optimizations, more manual
+    restarts and rollbacks (the paper's explanation for its lower ETTR)."""
+    gpm = 8
+    dp = max(2, num_machines * gpm // (8 * 2))
+    job = TrainingJobConfig(
+        model=moe_200b(seq_len=4096),
+        parallelism=ParallelismConfig(tp=8, pp=2, dp=dp, ep=2,
+                                      gpus_per_machine=gpm),
+        global_batch_size=256,
+        gpu_peak_tflops=989.0)
+    config = _production_config(job, seed, hang_detect_s)
+    system = ByteRobustSystem(config)
+    gen = IncidentTraceGenerator(RngStreams(seed).fork("trace"))
+    # MoE churn: manual adjustments arrive ~1.7x as often
+    counts = dict(gen.counts)
+    counts[FaultSymptom.CODE_DATA_ADJUSTMENT] = int(
+        counts[FaultSymptom.CODE_DATA_ADJUSTMENT] * 1.7)
+    gen = IncidentTraceGenerator(RngStreams(seed).fork("trace-moe"),
+                                 counts=counts)
+    mtbf = mtbf_seconds(job.parallelism.world_size) * mtbf_scale
+    events = gen.poisson_trace(duration_s, mtbf,
+                               machine_ids=list(range(num_machines)))
+    return ProductionScenario(system=system, events=events,
+                              duration_s=duration_s)

@@ -1,0 +1,299 @@
+"""Incident trace generation matching Table 1 / Table 2.
+
+``TABLE1_COUNTS`` reproduces the paper's three-month incident census
+(778,135 jobs).  The generator samples symptoms from that distribution,
+assigns root causes using the Table 2 mix for the ambiguous symptoms,
+and constructs fully-specified :class:`~repro.cluster.faults.Fault`
+objects (component mutations, job effects, log signatures) ready for
+injection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.cluster.faults import (
+    Fault,
+    FaultSymptom,
+    JobEffect,
+    RootCause,
+    RootCauseDetail,
+)
+from repro.controller.hotupdate import CodeUpdate
+from repro.sim import RngStreams
+from repro.training.metrics import CodeVersionProfile
+
+#: Table 1: incident counts over three months.
+TABLE1_COUNTS: Dict[FaultSymptom, int] = {
+    FaultSymptom.CUDA_ERROR: 19968,
+    FaultSymptom.CPU_OVERLOAD: 6095,
+    FaultSymptom.CPU_OOM: 5567,
+    FaultSymptom.DISK_SPACE: 2755,
+    FaultSymptom.INFINIBAND_ERROR: 1599,
+    FaultSymptom.FILESYSTEM_MOUNT: 1176,
+    FaultSymptom.HDFS_ERROR: 1104,
+    FaultSymptom.CONTAINER_ERROR: 781,
+    FaultSymptom.OS_KERNEL_PANIC: 203,
+    FaultSymptom.GPU_MEMORY_ERROR: 188,
+    FaultSymptom.EXTERNAL_SERVICE_ERROR: 128,
+    FaultSymptom.GPU_UNAVAILABLE: 76,
+    FaultSymptom.DISK_FAULT: 47,
+    FaultSymptom.JOB_HANG: 5506,
+    FaultSymptom.MFU_DECLINE: 442,
+    FaultSymptom.NAN_VALUE: 148,
+    FaultSymptom.CODE_DATA_ADJUSTMENT: 9582,
+}
+
+#: Table 2: (infrastructure, user code) counts for ambiguous symptoms.
+TABLE2_ROOT_CAUSES: Dict[str, Tuple[int, int]] = {
+    "job_hang": (21, 5),
+    "illegal_memory_access": (21, 41),
+    "nan_value": (3, 1),
+}
+
+#: Log signatures emitted on crash, per symptom.
+_LOG_SIGNATURES: Dict[FaultSymptom, Tuple[str, int]] = {
+    FaultSymptom.CUDA_ERROR: ("CUDA error: device-side assert triggered",
+                              134),
+    FaultSymptom.CPU_OVERLOAD: ("watchdog: host CPU starvation detected", 1),
+    FaultSymptom.CPU_OOM: ("Out of memory: Killed process (python3)", 137),
+    FaultSymptom.DISK_SPACE: ("OSError: [Errno 28] No space left on device",
+                              1),
+    FaultSymptom.INFINIBAND_ERROR: ("NCCL WARN Net: ib_send failed", 1),
+    FaultSymptom.FILESYSTEM_MOUNT: ("mount.nfs: Connection timed out", 32),
+    FaultSymptom.HDFS_ERROR: ("HDFS write failed: DataStreamer exception",
+                              1),
+    FaultSymptom.CONTAINER_ERROR: ("containerd: task exited unexpectedly",
+                                   143),
+    FaultSymptom.OS_KERNEL_PANIC: ("kernel panic - not syncing", 255),
+    FaultSymptom.GPU_MEMORY_ERROR: (
+        "CUDA error: an illegal memory access was encountered", 134),
+    FaultSymptom.EXTERNAL_SERVICE_ERROR: (
+        "external service rpc error: deadline exceeded", 1),
+    FaultSymptom.GPU_UNAVAILABLE: ("CUDA error: device unavailable", 134),
+    FaultSymptom.DISK_FAULT: ("blk_update_request: I/O error, dev nvme0n1",
+                              5),
+}
+
+
+@dataclass
+class TraceEvent:
+    """One scheduled event in an incident trace."""
+
+    time: float
+    #: a fault to inject, or a manual code/data update request
+    fault: Optional[Fault] = None
+    update: Optional[CodeUpdate] = None
+
+    @property
+    def is_manual(self) -> bool:
+        return self.update is not None
+
+
+class IncidentTraceGenerator:
+    """Samples Table 1-distributed incidents as concrete faults."""
+
+    def __init__(self, rng: RngStreams,
+                 counts: Optional[Dict[FaultSymptom, int]] = None):
+        self.counts = dict(counts or TABLE1_COUNTS)
+        self._symptoms = list(self.counts.keys())
+        total = sum(self.counts.values())
+        self._weights = np.array(
+            [self.counts[s] / total for s in self._symptoms])
+        self._rng = rng.get("traces")
+
+    # ------------------------------------------------------------------
+    def sample_symptom(self) -> FaultSymptom:
+        idx = self._rng.choice(len(self._symptoms), p=self._weights)
+        return self._symptoms[int(idx)]
+
+    def sample_symptoms(self, count: int) -> List[FaultSymptom]:
+        return [self.sample_symptom() for _ in range(count)]
+
+    def symptom_histogram(self, count: int) -> Dict[FaultSymptom, int]:
+        hist: Dict[FaultSymptom, int] = {s: 0 for s in self._symptoms}
+        for symptom in self.sample_symptoms(count):
+            hist[symptom] += 1
+        return hist
+
+    # ------------------------------------------------------------------
+    def make_fault(self, symptom: FaultSymptom,
+                   machine_ids: Sequence[int],
+                   code_version: Optional[str] = None) -> Fault:
+        """Construct a fully-specified fault for a symptom.
+
+        ``machine_ids`` is the candidate machine population (the job's
+        machines); the generator picks victims from it.
+        """
+        pick = lambda: [int(self._rng.choice(machine_ids))]  # noqa: E731
+        log, code = _LOG_SIGNATURES.get(symptom, ("", 1))
+
+        if symptom is FaultSymptom.JOB_HANG:
+            infra, user = TABLE2_ROOT_CAUSES["job_hang"]
+            if self._rng.random() < infra / (infra + user):
+                detail = (RootCauseDetail.UFM_FAULT
+                          if self._rng.random() < 0.3
+                          else RootCauseDetail.DEFECTIVE_CUDA_CORES)
+                # UFM (fabric manager) faults are service-level: no
+                # machine to evict, and the network team restores the
+                # fabric out-of-band — modeled as a transient
+                return Fault(symptom=symptom,
+                             root_cause=RootCause.INFRASTRUCTURE,
+                             detail=detail,
+                             machine_ids=(pick() if detail is not
+                                          RootCauseDetail.UFM_FAULT else []),
+                             effect=JobEffect.HANG,
+                             transient=detail is RootCauseDetail.UFM_FAULT,
+                             auto_recover_after=float(
+                                 self._rng.uniform(600, 1800)))
+            return Fault(symptom=symptom, root_cause=RootCause.USER_CODE,
+                         detail=RootCauseDetail.CKPT_RESHARD_MISCONFIG,
+                         machine_ids=[], effect=JobEffect.HANG,
+                         code_version=code_version)
+
+        if symptom is FaultSymptom.NAN_VALUE:
+            infra, user = TABLE2_ROOT_CAUSES["nan_value"]
+            if self._rng.random() < infra / (infra + user):
+                return Fault(symptom=symptom,
+                             root_cause=RootCause.INFRASTRUCTURE,
+                             detail=RootCauseDetail.GPU_SDC,
+                             machine_ids=pick(), effect=JobEffect.NAN,
+                             reproduce_prob=float(
+                                 self._rng.uniform(0.4, 1.0)))
+            return Fault(symptom=symptom, root_cause=RootCause.USER_CODE,
+                         detail=RootCauseDetail.USER_CODE_BUG,
+                         machine_ids=[], effect=JobEffect.NAN,
+                         code_version=code_version)
+
+        if symptom is FaultSymptom.MFU_DECLINE:
+            detail = (RootCauseDetail.GPU_HIGH_TEMPERATURE
+                      if self._rng.random() < 0.5
+                      else RootCauseDetail.PCIE_DEGRADED)
+            return Fault(symptom=symptom,
+                         root_cause=RootCause.INFRASTRUCTURE,
+                         detail=detail, machine_ids=pick(),
+                         effect=JobEffect.SLOW)
+
+        if symptom is FaultSymptom.GPU_MEMORY_ERROR:
+            infra, user = TABLE2_ROOT_CAUSES["illegal_memory_access"]
+            if self._rng.random() < infra / (infra + user):
+                return Fault(symptom=symptom,
+                             root_cause=RootCause.INFRASTRUCTURE,
+                             detail=RootCauseDetail.GPU_HBM_FAULT,
+                             machine_ids=pick(), effect=JobEffect.CRASH,
+                             log_signature=log, exit_code=code)
+            return Fault(symptom=symptom, root_cause=RootCause.USER_CODE,
+                         detail=RootCauseDetail.KERNEL_IMPL_BUG,
+                         machine_ids=[], effect=JobEffect.CRASH,
+                         log_signature=log, exit_code=code,
+                         code_version=code_version)
+
+        if symptom is FaultSymptom.CUDA_ERROR:
+            # mostly user-space errors at the fleet level (Table 1's
+            # 36% bucket is dominated by code issues), some hardware
+            if self._rng.random() < 0.35:
+                return Fault(symptom=symptom,
+                             root_cause=RootCause.INFRASTRUCTURE,
+                             detail=RootCauseDetail.GPU_HBM_FAULT,
+                             machine_ids=pick(), effect=JobEffect.CRASH,
+                             log_signature=log, exit_code=code)
+            return Fault(
+                symptom=symptom, root_cause=RootCause.USER_CODE,
+                detail=RootCauseDetail.USER_CODE_BUG, machine_ids=[],
+                effect=JobEffect.CRASH,
+                log_signature="TypeError: forward() got an unexpected "
+                              "keyword argument",
+                exit_code=1, code_version=code_version)
+
+        if symptom in (FaultSymptom.CPU_OVERLOAD, FaultSymptom.CPU_OOM,
+                       FaultSymptom.DISK_SPACE):
+            return Fault(symptom=symptom,
+                         root_cause=RootCause.INFRASTRUCTURE,
+                         detail=RootCauseDetail.HOST_RESOURCE_EXHAUSTION,
+                         machine_ids=pick(), effect=JobEffect.CRASH,
+                         log_signature=log, exit_code=code)
+
+        if symptom is FaultSymptom.INFINIBAND_ERROR:
+            r = self._rng.random()
+            if r < 0.5:
+                detail, transient = RootCauseDetail.PORT_FLAPPING, True
+            elif r < 0.9:
+                detail, transient = RootCauseDetail.NIC_CRASH, False
+            else:
+                detail, transient = RootCauseDetail.SWITCH_DOWN, True
+            return Fault(symptom=symptom,
+                         root_cause=RootCause.INFRASTRUCTURE,
+                         detail=detail,
+                         machine_ids=(pick() if detail is not
+                                      RootCauseDetail.SWITCH_DOWN else []),
+                         switch_id=(0 if detail is
+                                    RootCauseDetail.SWITCH_DOWN else None),
+                         effect=JobEffect.CRASH, transient=transient,
+                         auto_recover_after=float(
+                             self._rng.uniform(60, 240)),
+                         log_signature=log, exit_code=code)
+
+        detail_map = {
+            FaultSymptom.FILESYSTEM_MOUNT:
+                RootCauseDetail.STORAGE_SERVICE_FAULT,
+            FaultSymptom.HDFS_ERROR: RootCauseDetail.STORAGE_SERVICE_FAULT,
+            FaultSymptom.CONTAINER_ERROR:
+                RootCauseDetail.EXTERNAL_SERVICE_FAULT,
+            FaultSymptom.OS_KERNEL_PANIC: RootCauseDetail.OS_KERNEL_FAULT,
+            FaultSymptom.EXTERNAL_SERVICE_ERROR:
+                RootCauseDetail.EXTERNAL_SERVICE_FAULT,
+            FaultSymptom.GPU_UNAVAILABLE: RootCauseDetail.GPU_LOST,
+            FaultSymptom.DISK_FAULT: RootCauseDetail.DISK_HW_FAULT,
+        }
+        detail = detail_map.get(symptom, RootCauseDetail.USER_CODE_BUG)
+        machine_bound = symptom in (
+            FaultSymptom.OS_KERNEL_PANIC, FaultSymptom.GPU_UNAVAILABLE,
+            FaultSymptom.DISK_FAULT, FaultSymptom.FILESYSTEM_MOUNT,
+            FaultSymptom.CONTAINER_ERROR)
+        transient = symptom in (FaultSymptom.HDFS_ERROR,
+                                FaultSymptom.EXTERNAL_SERVICE_ERROR)
+        return Fault(symptom=symptom, root_cause=RootCause.INFRASTRUCTURE,
+                     detail=detail,
+                     machine_ids=pick() if machine_bound else [],
+                     effect=JobEffect.CRASH, transient=transient,
+                     auto_recover_after=float(self._rng.uniform(60, 300)),
+                     log_signature=log, exit_code=code)
+
+    # ------------------------------------------------------------------
+    def poisson_trace(self, duration_s: float, mtbf_s: float,
+                      machine_ids: Sequence[int],
+                      include_manual: bool = True) -> List[TraceEvent]:
+        """A full incident timeline with Poisson arrivals.
+
+        Manual code/data adjustments are part of the Table 1 mix; when
+        ``include_manual`` they become :class:`CodeUpdate` requests with
+        modestly improving MFU profiles.
+        """
+        if mtbf_s <= 0 or duration_s <= 0:
+            raise ValueError("durations must be positive")
+        events: List[TraceEvent] = []
+        t = 0.0
+        version = 0
+        mfu = 0.30
+        while True:
+            t += float(self._rng.exponential(mtbf_s))
+            if t >= duration_s:
+                break
+            symptom = self.sample_symptom()
+            if symptom is FaultSymptom.CODE_DATA_ADJUSTMENT:
+                if not include_manual:
+                    continue
+                version += 1
+                mfu = min(0.55, mfu * float(self._rng.uniform(1.0, 1.04)))
+                events.append(TraceEvent(time=t, update=CodeUpdate(
+                    version=f"v{version}",
+                    profile=CodeVersionProfile(f"v{version}", mfu),
+                    critical=bool(self._rng.random() < 0.2))))
+            else:
+                events.append(TraceEvent(
+                    time=t,
+                    fault=self.make_fault(symptom, machine_ids)))
+        return events

@@ -1,0 +1,419 @@
+"""Unit tests for the tracer, runtime analyzer, and stop-time diagnosis."""
+
+import pytest
+
+from repro.agent import OnDemandTracer, build_pod_process_tree
+from repro.agent.process_tree import training_processes
+from repro.analyzer import (
+    AggregationConfig,
+    FailSlowVoter,
+    RuntimeAnalyzer,
+)
+from repro.cluster import Cluster, ClusterSpec, Fault, FaultInjector
+from repro.cluster.faults import (
+    FaultSymptom,
+    JobEffect,
+    RootCause,
+    RootCauseDetail,
+)
+from repro.diagnosis import (
+    Diagnoser,
+    DualPhaseReplay,
+    solution_cardinality,
+)
+from repro.diagnosis.suites import BitwiseAlignmentTest, EudTest
+from repro.parallelism import ParallelismConfig, RankTopology
+from repro.sim import RngStreams, Simulator
+from repro.training import TrainingJob, TrainingJobConfig
+from repro.training.model import ModelSpec
+from repro.training.stacks import (
+    HangScenario,
+    StackKind,
+    capture_world,
+    propagate_hang,
+)
+
+
+def fig7_env():
+    """TP=2, PP=4, DP=4 over 16 machines with 2 GPUs each (Fig. 7)."""
+    sim = Simulator()
+    cluster = Cluster(ClusterSpec(num_machines=16, machines_per_switch=16))
+    injector = FaultInjector(sim, cluster)
+    config = TrainingJobConfig(
+        model=ModelSpec("m", 10**9, 10**9, 8, seq_len=2048),
+        parallelism=ParallelismConfig(tp=2, pp=4, dp=4, gpus_per_machine=2),
+        global_batch_size=128, gpu_peak_tflops=100.0)
+    job = TrainingJob(sim, config, injector=injector)
+    job.bind_machines(list(range(16)))
+    return sim, cluster, injector, job
+
+
+class TestProcessTree:
+    def test_tree_shape(self):
+        tree = build_pod_process_tree(0, [0, 1])
+        roles = [n.role for n in tree.walk()]
+        assert roles.count("trainer") == 2
+        assert roles.count("dataloader") == 2
+        assert roles.count("ckpt") == 2
+        assert roles.count("daemon") == 1
+
+    def test_training_processes_excludes_infra(self):
+        tree = build_pod_process_tree(0, [0, 1])
+        procs = training_processes(tree)
+        assert all(p.role in ("trainer", "dataloader", "ckpt")
+                   for p in procs)
+
+    def test_pids_deterministic(self):
+        t1 = build_pod_process_tree(3, [6, 7])
+        t2 = build_pod_process_tree(3, [6, 7])
+        assert [n.pid for n in t1.walk()] == [n.pid for n in t2.walk()]
+
+
+class TestTracer:
+    def test_capture_healthy_job(self):
+        sim, cluster, inj, job = fig7_env()
+        job.start()
+        tracer = OnDemandTracer(sim, job)
+        capture = tracer.capture()
+        trainers = [t for t in capture.traces
+                    if t.process_name.startswith("trainer")]
+        assert len(trainers) == 32
+        assert len({t.text() for t in trainers}) == 1   # all identical
+
+    def test_capture_hang_shows_fig7_pattern(self):
+        sim, cluster, inj, job = fig7_env()
+        job.start()
+        inj.inject(Fault(symptom=FaultSymptom.JOB_HANG,
+                         root_cause=RootCause.INFRASTRUCTURE,
+                         detail=RootCauseDetail.UFM_FAULT,
+                         machine_ids=[15], effect=JobEffect.HANG))
+        tracer = OnDemandTracer(sim, job)
+        capture = tracer.capture()
+        by_rank = {t.rank: t for t in capture.traces
+                   if t.process_name.startswith("trainer")}
+        assert by_rank[30].kind is StackKind.TP_ALLGATHER_BLOCKED
+        assert by_rank[28].kind is StackKind.PP_SEND_BLOCKED
+        assert by_rank[24].kind is StackKind.PP_RECV_BLOCKED
+        assert by_rank[0].kind is StackKind.GRAD_SYNC_WAIT
+
+    def test_capture_uses_physical_machine_ids(self):
+        sim, cluster, inj, job = fig7_env()
+        job.replace_machines({0: 99})
+        job.start()
+        tracer = OnDemandTracer(sim, job)
+        capture = tracer.capture()
+        machines = {t.machine_id for t in capture.traces}
+        assert 99 in machines and 0 not in machines
+
+
+class TestAggregation:
+    def topo(self):
+        return RankTopology(ParallelismConfig(tp=2, pp=4, dp=4,
+                                              gpus_per_machine=2))
+
+    def test_fig7_isolates_pp_group_machines_12_to_15(self):
+        topo = self.topo()
+        states = propagate_hang(topo, [30, 31], HangScenario.BACKWARD_COMM)
+        traces = capture_world(topo, None, states)
+        analyzer = RuntimeAnalyzer(topo)
+        result = analyzer.aggregate(traces)
+        assert result.shared_dim == "pp"
+        assert result.eviction_machines == [12, 13, 14, 15]
+        assert result.outlier_ranks == list(range(24, 32))
+
+    def test_fig7_group_sizes(self):
+        topo = self.topo()
+        states = propagate_hang(topo, [30, 31])
+        traces = capture_world(topo, None, states)
+        result = RuntimeAnalyzer(topo).aggregate(traces)
+        trainer_groups = [g for g in result.groups if g.role == "trainer"]
+        sizes = sorted(g.size for g in trainer_groups)
+        assert sizes == [2, 2, 4, 24]
+        outliers = [g for g in trainer_groups if g.is_outlier]
+        assert sorted(g.size for g in outliers) == [2, 2, 4]
+
+    def test_healthy_capture_finds_nothing(self):
+        topo = self.topo()
+        states = {r: StackKind.BACKWARD_COMPUTE for r in topo.iter_ranks()}
+        traces = capture_world(topo, None, states)
+        result = RuntimeAnalyzer(topo).aggregate(traces)
+        assert not result.found_suspects
+        assert result.shared_dim is None
+
+    def test_slot_to_machine_mapping_applied(self):
+        topo = self.topo()
+        states = propagate_hang(topo, [30, 31])
+        mapping = {slot: slot + 200 for slot in range(16)}
+        traces = capture_world(topo, mapping, states)
+        result = RuntimeAnalyzer(topo).aggregate(
+            traces, slot_to_machine=mapping)
+        assert result.eviction_machines == [212, 213, 214, 215]
+
+    def test_single_machine_outlier_isolates_its_pp_group(self):
+        topo = self.topo()
+        states = propagate_hang(topo, [8, 9])   # machine 4, stage 0, dp=1
+        traces = capture_world(topo, None, states)
+        result = RuntimeAnalyzer(topo).aggregate(traces)
+        assert result.shared_dim == "pp"
+        assert result.eviction_machines == [4, 5, 6, 7]
+
+    def test_empty_traces_rejected(self):
+        with pytest.raises(ValueError):
+            RuntimeAnalyzer(self.topo()).aggregate([])
+
+    def test_dataloader_stacks_do_not_drown_signal(self):
+        sim, cluster, inj, job = fig7_env()
+        job.start()
+        inj.inject(Fault(symptom=FaultSymptom.JOB_HANG,
+                         root_cause=RootCause.INFRASTRUCTURE,
+                         detail=RootCauseDetail.UFM_FAULT,
+                         machine_ids=[15], effect=JobEffect.HANG))
+        capture = OnDemandTracer(sim, job).capture()
+        result = RuntimeAnalyzer(job.topology).aggregate(
+            capture.traces, slot_to_machine=job.slot_to_machine)
+        assert result.eviction_machines == [12, 13, 14, 15]
+
+
+class TestFailSlowVoting:
+    def test_voting_flags_slow_machine_group(self):
+        sim, cluster, inj, job = fig7_env()
+        job.start()
+        inj.inject(Fault(symptom=FaultSymptom.MFU_DECLINE,
+                         root_cause=RootCause.INFRASTRUCTURE,
+                         detail=RootCauseDetail.GPU_HIGH_TEMPERATURE,
+                         machine_ids=[5], effect=JobEffect.SLOW))
+        tracer = OnDemandTracer(sim, job)
+        analyzer = RuntimeAnalyzer(job.topology)
+        voter = FailSlowVoter(analyzer, rounds=5, interval_s=10.0)
+        verdicts = []
+        voter.run(sim, lambda: tracer.capture().traces,
+                  slot_to_machine=job.slot_to_machine,
+                  done=verdicts.append)
+        sim.run(until=60.0)
+        assert verdicts
+        verdict = verdicts[0]
+        assert verdict.found_suspects
+        assert 5 in verdict.eviction_machines
+        assert sum(verdict.flag_counts.values()) == 5
+
+    def test_voting_sync_over_prebuilt_captures(self):
+        topo = RankTopology(ParallelismConfig(tp=2, pp=4, dp=4,
+                                              gpus_per_machine=2))
+        states = propagate_hang(topo, [8, 9])
+        captures = [capture_world(topo, None, states) for _ in range(5)]
+        voter = FailSlowVoter(RuntimeAnalyzer(topo), rounds=5)
+        verdict = voter.run_sync(captures)
+        assert verdict.degrader is not None
+        assert verdict.eviction_machines == [4, 5, 6, 7]
+
+    def test_healthy_captures_produce_no_degrader(self):
+        topo = RankTopology(ParallelismConfig(tp=2, pp=4, dp=4,
+                                              gpus_per_machine=2))
+        states = {r: StackKind.BACKWARD_COMPUTE for r in topo.iter_ranks()}
+        captures = [capture_world(topo, None, states) for _ in range(5)]
+        verdict = FailSlowVoter(RuntimeAnalyzer(topo)).run_sync(captures)
+        assert verdict.degrader is None
+        assert not verdict.found_suspects
+
+    def test_round_validation(self):
+        topo = RankTopology(ParallelismConfig(tp=1, pp=2, dp=2,
+                                              gpus_per_machine=1))
+        with pytest.raises(ValueError):
+            FailSlowVoter(RuntimeAnalyzer(topo), rounds=0)
+
+
+class TestDiagnosticSuites:
+    def make(self, n=8):
+        sim = Simulator()
+        cluster = Cluster(ClusterSpec(num_machines=n, machines_per_switch=n))
+        return sim, cluster, FaultInjector(sim, cluster), RngStreams(7)
+
+    def test_eud_catches_hard_gpu_fault(self):
+        sim, cluster, inj, rng = self.make()
+        inj.inject(Fault(symptom=FaultSymptom.GPU_MEMORY_ERROR,
+                         root_cause=RootCause.INFRASTRUCTURE,
+                         detail=RootCauseDetail.GPU_HBM_FAULT,
+                         machine_ids=[3]))
+        report = EudTest(cluster, rng).run(range(8))
+        assert 3 in report.suspects
+
+    def test_eud_sdc_recall_near_70_percent(self):
+        hits = 0
+        trials = 400
+        for seed in range(trials):
+            sim = Simulator()
+            cluster = Cluster(ClusterSpec(num_machines=1,
+                                          machines_per_switch=1))
+            inj = FaultInjector(sim, cluster)
+            inj.inject(Fault(symptom=FaultSymptom.NAN_VALUE,
+                             root_cause=RootCause.INFRASTRUCTURE,
+                             detail=RootCauseDetail.GPU_SDC,
+                             machine_ids=[0]))
+            report = EudTest(cluster, RngStreams(seed)).run([0])
+            hits += 0 in report.suspects
+        assert 0.62 <= hits / trials <= 0.78
+
+    def test_bitwise_alignment_scales_with_reproduce_prob(self):
+        detect = {}
+        for prob in (1.0, 0.2):
+            hits = 0
+            for seed in range(300):
+                sim = Simulator()
+                cluster = Cluster(ClusterSpec(num_machines=1,
+                                              machines_per_switch=1))
+                inj = FaultInjector(sim, cluster)
+                inj.inject(Fault(symptom=FaultSymptom.NAN_VALUE,
+                                 root_cause=RootCause.INFRASTRUCTURE,
+                                 detail=RootCauseDetail.GPU_SDC,
+                                 machine_ids=[0], reproduce_prob=prob))
+                report = BitwiseAlignmentTest(
+                    cluster, RngStreams(seed)).run([0])
+                hits += 0 in report.suspects
+            detect[prob] = hits / 300
+        assert detect[1.0] > 0.9
+        assert detect[0.2] < detect[1.0]
+
+    def test_clean_cluster_mostly_passes(self):
+        sim, cluster, inj, rng = self.make()
+        report = EudTest(cluster, rng).run(range(8))
+        assert len(report.suspects) <= 1    # false positives are rare
+
+
+class TestDiagnoser:
+    def make(self, n=8):
+        sim = Simulator()
+        cluster = Cluster(ClusterSpec(num_machines=n, machines_per_switch=n))
+        inj = FaultInjector(sim, cluster)
+        return sim, cluster, inj, Diagnoser(cluster, RngStreams(11))
+
+    def test_nccl_log_selects_network_sequence(self):
+        _, _, _, diagnoser = self.make()
+        tests = diagnoser.sequence_for("NCCL Internal Error")
+        assert [t.name for t in tests] == [
+            "eud", "intra_all_to_all", "inter_all_gather"]
+
+    def test_nan_appends_bitwise(self):
+        _, _, _, diagnoser = self.make()
+        tests = diagnoser.sequence_for("", nan=True)
+        assert tests[-1].name == "bitwise_alignment"
+
+    def test_hierarchy_short_circuits_on_first_find(self):
+        sim, cluster, inj, diagnoser = self.make()
+        inj.inject(Fault(symptom=FaultSymptom.GPU_MEMORY_ERROR,
+                         root_cause=RootCause.INFRASTRUCTURE,
+                         detail=RootCauseDetail.GPU_HBM_FAULT,
+                         machine_ids=[2]))
+        report = diagnoser.diagnose(range(8), "NCCL Internal Error")
+        assert report.suspects == [2]
+        assert report.tests_run == ["eud"]   # stopped after first hit
+        assert report.total_duration_s == pytest.approx(300.0)
+
+    def test_network_fault_found_by_later_stage(self):
+        sim, cluster, inj, diagnoser = self.make()
+        inj.inject(Fault(symptom=FaultSymptom.INFINIBAND_ERROR,
+                         root_cause=RootCause.INFRASTRUCTURE,
+                         detail=RootCauseDetail.NIC_CRASH, machine_ids=[4]))
+        report = diagnoser.diagnose(range(8), "NCCL timed out")
+        assert 4 in report.suspects
+        assert "inter_all_gather" in report.tests_run
+
+    def test_transient_fault_all_tests_pass(self):
+        sim, cluster, inj, diagnoser = self.make()
+        report = diagnoser.diagnose(range(8), "NCCL connection reset")
+        assert not report.found_suspects
+        assert len(report.tests_run) == 3   # full hierarchy ran
+
+
+class TestDualPhaseReplay:
+    def make_replay(self, n_machines=24, seed=3):
+        sim = Simulator()
+        cluster = Cluster(ClusterSpec(num_machines=n_machines,
+                                      machines_per_switch=n_machines))
+        inj = FaultInjector(sim, cluster)
+        return cluster, inj, DualPhaseReplay(cluster, RngStreams(seed))
+
+    def test_fig6_example_isolates_machine_13(self):
+        """z=24, m=4, n=6, SDC on machine 13 → H3 ∩ V1 = {13}."""
+        cluster, inj, replay = self.make_replay()
+        inj.inject(Fault(symptom=FaultSymptom.NAN_VALUE,
+                         root_cause=RootCause.INFRASTRUCTURE,
+                         detail=RootCauseDetail.GPU_SDC, machine_ids=[13],
+                         reproduce_prob=1.0))
+        result = replay.locate_faulty_machines(list(range(24)), m=4)
+        assert result.failed_horizontal == [3]
+        assert result.failed_vertical == [1]
+        assert result.suspects == [13]
+
+    def test_every_machine_position_locatable(self):
+        for faulty in range(24):
+            cluster, inj, replay = self.make_replay()
+            inj.inject(Fault(symptom=FaultSymptom.NAN_VALUE,
+                             root_cause=RootCause.INFRASTRUCTURE,
+                             detail=RootCauseDetail.GPU_SDC,
+                             machine_ids=[faulty], reproduce_prob=1.0))
+            result = replay.locate_faulty_machines(list(range(24)), m=4)
+            assert result.suspects == [faulty]
+
+    def test_low_reproduce_prob_may_miss(self):
+        cluster, inj, replay = self.make_replay(seed=0)
+        inj.inject(Fault(symptom=FaultSymptom.NAN_VALUE,
+                         root_cause=RootCause.INFRASTRUCTURE,
+                         detail=RootCauseDetail.GPU_SDC, machine_ids=[13],
+                         reproduce_prob=0.01))
+        replay.steps_per_replay = 1
+        result = replay.locate_faulty_machines(list(range(24)), m=4)
+        # with a 1% per-step repro rate and 1 step, usually no suspects
+        assert result.suspects in ([], [13])
+
+    def test_nonlocal_machine_ids(self):
+        """Replay works on arbitrary physical ids, not just 0..z-1."""
+        cluster, inj, replay = self.make_replay(n_machines=30)
+        ids = list(range(6, 30))       # 24 machines, offset by 6
+        inj.inject(Fault(symptom=FaultSymptom.NAN_VALUE,
+                         root_cause=RootCause.INFRASTRUCTURE,
+                         detail=RootCauseDetail.GPU_SDC, machine_ids=[19],
+                         reproduce_prob=1.0))
+        result = replay.locate_faulty_machines(ids, m=4)
+        assert result.suspects == [19]
+
+    def test_group_size_must_divide(self):
+        cluster, inj, replay = self.make_replay()
+        with pytest.raises(ValueError):
+            replay.locate_faulty_machines(list(range(24)), m=5)
+        with pytest.raises(ValueError):
+            replay.locate_faulty_machines([], m=1)
+
+    def test_solution_cardinality_formula(self):
+        assert solution_cardinality(4, 6) == 1
+        assert solution_cardinality(6, 6) == 1
+        assert solution_cardinality(8, 4) == 2
+        assert solution_cardinality(9, 4) == 3
+        with pytest.raises(ValueError):
+            solution_cardinality(0, 4)
+
+    def test_cardinality_matches_actual_solutions(self):
+        """|S| from the formula equals the true constraint-set size."""
+        for (z, m) in ((24, 4), (16, 4), (32, 8), (36, 6)):
+            n = z // m
+            for a in range(n):
+                for b in range(n):
+                    size = len([x for x in range(z)
+                                if x // m == a and x % n == b])
+                    if m <= n:
+                        assert size <= 1
+                    else:
+                        assert size <= solution_cardinality(m, n)
+
+    def test_recommended_group_size_multiple_of_pp(self):
+        cluster, inj, replay = self.make_replay()
+        m = replay.recommended_group_size(pp_size=4, dp_size=8,
+                                          num_machines=64)
+        assert m % 4 == 0
+        assert m <= 64 // m     # unique-solution regime
+
+    def test_duration_covers_two_phases(self):
+        cluster, inj, replay = self.make_replay()
+        result = replay.locate_faulty_machines(list(range(24)), m=4)
+        expected = replay.setup_s + 2 * (replay.replay_step_s
+                                         * replay.steps_per_replay)
+        assert result.duration_s == pytest.approx(expected)

@@ -1,0 +1,224 @@
+"""Unit tests for hot updates, standby sizing, and the policy FSM."""
+
+import pytest
+
+from repro.controller import (
+    CodeUpdate,
+    EscalationLevel,
+    HotUpdateManager,
+    PolicyAction,
+    RecoveryPolicy,
+    StandbyPolicy,
+    binomial_p99,
+    simultaneous_failure_pmf,
+)
+from repro.controller.policy import IncidentEntry
+from repro.sim import Simulator
+from repro.training.metrics import CodeVersionProfile
+
+
+def make_update(version, mfu=0.35, critical=False):
+    return CodeUpdate(version=version,
+                      profile=CodeVersionProfile(version, mfu),
+                      critical=critical)
+
+
+class TestHotUpdateManager:
+    def test_baseline_version_applied_at_init(self):
+        sim = Simulator()
+        mgr = HotUpdateManager(sim)
+        assert mgr.current.version == "v0"
+        assert not mgr.can_rollback()
+
+    def test_noncritical_update_waits_for_restart(self):
+        sim = Simulator()
+        mgr = HotUpdateManager(sim)
+        required = []
+        mgr.on_update_required = required.append
+        mgr.request(make_update("v1"))
+        assert mgr.has_pending()
+        assert not required                     # lazily queued
+        applied = mgr.apply_pending()
+        assert [u.version for u in applied] == ["v1"]
+        assert mgr.current.version == "v1"
+
+    def test_critical_update_fires_immediately(self):
+        sim = Simulator()
+        mgr = HotUpdateManager(sim)
+        required = []
+        mgr.on_update_required = required.append
+        mgr.request(make_update("hotfix", critical=True))
+        assert [u.version for u in required] == ["hotfix"]
+
+    def test_trigger_window_forces_stale_updates(self):
+        sim = Simulator()
+        mgr = HotUpdateManager(sim, trigger_window_s=3600.0)
+        required = []
+        mgr.on_update_required = required.append
+        mgr.request(make_update("v1"))
+        sim.run(until=3601.0)
+        assert [u.version for u in required] == ["v1"]
+
+    def test_window_cancelled_when_applied_earlier(self):
+        sim = Simulator()
+        mgr = HotUpdateManager(sim, trigger_window_s=3600.0)
+        required = []
+        mgr.on_update_required = required.append
+        mgr.request(make_update("v1"))
+        sim.run(until=100.0)
+        mgr.apply_pending()
+        sim.run(until=4000.0)
+        assert not required
+
+    def test_multiple_updates_merge_into_one_restart(self):
+        sim = Simulator()
+        mgr = HotUpdateManager(sim)
+        mgr.request(make_update("v1"))
+        mgr.request(make_update("v2", mfu=0.4))
+        applied = mgr.apply_pending()
+        assert len(applied) == 2
+        assert mgr.current.version == "v2"
+        assert mgr.current_profile.base_mfu == pytest.approx(0.4)
+
+    def test_rollback_reverts_and_removes(self):
+        sim = Simulator()
+        mgr = HotUpdateManager(sim)
+        mgr.request(make_update("v1"))
+        mgr.apply_pending()
+        rolled = mgr.rollback()
+        assert rolled.version == "v1"
+        assert mgr.current.version == "v0"
+        assert mgr.versions_applied() == ["v0"]
+
+    def test_rollback_at_baseline_raises(self):
+        sim = Simulator()
+        mgr = HotUpdateManager(sim)
+        with pytest.raises(RuntimeError):
+            mgr.rollback()
+
+
+class TestStandbySizing:
+    def test_pmf_sums_to_one(self):
+        pmf = simultaneous_failure_pmf(100, 0.01)
+        assert sum(pmf) == pytest.approx(1.0, abs=1e-9)
+
+    def test_pmf_edge_probabilities(self):
+        assert simultaneous_failure_pmf(10, 0.0)[0] == 1.0
+        pmf = simultaneous_failure_pmf(3, 1.0)
+        assert pmf[3] == pytest.approx(1.0)
+
+    def test_p99_monotone_in_n(self):
+        assert (binomial_p99(128, 0.0012) <= binomial_p99(512, 0.0012)
+                <= binomial_p99(2048, 0.0012))
+
+    def test_table5_p99_column(self):
+        """Table 5: 2 / 2 / 3 / 4 standbys at 128 / 256 / 512 / 1024."""
+        policy = StandbyPolicy()
+        assert policy.standby_count(128) == 2
+        assert policy.standby_count(256) == 2
+        assert policy.standby_count(512) == 3
+        assert policy.standby_count(1024) == 4
+
+    def test_table5_row_format(self):
+        row = StandbyPolicy().table5_row(512, gpus_per_machine=16)
+        assert row["p99_standby_machines"] == 3
+        assert row["p99_standby_gpus"] == 48
+
+    def test_min_standbys_floor(self):
+        policy = StandbyPolicy(daily_failure_prob=1e-9, min_standbys=1)
+        assert policy.standby_count(4) == 1
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            simultaneous_failure_pmf(0, 0.5)
+        with pytest.raises(ValueError):
+            simultaneous_failure_pmf(10, 1.5)
+
+
+class TestRecoveryPolicyFsm:
+    def policy(self):
+        return RecoveryPolicy()
+
+    def test_high_confidence_evicts_immediately(self):
+        action = self.policy().entry_action(
+            IncidentEntry.HIGH_CONFIDENCE_INSPECTION, EscalationLevel.FRESH)
+        assert action is PolicyAction.EVICT_AND_RESTART
+
+    def test_network_tolerated_until_threshold(self):
+        p = self.policy()
+        assert p.entry_action(IncidentEntry.NETWORK_INSPECTION,
+                              EscalationLevel.FRESH,
+                              network_alert_count=1) is PolicyAction.TOLERATE
+        assert p.entry_action(
+            IncidentEntry.NETWORK_INSPECTION, EscalationLevel.FRESH,
+            network_alert_count=2) is PolicyAction.EVICT_AND_RESTART
+
+    def test_user_space_error_rolls_back(self):
+        p = self.policy()
+        assert p.entry_action(
+            IncidentEntry.USER_SPACE_ERROR, EscalationLevel.FRESH
+        ) is PolicyAction.ROLLBACK_AND_RESTART
+        assert p.entry_action(
+            IncidentEntry.USER_SPACE_ERROR, EscalationLevel.FRESH,
+            can_rollback=False) is PolicyAction.REATTEMPT
+
+    def test_crash_no_culprit_goes_to_stop_time(self):
+        assert self.policy().entry_action(
+            IncidentEntry.CRASH_NO_CULPRIT, EscalationLevel.FRESH
+        ) is PolicyAction.STOP_TIME_CHECKS
+
+    def test_deep_escalation_jumps_to_replay(self):
+        assert self.policy().entry_action(
+            IncidentEntry.NAN_METRIC, EscalationLevel.ROLLED_BACK
+        ) is PolicyAction.DUAL_PHASE_REPLAY
+
+    def test_implicit_failures_use_aggregation(self):
+        p = self.policy()
+        for entry in (IncidentEntry.HANG_SUSPECT,
+                      IncidentEntry.MFU_DECLINE):
+            assert p.entry_action(entry, EscalationLevel.FRESH) \
+                is PolicyAction.AGGREGATION_ANALYSIS
+
+    def test_fig5_escalation_ladder(self):
+        """Reattempt → rollback → replay → human, exactly Fig. 5."""
+        p = self.policy()
+        level = EscalationLevel.FRESH
+        a1 = p.after_stop_time_checks(False, level)
+        assert a1 is PolicyAction.REATTEMPT
+        level = p.escalate(level, a1)
+        a2 = p.after_stop_time_checks(False, level)
+        assert a2 is PolicyAction.ROLLBACK_AND_RESTART
+        level = p.escalate(level, a2)
+        a3 = p.after_stop_time_checks(False, level)
+        assert a3 is PolicyAction.DUAL_PHASE_REPLAY
+        level = p.escalate(level, a3)
+        a4 = p.after_stop_time_checks(False, level)
+        assert a4 is PolicyAction.ESCALATE_HUMAN
+
+    def test_suspects_always_short_circuit_to_eviction(self):
+        p = self.policy()
+        for level in EscalationLevel:
+            assert p.after_stop_time_checks(True, level) \
+                is PolicyAction.EVICT_AND_RESTART
+        assert p.after_aggregation(True) is PolicyAction.EVICT_AND_RESTART
+        assert p.after_replay(True) is PolicyAction.EVICT_AND_RESTART
+
+    def test_aggregation_fallback_to_stop_time(self):
+        assert self.policy().after_aggregation(False) \
+            is PolicyAction.STOP_TIME_CHECKS
+
+    def test_replay_fallback_escalates(self):
+        assert self.policy().after_replay(False) \
+            is PolicyAction.ESCALATE_HUMAN
+
+    def test_rollback_skipped_when_impossible(self):
+        p = self.policy()
+        action = p.after_stop_time_checks(
+            False, EscalationLevel.REATTEMPTED, can_rollback=False)
+        assert action is PolicyAction.DUAL_PHASE_REPLAY
+
+    def test_escalate_never_decreases(self):
+        p = self.policy()
+        assert p.escalate(EscalationLevel.ROLLED_BACK,
+                          PolicyAction.REATTEMPT) \
+            is EscalationLevel.ROLLED_BACK

@@ -1,0 +1,156 @@
+"""Unit + property tests for incident records and ETTR accounting."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.faults import FaultCategory, FaultSymptom
+from repro.core import EttrTracker, Incident, IncidentLog, IncidentPhase
+from repro.training.job import StepRecord
+
+
+class TestIncident:
+    def make(self):
+        inc = Incident(incident_id=0, symptom=FaultSymptom.CUDA_ERROR,
+                       occurred_at=100.0, detected_at=130.0,
+                       localized_at=430.0, recovered_at=500.0)
+        return inc
+
+    def test_phase_durations(self):
+        inc = self.make()
+        assert inc.detection_seconds == 30.0
+        assert inc.localization_seconds == 300.0
+        assert inc.failover_seconds == 70.0
+        assert inc.total_unproductive_seconds == 400.0
+        assert inc.resolution_seconds == 70.0
+
+    def test_unknown_occurrence_time(self):
+        inc = Incident(incident_id=0,
+                       symptom=FaultSymptom.CODE_DATA_ADJUSTMENT,
+                       detected_at=10.0, localized_at=10.0,
+                       recovered_at=60.0)
+        assert inc.detection_seconds is None
+        assert inc.total_unproductive_seconds == 50.0
+
+    def test_category_follows_symptom(self):
+        assert self.make().category is FaultCategory.EXPLICIT
+        hang = Incident(incident_id=1, symptom=FaultSymptom.JOB_HANG)
+        assert hang.category is FaultCategory.IMPLICIT
+
+
+class TestIncidentLog:
+    def test_open_assigns_sequential_ids(self):
+        log = IncidentLog()
+        a = log.open(FaultSymptom.CUDA_ERROR, detected_at=1.0)
+        b = log.open(FaultSymptom.JOB_HANG, detected_at=2.0)
+        assert (a.incident_id, b.incident_id) == (0, 1)
+        assert len(log) == 2
+
+    def test_resolved_filters_phase(self):
+        log = IncidentLog()
+        a = log.open(FaultSymptom.CUDA_ERROR, detected_at=1.0)
+        log.open(FaultSymptom.JOB_HANG, detected_at=2.0)
+        a.phase = IncidentPhase.RESOLVED
+        a.mechanism = "AutoFT-ER"
+        assert len(log.resolved()) == 1
+
+    def test_mechanism_distribution_buckets_by_category(self):
+        log = IncidentLog()
+        for symptom, mech in (
+                (FaultSymptom.CUDA_ERROR, "AutoFT-ER"),
+                (FaultSymptom.JOB_HANG, "Analyzer-ER"),
+                (FaultSymptom.CODE_DATA_ADJUSTMENT, "AutoFT-HU")):
+            inc = log.open(symptom, detected_at=0.0)
+            inc.phase = IncidentPhase.RESOLVED
+            inc.mechanism = mech
+        dist = log.mechanism_distribution()
+        assert dist["AutoFT-ER"]["explicit"] == 1
+        assert dist["Analyzer-ER"]["implicit"] == 1
+        assert dist["AutoFT-HU"]["manual"] == 1
+
+    def test_by_symptom_groups_all(self):
+        log = IncidentLog()
+        log.open(FaultSymptom.CUDA_ERROR, detected_at=0.0)
+        log.open(FaultSymptom.CUDA_ERROR, detected_at=1.0)
+        assert len(log.by_symptom()[FaultSymptom.CUDA_ERROR]) == 2
+
+
+def rec(step, start, end, committed=True):
+    return StepRecord(step=step, start=start, end=end, committed=committed)
+
+
+class TestEttrTracker:
+    def test_perfect_run_ettr_one(self):
+        tracker = EttrTracker()
+        records = [rec(i + 1, i * 10.0, (i + 1) * 10.0) for i in range(10)]
+        series = tracker.series(records, run_end=100.0, samples=10)
+        assert series.cumulative[-1] == pytest.approx(1.0)
+        assert all(v == pytest.approx(1.0) for v in series.sliding)
+
+    def test_idle_gap_reduces_ettr(self):
+        tracker = EttrTracker()
+        # 50 s of steps, then a 50 s outage
+        records = [rec(i + 1, i * 10.0, (i + 1) * 10.0) for i in range(5)]
+        series = tracker.series(records, run_end=100.0, samples=4)
+        assert series.cumulative[-1] == pytest.approx(0.5)
+
+    def test_uncommitted_steps_are_waste(self):
+        tracker = EttrTracker()
+        records = [rec(1, 0, 10), rec(2, 10, 20, committed=False)]
+        assert tracker.cumulative_at(records, 20.0) == pytest.approx(0.5)
+
+    def test_sliding_window_exposes_transient_dip(self):
+        tracker = EttrTracker(window_s=20.0)
+        records = ([rec(i + 1, i * 10.0, (i + 1) * 10.0) for i in range(5)]
+                   + [rec(6, 80.0, 90.0), rec(7, 90.0, 100.0)])
+        series = tracker.series(records, run_end=100.0, samples=10)
+        # the 50-80 s outage hits the sliding view harder
+        assert series.min_sliding() == pytest.approx(0.0)
+        assert series.cumulative[-1] == pytest.approx(0.7)
+
+    def test_intervals_merge_overlaps(self):
+        tracker = EttrTracker()
+        merged = tracker.productive_intervals(
+            [rec(1, 0, 10), rec(2, 10, 20), rec(3, 30, 40)])
+        assert merged == [(0.0, 20.0), (30.0, 40.0)]
+
+    def test_validation(self):
+        tracker = EttrTracker()
+        with pytest.raises(ValueError):
+            tracker.series([], run_end=0.0)
+        with pytest.raises(ValueError):
+            tracker.series([], run_end=10.0, samples=1)
+
+    def test_breakdown_sums_incident_phases(self):
+        log = IncidentLog()
+        inc = log.open(FaultSymptom.CUDA_ERROR, detected_at=130.0,
+                       occurred_at=100.0)
+        inc.localized_at = 430.0
+        inc.recovered_at = 500.0
+        inc.phase = IncidentPhase.RESOLVED
+        b = EttrTracker.breakdown(log.resolved(), recompute_seconds=60.0)
+        assert b.detection == 30.0
+        assert b.localization == 300.0
+        assert b.failover == 70.0
+        assert b.recompute == 60.0
+        assert b.total == 460.0
+        assert b.as_dict()["total_s"] == 460.0
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.tuples(st.floats(0, 1000), st.floats(0.1, 50),
+                              st.booleans()),
+                    min_size=0, max_size=40))
+    def test_property_ettr_bounded(self, raw):
+        """Cumulative ETTR is always within [0, 1] for disjoint steps."""
+        records = []
+        t = 0.0
+        for offset, width, committed in raw:
+            start = t + offset
+            records.append(rec(len(records) + 1, start, start + width,
+                               committed))
+            t = start + width
+        end = (records[-1].end if records else 0.0) + 10.0
+        tracker = EttrTracker()
+        series = tracker.series(records, run_end=end, samples=13)
+        assert all(0.0 <= v <= 1.0 + 1e-9 for v in series.cumulative)
+        assert all(0.0 <= v <= 1.0 + 1e-9 for v in series.sliding)

@@ -1,0 +1,139 @@
+"""Unit tests for the MiniGPT verification suite (real numerics)."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import Cluster, ClusterSpec, Fault, FaultInjector
+from repro.cluster.faults import (
+    FaultSymptom,
+    JobEffect,
+    RootCause,
+    RootCauseDetail,
+)
+from repro.diagnosis import (
+    MiniGpt,
+    MiniGptSpec,
+    MiniGptVerificationSuite,
+    SdcPerturbation,
+)
+from repro.sim import RngStreams, Simulator
+
+
+class TestMiniGptModel:
+    def test_forward_is_deterministic(self):
+        m1, m2 = MiniGpt(seed=7), MiniGpt(seed=7)
+        tokens, _ = m1.fixed_batch()
+        out1 = m1.forward(tokens)
+        out2 = m2.forward(tokens)
+        assert np.array_equal(out1, out2)       # bit-for-bit
+
+    def test_digest_stable_across_instances(self):
+        assert (MiniGpt(seed=7).training_step_digest()
+                == MiniGpt(seed=7).training_step_digest())
+
+    def test_different_seeds_differ(self):
+        assert (MiniGpt(seed=1).training_step_digest()
+                != MiniGpt(seed=2).training_step_digest())
+
+    def test_logits_shape(self):
+        spec = MiniGptSpec(vocab_size=64, d_model=16, n_heads=2,
+                           n_layers=1, seq_len=8, batch=2)
+        model = MiniGpt(spec)
+        tokens, _ = model.fixed_batch()
+        assert model.forward(tokens).shape == (2, 8, 64)
+
+    def test_outputs_finite(self):
+        model = MiniGpt()
+        tokens, _ = model.fixed_batch()
+        assert np.isfinite(model.forward(tokens)).all()
+
+    def test_invalid_spec(self):
+        with pytest.raises(ValueError):
+            MiniGptSpec(d_model=30, n_heads=4)
+
+    def test_single_bit_flip_changes_digest(self):
+        """The whole point: one mantissa bit anywhere is detectable."""
+        model = MiniGpt()
+        clean = model.training_step_digest()
+        corrupt = model.training_step_digest(
+            corrupt=SdcPerturbation(layer=0, flat_index=3, bit=12))
+        assert clean != corrupt
+
+    def test_perturbation_is_numerically_tiny(self):
+        """A mantissa-bit flip is invisible to thresholds — only exact
+        comparison catches it (why SDC is 'silent')."""
+        model = MiniGpt()
+        tokens, _ = model.fixed_batch()
+        clean = model.forward(tokens)
+        bad = model.forward(tokens,
+                            corrupt=SdcPerturbation(layer=0,
+                                                    flat_index=3, bit=10))
+        rel = np.abs(bad - clean).max() / (np.abs(clean).max() + 1e-9)
+        assert 0 < rel < 0.2
+
+
+class TestVerificationSuite:
+    def make(self, n=6, seed=5):
+        sim = Simulator()
+        cluster = Cluster(ClusterSpec(num_machines=n,
+                                      machines_per_switch=n))
+        injector = FaultInjector(sim, cluster)
+        small = MiniGptSpec(vocab_size=32, d_model=16, n_heads=2,
+                            n_layers=1, seq_len=8, batch=2)
+        suite = MiniGptVerificationSuite(cluster, RngStreams(seed),
+                                         spec=small)
+        return cluster, injector, suite
+
+    def test_healthy_fleet_passes(self):
+        cluster, injector, suite = self.make()
+        report = suite.run(range(6), steps=2)
+        assert report.passed
+        assert not report.suspects
+        assert report.duration_s == 2 * suite.duration_s_per_step
+
+    def test_sdc_machine_isolated(self):
+        cluster, injector, suite = self.make()
+        injector.inject(Fault(
+            symptom=FaultSymptom.NAN_VALUE,
+            root_cause=RootCause.INFRASTRUCTURE,
+            detail=RootCauseDetail.GPU_SDC, machine_ids=[3],
+            effect=JobEffect.NAN, reproduce_prob=1.0))
+        report = suite.run(range(6), steps=1)
+        assert report.suspects == [3]
+        assert report.mismatch_counts[3] == 1
+
+    def test_flaky_sdc_caught_by_multiple_steps(self):
+        """Low reproduce probability needs several rounds for recall."""
+        hits_one = hits_many = 0
+        for seed in range(30):
+            cluster, injector, suite = self.make(seed=seed)
+            injector.inject(Fault(
+                symptom=FaultSymptom.NAN_VALUE,
+                root_cause=RootCause.INFRASTRUCTURE,
+                detail=RootCauseDetail.GPU_SDC, machine_ids=[2],
+                effect=JobEffect.NAN, reproduce_prob=0.35))
+            hits_one += 2 in suite.run(range(6), steps=1).suspects
+            cluster, injector, suite = self.make(seed=seed)
+            injector.inject(Fault(
+                symptom=FaultSymptom.NAN_VALUE,
+                root_cause=RootCause.INFRASTRUCTURE,
+                detail=RootCauseDetail.GPU_SDC, machine_ids=[2],
+                effect=JobEffect.NAN, reproduce_prob=0.35))
+            hits_many += 2 in suite.run(range(6), steps=5).suspects
+        assert hits_many > hits_one
+
+    def test_two_defective_machines_both_isolated(self):
+        cluster, injector, suite = self.make()
+        for victim in (1, 4):
+            injector.inject(Fault(
+                symptom=FaultSymptom.NAN_VALUE,
+                root_cause=RootCause.INFRASTRUCTURE,
+                detail=RootCauseDetail.GPU_SDC, machine_ids=[victim],
+                effect=JobEffect.NAN, reproduce_prob=1.0))
+        report = suite.run(range(6), steps=1)
+        assert report.suspects == [1, 4]
+
+    def test_invalid_steps(self):
+        _, _, suite = self.make()
+        with pytest.raises(ValueError):
+            suite.run(range(6), steps=0)

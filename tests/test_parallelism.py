@@ -1,0 +1,267 @@
+"""Unit + property tests for parallelism topology and ZeRO sharding."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.parallelism import (
+    ParallelismConfig,
+    RankTopology,
+    zero_shard_sizes,
+)
+
+
+def make_topo(tp=2, pp=4, dp=4, gpm=2, ep=1):
+    return RankTopology(ParallelismConfig(
+        tp=tp, pp=pp, dp=dp, ep=ep, gpus_per_machine=gpm))
+
+
+class TestConfigValidation:
+    def test_world_size(self):
+        cfg = ParallelismConfig(tp=2, pp=4, dp=4, gpus_per_machine=2)
+        assert cfg.world_size == 32
+        assert cfg.num_machines == 16
+
+    def test_rejects_zero_dim(self):
+        with pytest.raises(ValueError):
+            ParallelismConfig(tp=0)
+
+    def test_rejects_indivisible_machines(self):
+        with pytest.raises(ValueError):
+            ParallelismConfig(tp=3, pp=1, dp=1, gpus_per_machine=2)
+
+    def test_rejects_ep_not_dividing_dp(self):
+        with pytest.raises(ValueError):
+            ParallelismConfig(tp=1, pp=1, dp=4, ep=3, gpus_per_machine=1)
+
+    def test_describe(self):
+        assert "EP=2" in ParallelismConfig(
+            tp=1, pp=1, dp=4, ep=2, gpus_per_machine=1).describe()
+        assert "EP" not in ParallelismConfig(tp=2, gpus_per_machine=1).describe()
+
+
+class TestRankCoordRoundTrip:
+    def test_fig7_layout(self):
+        """TP=2, PP=4, DP=4, 2 GPUs/machine — the Fig. 7 example."""
+        topo = make_topo()
+        # rank 0: origin
+        c0 = topo.coord_of(0)
+        assert (c0.tp, c0.pp, c0.dp) == (0, 0, 0)
+        # TP fastest
+        assert topo.coord_of(1).tp == 1
+        # then PP
+        assert topo.coord_of(2).pp == 1
+        # then DP
+        assert topo.coord_of(8).dp == 1
+
+    def test_round_trip_all_ranks(self):
+        topo = make_topo()
+        for rank in topo.iter_ranks():
+            assert topo.rank_of(topo.coord_of(rank)) == rank
+
+    def test_out_of_range_rank(self):
+        topo = make_topo()
+        with pytest.raises(ValueError):
+            topo.coord_of(32)
+        with pytest.raises(ValueError):
+            topo.coord_of(-1)
+
+
+class TestGroups:
+    def test_tp_groups_are_consecutive_pairs(self):
+        topo = make_topo()
+        tp_groups = topo.groups("tp")
+        assert [0, 1] in tp_groups
+        assert all(len(g) == 2 for g in tp_groups)
+        assert len(tp_groups) == 16
+
+    def test_pp_group_spans_machines_12_to_15(self):
+        """Fig. 7: outliers' shared PP group covers machines 12..15."""
+        topo = make_topo()
+        assert topo.machines_of_group(24, "pp") == [12, 13, 14, 15]
+
+    def test_dp_group_of_rank0_spans_machines_0_4_8_12(self):
+        """Fig. 7 rows: machine 0, 4, 8, 12 form one DP group."""
+        topo = make_topo()
+        assert topo.machines_of_group(0, "dp") == [0, 4, 8, 12]
+
+    def test_groups_partition_world(self):
+        topo = make_topo()
+        for dim in ("tp", "pp", "dp"):
+            seen = sorted(r for g in topo.groups(dim) for r in g)
+            assert seen == list(range(topo.world_size))
+
+    def test_group_of_contains_rank(self):
+        topo = make_topo()
+        for rank in topo.iter_ranks():
+            for dim in ("tp", "pp", "dp"):
+                assert rank in topo.group_of(rank, dim)
+
+    def test_peers_excludes_self(self):
+        topo = make_topo()
+        assert 5 not in topo.peers(5, "pp")
+        assert len(topo.peers(5, "pp")) == 3
+
+    def test_unknown_dim_rejected(self):
+        topo = make_topo()
+        with pytest.raises(ValueError):
+            topo.groups("cp")
+
+    def test_ep_groups_partition_each_dp_group(self):
+        topo = make_topo(tp=1, pp=1, dp=8, gpm=1, ep=2)
+        ep_groups = topo.groups("ep")
+        assert all(len(g) == 2 for g in ep_groups)
+        seen = sorted(r for g in ep_groups for r in g)
+        assert seen == list(range(8))
+
+    def test_group_index_is_stable(self):
+        topo = make_topo()
+        for rank in topo.iter_ranks():
+            idx = topo.group_index_of(rank, "pp")
+            assert rank in topo.groups("pp")[idx]
+
+
+class TestSharedGroups:
+    def test_fig9_backup_peers_share_nothing(self):
+        """Fig. 9: ranks 8,9 (machine 4) back up onto ranks 2,3 (machine 1),
+        which share no TP, PP, or DP group with them."""
+        topo = make_topo(tp=2, pp=4, dp=2, gpm=2)
+        assert not topo.shares_any_group(8, 2)
+        assert not topo.shares_any_group(9, 3)
+
+    def test_same_tp_group_shares(self):
+        topo = make_topo()
+        assert topo.shares_any_group(0, 1)  # same TP group
+
+    def test_same_pp_group_shares(self):
+        topo = make_topo()
+        assert topo.shares_any_group(0, 2)  # same PP group
+
+    def test_same_dp_group_shares(self):
+        topo = make_topo()
+        assert topo.shares_any_group(0, 8)  # same DP group
+
+    def test_rank_shares_with_itself(self):
+        topo = make_topo()
+        assert topo.shares_any_group(3, 3)
+
+
+class TestMachinePlacement:
+    def test_two_ranks_per_machine(self):
+        topo = make_topo()
+        assert topo.ranks_on_machine(0) == [0, 1]
+        assert topo.ranks_on_machine(15) == [30, 31]
+
+    def test_machine_of_rank(self):
+        topo = make_topo()
+        assert topo.machine_of_rank(24) == 12
+
+    def test_machine_out_of_range(self):
+        topo = make_topo()
+        with pytest.raises(ValueError):
+            topo.ranks_on_machine(16)
+
+
+class TestPipelineNeighbors:
+    def test_next_prev_inverse(self):
+        topo = make_topo()
+        for rank in topo.iter_ranks():
+            assert topo.pipeline_prev(topo.pipeline_next(rank)) == rank
+
+    def test_first_last_stage(self):
+        topo = make_topo()
+        assert topo.is_first_stage(0)
+        assert topo.is_last_stage(6)  # coord (0, 3, 0)
+        assert not topo.is_last_stage(0)
+
+    def test_next_stays_in_pp_group(self):
+        topo = make_topo()
+        for rank in topo.iter_ranks():
+            assert topo.pipeline_next(rank) in topo.group_of(rank, "pp")
+
+
+@st.composite
+def topologies(draw):
+    tp = draw(st.sampled_from([1, 2, 4]))
+    pp = draw(st.sampled_from([1, 2, 4]))
+    dp = draw(st.sampled_from([1, 2, 4, 8]))
+    world = tp * pp * dp
+    divisors = [g for g in (1, 2, 4, 8) if world % g == 0]
+    gpm = draw(st.sampled_from(divisors))
+    return RankTopology(ParallelismConfig(
+        tp=tp, pp=pp, dp=dp, gpus_per_machine=gpm))
+
+
+@settings(max_examples=50, deadline=None)
+@given(topologies())
+def test_property_groups_partition_and_roundtrip(topo):
+    for dim in ("tp", "pp", "dp"):
+        ranks = sorted(r for g in topo.groups(dim) for r in g)
+        assert ranks == list(range(topo.world_size))
+        for g in topo.groups(dim):
+            assert len(g) == topo.group_size(dim)
+    for rank in topo.iter_ranks():
+        assert topo.rank_of(topo.coord_of(rank)) == rank
+        assert topo.machine_of_rank(rank) < topo.num_machines
+
+
+@settings(max_examples=50, deadline=None)
+@given(topologies(), st.data())
+def test_property_shares_any_group_is_symmetric(topo, data):
+    a = data.draw(st.integers(0, topo.world_size - 1))
+    b = data.draw(st.integers(0, topo.world_size - 1))
+    assert topo.shares_any_group(a, b) == topo.shares_any_group(b, a)
+
+
+class TestZeroSharding:
+    def test_stage0_no_dp_sharding(self):
+        s = zero_shard_sizes(1000, tp=1, pp=1, dp=4, zero_stage=0)
+        assert s.model_bytes == 2000
+        assert s.gradient_bytes == 2000
+        assert s.optimizer_bytes == 12000
+
+    def test_stage1_shards_optimizer_only(self):
+        s = zero_shard_sizes(1000, tp=1, pp=1, dp=4, zero_stage=1)
+        assert s.optimizer_bytes == 3000
+        assert s.gradient_bytes == 2000
+        assert s.model_bytes == 2000
+
+    def test_stage2_shards_gradients(self):
+        s = zero_shard_sizes(1000, tp=1, pp=1, dp=4, zero_stage=2)
+        assert s.gradient_bytes == 500
+        assert s.model_bytes == 2000
+
+    def test_stage3_shards_everything(self):
+        s = zero_shard_sizes(1000, tp=1, pp=1, dp=4, zero_stage=3)
+        assert s.model_bytes == 500
+
+    def test_tp_pp_split_model(self):
+        s = zero_shard_sizes(1600, tp=2, pp=4, dp=1, zero_stage=0)
+        assert s.model_bytes == 400  # 1600/8 params * 2 bytes
+
+    def test_optimizer_is_6x_weights(self):
+        s = zero_shard_sizes(10**9, tp=1, pp=1, dp=1, zero_stage=0)
+        assert s.optimizer_bytes == 6 * s.model_bytes
+
+    def test_checkpoint_bytes_excludes_gradients(self):
+        s = zero_shard_sizes(1000, tp=1, pp=1, dp=2, zero_stage=1)
+        assert s.checkpoint_bytes == s.model_bytes + s.optimizer_bytes
+        assert s.total_bytes == s.checkpoint_bytes + s.gradient_bytes
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            zero_shard_sizes(0, 1, 1, 1)
+        with pytest.raises(ValueError):
+            zero_shard_sizes(10, 1, 1, 0)
+        with pytest.raises(ValueError):
+            zero_shard_sizes(10, 1, 1, 1, zero_stage=4)
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.integers(1, 10**12), st.sampled_from([1, 2, 4, 8]),
+           st.sampled_from([1, 2, 4, 8]), st.sampled_from([1, 2, 4, 8]),
+           st.sampled_from([0, 1, 2, 3]))
+    def test_property_monotone_in_zero_stage(self, n, tp, pp, dp, stage):
+        lower = zero_shard_sizes(n, tp, pp, dp, zero_stage=stage)
+        if stage < 3:
+            higher = zero_shard_sizes(n, tp, pp, dp, zero_stage=stage + 1)
+            assert higher.total_bytes <= lower.total_bytes

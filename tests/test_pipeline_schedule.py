@@ -1,0 +1,78 @@
+"""Unit + property tests for the 1F1B pipeline schedule model."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.training.pipeline import PipelineSchedule, schedule_for_job
+
+
+class TestPipelineSchedule:
+    def test_bubble_fraction_formula(self):
+        s = PipelineSchedule(pp=4, num_microbatches=12,
+                             fwd_microbatch_s=0.1)
+        assert s.bubble_fraction == pytest.approx(3 / 15)
+
+    def test_no_pipeline_no_bubble(self):
+        s = PipelineSchedule(pp=1, num_microbatches=8,
+                             fwd_microbatch_s=0.1)
+        assert s.bubble_fraction == 0.0
+        assert s.step_seconds() == pytest.approx(s.ideal_seconds())
+
+    def test_efficiency_is_one_minus_bubble(self):
+        s = PipelineSchedule(pp=8, num_microbatches=32,
+                             fwd_microbatch_s=0.05, p2p_s=0.002)
+        assert s.pipeline_efficiency() == pytest.approx(
+            1.0 - s.bubble_fraction)
+
+    def test_more_microbatches_shrink_bubble(self):
+        base = PipelineSchedule(pp=4, num_microbatches=4,
+                                fwd_microbatch_s=0.1)
+        more = base.with_microbatches(64)
+        assert more.bubble_fraction < base.bubble_fraction
+        assert more.pipeline_efficiency() > base.pipeline_efficiency()
+
+    def test_backward_twice_forward_by_default(self):
+        s = PipelineSchedule(pp=2, num_microbatches=2,
+                             fwd_microbatch_s=0.1)
+        assert s.microbatch_s == pytest.approx(0.3)
+
+    def test_stage_busy_windows_shift_by_stage(self):
+        s = PipelineSchedule(pp=4, num_microbatches=3,
+                             fwd_microbatch_s=0.1)
+        w0 = s.stage_busy_windows(0)
+        w3 = s.stage_busy_windows(3)
+        assert len(w0) == len(w3) == 3
+        assert w3[0][0] > w0[0][0]        # later stages start later
+        with pytest.raises(ValueError):
+            s.stage_busy_windows(4)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PipelineSchedule(pp=0, num_microbatches=1,
+                             fwd_microbatch_s=0.1)
+        with pytest.raises(ValueError):
+            PipelineSchedule(pp=1, num_microbatches=0,
+                             fwd_microbatch_s=0.1)
+        with pytest.raises(ValueError):
+            PipelineSchedule(pp=1, num_microbatches=1,
+                             fwd_microbatch_s=0.0)
+
+    def test_schedule_for_job_matches_compute_budget(self):
+        s = schedule_for_job(pp=4, global_batch=256, microbatch=8,
+                             step_compute_s=12.0)
+        assert s.ideal_seconds() == pytest.approx(12.0)
+        assert s.num_microbatches == 32
+        with pytest.raises(ValueError):
+            schedule_for_job(pp=2, global_batch=10, microbatch=3,
+                             step_compute_s=1.0)
+
+    @settings(max_examples=60, deadline=None)
+    @given(pp=st.integers(1, 16), mb=st.integers(1, 128),
+           fwd=st.floats(0.001, 1.0))
+    def test_property_step_never_faster_than_ideal(self, pp, mb, fwd):
+        s = PipelineSchedule(pp=pp, num_microbatches=mb,
+                             fwd_microbatch_s=fwd)
+        assert s.step_seconds() >= s.ideal_seconds() - 1e-12
+        assert 0.0 <= s.bubble_fraction < 1.0
+        assert 0.0 < s.pipeline_efficiency() <= 1.0 + 1e-12

@@ -1,0 +1,182 @@
+"""Unit tests for the discrete-event simulator kernel."""
+
+import pytest
+
+from repro.sim import Simulator
+from repro.sim.engine import SimulationError
+
+
+def test_clock_starts_at_zero():
+    sim = Simulator()
+    assert sim.now == 0.0
+
+
+def test_clock_custom_start():
+    sim = Simulator(start_time=100.0)
+    assert sim.now == 100.0
+
+
+def test_schedule_and_run_advances_clock():
+    sim = Simulator()
+    fired = []
+    sim.schedule(5.0, lambda: fired.append(sim.now))
+    sim.run()
+    assert fired == [5.0]
+    assert sim.now == 5.0
+
+
+def test_events_execute_in_time_order():
+    sim = Simulator()
+    order = []
+    sim.schedule(3.0, lambda: order.append("c"))
+    sim.schedule(1.0, lambda: order.append("a"))
+    sim.schedule(2.0, lambda: order.append("b"))
+    sim.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_same_time_events_fifo():
+    sim = Simulator()
+    order = []
+    for i in range(10):
+        sim.schedule(1.0, lambda i=i: order.append(i))
+    sim.run()
+    assert order == list(range(10))
+
+
+def test_priority_breaks_ties():
+    sim = Simulator()
+    order = []
+    sim.schedule(1.0, lambda: order.append("low"), priority=10)
+    sim.schedule(1.0, lambda: order.append("high"), priority=-10)
+    sim.run()
+    assert order == ["high", "low"]
+
+
+def test_negative_delay_rejected():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.schedule(-1.0, lambda: None)
+
+
+def test_schedule_at_past_rejected():
+    sim = Simulator(start_time=10.0)
+    with pytest.raises(SimulationError):
+        sim.schedule_at(5.0, lambda: None)
+
+
+def test_cancel_prevents_execution():
+    sim = Simulator()
+    fired = []
+    handle = sim.schedule(1.0, lambda: fired.append(1))
+    handle.cancel()
+    sim.run()
+    assert fired == []
+
+
+def test_cancel_is_idempotent():
+    sim = Simulator()
+    handle = sim.schedule(1.0, lambda: None)
+    handle.cancel()
+    handle.cancel()
+    sim.run()
+
+
+def test_run_until_stops_before_later_events():
+    sim = Simulator()
+    fired = []
+    sim.schedule(1.0, lambda: fired.append(1))
+    sim.schedule(10.0, lambda: fired.append(10))
+    sim.run(until=5.0)
+    assert fired == [1]
+    assert sim.now == 5.0  # clock advanced to the window end
+    sim.run()
+    assert fired == [1, 10]
+
+
+def test_run_max_events():
+    sim = Simulator()
+    fired = []
+    for i in range(5):
+        sim.schedule(float(i + 1), lambda i=i: fired.append(i))
+    sim.run(max_events=2)
+    assert fired == [0, 1]
+
+
+def test_nested_scheduling_from_callback():
+    sim = Simulator()
+    trace = []
+
+    def first():
+        trace.append(("first", sim.now))
+        sim.schedule(2.0, lambda: trace.append(("second", sim.now)))
+
+    sim.schedule(1.0, first)
+    sim.run()
+    assert trace == [("first", 1.0), ("second", 3.0)]
+
+
+def test_pending_count_excludes_cancelled():
+    sim = Simulator()
+    h1 = sim.schedule(1.0, lambda: None)
+    sim.schedule(2.0, lambda: None)
+    h1.cancel()
+    assert sim.pending_count() == 1
+
+
+def test_peek_returns_next_event_time():
+    sim = Simulator()
+    assert sim.peek() is None
+    sim.schedule(4.0, lambda: None)
+    sim.schedule(2.0, lambda: None)
+    assert sim.peek() == 2.0
+
+
+def test_periodic_task_fires_repeatedly():
+    sim = Simulator()
+    ticks = []
+    task = sim.every(10.0, lambda: ticks.append(sim.now))
+    sim.run(until=35.0)
+    assert ticks == [10.0, 20.0, 30.0]
+    task.stop()
+    sim.run(until=100.0)
+    assert ticks == [10.0, 20.0, 30.0]
+
+
+def test_periodic_task_first_delay():
+    sim = Simulator()
+    ticks = []
+    sim.every(10.0, lambda: ticks.append(sim.now), first_delay=0.0)
+    sim.run(until=25.0)
+    assert ticks == [0.0, 10.0, 20.0]
+
+
+def test_periodic_task_jitter():
+    sim = Simulator()
+    ticks = []
+    sim.every(10.0, lambda: ticks.append(sim.now), first_delay=0.0,
+              jitter=lambda: 1.0)
+    sim.run(until=25.0)
+    # first at 0+1, then +11 each time
+    assert ticks == [1.0, 12.0, 23.0]
+
+
+def test_periodic_rejects_nonpositive_interval():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.every(0.0, lambda: None)
+
+
+def test_stop_periodic_from_its_own_callback():
+    sim = Simulator()
+    ticks = []
+    holder = {}
+
+    def tick():
+        ticks.append(sim.now)
+        if len(ticks) == 2:
+            holder["task"].stop()
+
+    holder["task"] = sim.every(5.0, tick)
+    sim.run(until=100.0)
+    assert ticks == [5.0, 10.0]

@@ -1,0 +1,266 @@
+"""Unit tests for events and generator-based processes."""
+
+import pytest
+
+from repro.sim import Process, ProcessExit, Simulator, Timeout
+from repro.sim.events import AllOf, AnyOf, Event, EventAlreadyFired
+
+
+def test_event_succeed_delivers_value():
+    sim = Simulator()
+    ev = Event(sim, "e")
+    seen = []
+    ev.add_callback(lambda e: seen.append(e.value))
+    ev.succeed(42)
+    assert seen == [42]
+    assert ev.fired and ev.ok
+
+
+def test_event_fail_records_exception():
+    sim = Simulator()
+    ev = Event(sim)
+    ev.fail(ValueError("boom"))
+    assert ev.fired and not ev.ok
+    assert isinstance(ev.value, ValueError)
+
+
+def test_event_double_fire_rejected():
+    sim = Simulator()
+    ev = Event(sim)
+    ev.succeed()
+    with pytest.raises(EventAlreadyFired):
+        ev.succeed()
+
+
+def test_late_callback_runs_immediately():
+    sim = Simulator()
+    ev = Event(sim)
+    ev.succeed("v")
+    seen = []
+    ev.add_callback(lambda e: seen.append(e.value))
+    assert seen == ["v"]
+
+
+def test_timeout_fires_after_delay():
+    sim = Simulator()
+    t = Timeout(sim, 5.0, value="done")
+    sim.run()
+    assert t.fired and t.value == "done"
+    assert sim.now == 5.0
+
+
+def test_timeout_cancel():
+    sim = Simulator()
+    t = Timeout(sim, 5.0)
+    t.cancel()
+    sim.run()
+    assert not t.fired
+
+
+def test_anyof_fires_on_first():
+    sim = Simulator()
+    a, b = Timeout(sim, 3.0, "a"), Timeout(sim, 1.0, "b")
+    any_ev = AnyOf(sim, [a, b])
+    sim.run()
+    assert any_ev.value == "b"
+    assert any_ev.triggered_by is b
+
+
+def test_allof_collects_values_in_order():
+    sim = Simulator()
+    a, b = Timeout(sim, 3.0, "a"), Timeout(sim, 1.0, "b")
+    all_ev = AllOf(sim, [a, b])
+    sim.run()
+    assert all_ev.value == ["a", "b"]
+
+
+def test_allof_empty_succeeds_immediately():
+    sim = Simulator()
+    all_ev = AllOf(sim, [])
+    assert all_ev.fired and all_ev.value == []
+
+
+def test_allof_fails_on_first_failure():
+    sim = Simulator()
+    a = Event(sim)
+    b = Event(sim)
+    all_ev = AllOf(sim, [a, b])
+    b.fail(RuntimeError("x"))
+    assert all_ev.fired and not all_ev.ok
+
+
+def test_process_runs_body_and_returns_value():
+    sim = Simulator()
+
+    def body():
+        yield Timeout(sim, 1.0)
+        yield Timeout(sim, 2.0)
+        return "result"
+
+    proc = Process(sim, body())
+    sim.run()
+    assert proc.fired and proc.ok
+    assert proc.value == "result"
+    assert sim.now == 3.0
+
+
+def test_process_receives_event_value():
+    sim = Simulator()
+    got = []
+
+    def body():
+        v = yield Timeout(sim, 1.0, value="hello")
+        got.append(v)
+
+    Process(sim, body())
+    sim.run()
+    assert got == ["hello"]
+
+
+def test_process_failure_propagates_to_waiters():
+    sim = Simulator()
+
+    def body():
+        yield Timeout(sim, 1.0)
+        raise ValueError("inner")
+
+    proc = Process(sim, body())
+    sim.run()
+    assert proc.fired and not proc.ok
+    assert isinstance(proc.value, ValueError)
+
+
+def test_process_waits_on_process():
+    sim = Simulator()
+    trace = []
+
+    def child():
+        yield Timeout(sim, 2.0)
+        trace.append(("child-done", sim.now))
+        return "child-value"
+
+    def parent():
+        value = yield Process(sim, child(), name="child")
+        trace.append(("parent-got", value, sim.now))
+
+    Process(sim, parent())
+    sim.run()
+    assert trace == [("child-done", 2.0), ("parent-got", "child-value", 2.0)]
+
+
+def test_interrupt_wakes_waiting_process():
+    sim = Simulator()
+    trace = []
+
+    def body():
+        try:
+            yield Timeout(sim, 100.0)
+            trace.append("not-reached")
+        except ProcessExit as exc:
+            trace.append(("interrupted", exc.reason, sim.now))
+
+    proc = Process(sim, body())
+    sim.schedule(5.0, lambda: proc.interrupt("stop"))
+    sim.run()
+    assert trace == [("interrupted", "stop", 5.0)]
+
+
+def test_interrupt_finished_process_is_noop():
+    sim = Simulator()
+
+    def body():
+        yield Timeout(sim, 1.0)
+
+    proc = Process(sim, body())
+    sim.run()
+    proc.interrupt()  # must not raise
+    assert proc.ok
+
+
+def test_uncaught_interrupt_terminates_process_cleanly():
+    sim = Simulator()
+
+    def body():
+        yield Timeout(sim, 100.0)
+
+    proc = Process(sim, body())
+    sim.schedule(1.0, lambda: proc.interrupt("killed"))
+    sim.run()
+    assert proc.fired and proc.ok
+    assert proc.value == "killed"
+
+
+def test_process_yielding_garbage_fails():
+    sim = Simulator()
+
+    def body():
+        yield 42  # not an Event
+
+    proc = Process(sim, body())
+    sim.run()
+    assert proc.fired and not proc.ok
+    assert isinstance(proc.value, TypeError)
+
+
+def test_failed_event_raises_inside_process():
+    sim = Simulator()
+    ev = Event(sim)
+    caught = []
+
+    def body():
+        try:
+            yield ev
+        except RuntimeError as err:
+            caught.append(str(err))
+
+    Process(sim, body())
+    sim.schedule(1.0, lambda: ev.fail(RuntimeError("bad wait")))
+    sim.run()
+    assert caught == ["bad wait"]
+
+
+def test_stale_wakeup_after_interrupt_is_ignored():
+    sim = Simulator()
+    trace = []
+
+    def body():
+        try:
+            yield Timeout(sim, 10.0)
+        except ProcessExit:
+            trace.append("interrupted")
+        yield Timeout(sim, 50.0)
+        trace.append("second-wait-done")
+
+    proc = Process(sim, body())
+    sim.schedule(5.0, lambda: proc.interrupt())
+    sim.run()
+    # the original t=10 timeout firing must not resume the process twice
+    assert trace == ["interrupted", "second-wait-done"]
+    assert sim.now == 55.0
+
+
+def test_rng_streams_deterministic_and_independent():
+    from repro.sim import RngStreams
+
+    s1, s2 = RngStreams(7), RngStreams(7)
+    a = s1.get("faults").random(5)
+    # drawing from another stream first must not perturb "faults"
+    s2.get("jitter").random(100)
+    b = s2.get("faults").random(5)
+    assert a.tolist() == b.tolist()
+
+
+def test_rng_streams_differ_across_names_and_seeds():
+    from repro.sim import RngStreams
+
+    s = RngStreams(7)
+    assert s.get("a").random() != s.get("b").random()
+    assert RngStreams(1).get("a").random() != RngStreams(2).get("a").random()
+
+
+def test_rng_fork_is_disjoint():
+    from repro.sim import RngStreams
+
+    parent = RngStreams(7)
+    child = parent.fork("replay")
+    assert parent.get("x").random() != child.get("x").random()
