@@ -9,14 +9,15 @@ drives extra manual restarts and rollbacks.
 The simulated fleets are far smaller than 9,600 GPUs, so the incident
 *rate* is matched to production (an incident every few hours) via
 ``mtbf_scale`` rather than fleet size.
+
+Both jobs run through the sweep subsystem
+(:mod:`repro.experiments.sweep`): one spec per job, fanned out across
+two workers, consuming the JSON cell payloads the sweep collects.
 """
 
 from conftest import print_table
 
-from repro.workloads import (
-    dense_production_scenario,
-    moe_production_scenario,
-)
+from repro.experiments import SweepRunner, SweepSpec
 
 NUM_MACHINES = 8
 DURATION_S = 4 * 86400
@@ -24,14 +25,17 @@ DURATION_S = 4 * 86400
 #: (one incident every ~4 hours, the Llama-3-scale anchor).
 MTBF_SCALE = 0.02
 
+_COMMON = {"num_machines": NUM_MACHINES, "duration_s": DURATION_S,
+           "mtbf_scale": MTBF_SCALE}
+
 
 def run_jobs():
-    dense = dense_production_scenario(
-        num_machines=NUM_MACHINES, duration_s=DURATION_S, seed=31,
-        mtbf_scale=MTBF_SCALE).run()
-    moe = moe_production_scenario(
-        num_machines=NUM_MACHINES, duration_s=DURATION_S, seed=32,
-        mtbf_scale=MTBF_SCALE).run()
+    runner = SweepRunner(workers=2)
+    result = runner.run([
+        SweepSpec("dense", params=dict(_COMMON, seed=31)),
+        SweepSpec("moe", params=dict(_COMMON, seed=32)),
+    ])
+    dense, moe = result.reports()
     return dense, moe
 
 
@@ -40,17 +44,19 @@ def test_fig10_ettr_curves(benchmark):
 
     rows = []
     for name, report in (("Dense", dense), ("MoE", moe)):
-        series = report.ettr
-        rows.append((name, f"{series.final_cumulative():.4f}",
-                     f"{min(series.cumulative):.4f}",
-                     f"{series.min_sliding():.3f}",
-                     len(report.incidents.resolved())))
+        curve = report["ettr_curve"]
+        resolved = [i for i in report["incidents"]
+                    if i["recovered_at"] >= 0]
+        rows.append((name, f"{report['cumulative_ettr']:.4f}",
+                     f"{min(curve['cumulative']):.4f}",
+                     f"{report['min_sliding_ettr']:.3f}",
+                     len(resolved)))
         # cumulative ETTR plateaus high (paper: up to 0.97)
-        assert series.final_cumulative() > 0.90
+        assert report["cumulative_ettr"] > 0.90
         # the sliding window exposes dips the cumulative view hides
-        assert series.min_sliding() < series.final_cumulative()
+        assert report["min_sliding_ettr"] < report["cumulative_ettr"]
         # and every incident was actually resolved
-        assert report.incidents.resolved()
+        assert resolved
     print_table(
         "Fig. 10: ETTR summary (4 simulated days)",
         ["job", "final cumulative", "min cumulative",
@@ -58,11 +64,11 @@ def test_fig10_ettr_curves(benchmark):
 
     # a few sampled points of the cumulative curves (the plot data)
     for name, report in (("Dense", dense), ("MoE", moe)):
-        series = report.ettr
-        n = len(series.times)
-        sample = [(f"{series.times[i] / 86400:.1f} d",
-                   f"{series.cumulative[i]:.4f}",
-                   f"{series.sliding[i]:.3f}")
+        curve = report["ettr_curve"]
+        n = len(curve["times"])
+        sample = [(f"{curve['times'][i] / 86400:.1f} d",
+                   f"{curve['cumulative'][i]:.4f}",
+                   f"{curve['sliding'][i]:.3f}")
                   for i in range(n // 8, n, n // 8)]
         print_table(f"Fig. 10 ({name}): sampled curve",
                     ["t", "cumulative", "sliding"], sample)

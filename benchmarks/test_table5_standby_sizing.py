@@ -4,11 +4,16 @@ simultaneous-failure model.
 Paper targets (the #P99 column): 2 / 2 / 3 / 4 standby machines at
 128 / 256 / 512 / 1024 training machines (16 GPUs each), with the
 catastrophic case fixed at 32 machines.
+
+The four fleet scales run as one grid over the analytic
+``standby-sizing`` scenario through the sweep subsystem, exercising
+the same expand/fan-out/collect path the simulation sweeps use.
 """
 
 from conftest import print_table
 
 from repro.controller import StandbyPolicy, simultaneous_failure_pmf
+from repro.experiments import SweepRunner, SweepSpec
 
 #: (scale label, machines, paper P99 machines)
 ROWS = [
@@ -21,10 +26,14 @@ CATASTROPHIC_MACHINES = 32
 
 
 def compute_rows():
-    policy = StandbyPolicy()
+    result = SweepRunner(workers=1).run(SweepSpec(
+        "standby-sizing",
+        params={"gpus_per_machine": 16},
+        grid={"machines": [machines for _, machines, _ in ROWS]}))
+    by_machines = {r["machines"]: r for r in result.reports()}
     out = []
     for label, machines, paper_p99 in ROWS:
-        row = policy.table5_row(machines, gpus_per_machine=16)
+        row = by_machines[machines]
         out.append((label, machines, paper_p99,
                     row["p99_standby_machines"], row["p99_standby_gpus"]))
     return out

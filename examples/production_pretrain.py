@@ -1,58 +1,77 @@
 #!/usr/bin/env python3
-"""A production-style pretraining run: dense vs MoE (the Sec. 8.1 jobs).
+"""A production-style pretraining sweep: dense vs MoE (the Sec. 8.1
+jobs) across fault-rate regimes.
 
-Simulates two managed pretraining jobs — a dense Llama-like model and a
-sparse MoE model — under realistic Poisson fault arrivals drawn from the
-Table 1 incident mix, including manual code/data adjustments handled by
-hot updates.  Prints each run's incident mix (Table 4 shape), ETTR
-curves (Fig. 10 shape), and relative MFU growth (Fig. 11 shape).
+Drives the scenario-sweep subsystem (:mod:`repro.experiments`): the
+dense and MoE production scenarios each expand over a small
+``mtbf_scale`` grid, the cells fan out across worker processes with
+deterministic per-cell seeds, and the aggregator reduces everything to
+one comparison table (Fig. 10 / Fig. 11 shape).  Re-running the same
+grid against the result cache is then served entirely from disk (the
+demo uses a temporary cache directory; point ``ResultCache`` at a
+persistent path — e.g. ``.repro-sweep-cache`` — to carry results
+across invocations).
 
 Run:  python examples/production_pretrain.py
 """
 
-from repro.training.metrics import mfu_relative_series
-from repro.workloads import (
-    dense_production_scenario,
-    moe_production_scenario,
+import tempfile
+
+from repro.experiments import (
+    ResultCache,
+    SweepRunner,
+    SweepSpec,
+    summarize,
 )
 
 #: Compressed scales for a demo that finishes in seconds; the paper's
 #: jobs run 9,600 GPUs for one to three months.
 NUM_MACHINES = 8
 DURATION_S = 2 * 86400        # two simulated days
-MTBF_SCALE = 0.004            # compress the fault rate accordingly
+#: the production cadence and a 2x-flakier regime
+MTBF_GRID = [0.004, 0.002]
+
+_COMMON = {"num_machines": NUM_MACHINES, "duration_s": DURATION_S}
 
 
-def describe(name: str, report) -> None:
+def describe(name: str, report: dict) -> None:
     print(f"=== {name} ===")
-    print(report.summary())
-    mech = report.mechanism_distribution
+    mech = report["mechanism_distribution"]
     total = sum(sum(row.values()) for row in mech.values()) or 1
     print("mechanism mix:")
     for mechanism, row in sorted(mech.items()):
         count = sum(row.values())
-        print(f"  {mechanism:<12} {count:>4}  ({count / total:5.1%})")
-    mfus = [m for _, m in report.mfu_series]
-    if mfus:
-        rel = mfu_relative_series(mfus)
-        print(f"relative MFU: started 1.00x, ended {rel[-1]:.2f}x "
-              f"(hot updates lifted the plateau)")
-    series = report.ettr
-    print(f"cumulative ETTR: {series.final_cumulative():.4f}   "
-          f"min sliding-window ETTR: {series.min_sliding():.3f}")
+        print(f"  {mechanism:<12} {count:>4.0f}  ({count / total:5.1%})")
+    print(f"cumulative ETTR: {report['cumulative_ettr']:.4f}   "
+          f"min sliding-window ETTR: {report['min_sliding_ettr']:.3f}")
     print()
 
 
 def main() -> None:
-    dense = dense_production_scenario(
-        num_machines=NUM_MACHINES, duration_s=DURATION_S,
-        seed=11, mtbf_scale=MTBF_SCALE)
-    describe("dense 70B-class pretraining", dense.run())
+    specs = [
+        SweepSpec("dense", params=dict(_COMMON, seed=11),
+                  grid={"mtbf_scale": MTBF_GRID}),
+        SweepSpec("moe", params=dict(_COMMON, seed=12),
+                  grid={"mtbf_scale": MTBF_GRID}),
+    ]
+    with tempfile.TemporaryDirectory() as cache_dir:
+        runner = SweepRunner(workers=2, cache=ResultCache(cache_dir))
+        result = runner.run(specs)
 
-    moe = moe_production_scenario(
-        num_machines=NUM_MACHINES, duration_s=DURATION_S,
-        seed=12, mtbf_scale=MTBF_SCALE)
-    describe("MoE 200B-class pretraining", moe.run())
+        print(summarize(result).table(
+            "dense vs MoE across fault-rate regimes"))
+        print()
+
+        # the production-cadence cells in detail (Table 4 shape)
+        for res in result.results:
+            if res.cell.params["mtbf_scale"] == MTBF_GRID[0]:
+                describe(f"{res.cell.scenario} pretraining "
+                         f"(mtbf_scale={MTBF_GRID[0]})", res.report)
+
+        rerun = runner.run(specs)
+        print(f"re-running the same grid: {rerun.cache_hits}/"
+              f"{len(rerun.results)} cells served from cache, "
+              f"{len(rerun.results) - rerun.cache_hits} re-simulated")
 
     print("note: MoE jobs integrate more custom optimizations, so they "
           "see more manual restarts\nand rollbacks — the paper's "

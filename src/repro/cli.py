@@ -8,6 +8,25 @@ Commands
     under Table 1-distributed Poisson incidents and print (or save) the
     run report.
 
+``list-scenarios``
+    Print every scenario in the registry
+    (:mod:`repro.experiments.registry`) with its typed parameters.
+    Scenario names are lowercase and dash-separated; variants share
+    their base scenario's prefix (``dense``, ``dense-small``,
+    ``dense-large``).
+
+``sweep``
+    Expand a parameter grid over a registered scenario and run every
+    cell through :class:`~repro.experiments.sweep.SweepRunner` —
+    optionally across a worker pool (``--workers``) and backed by an
+    on-disk result cache (``--cache-dir``) that skips
+    already-simulated cells.  Cell seeds derive deterministically from
+    ``(--base-seed, cell index)``, so the same grid yields
+    byte-identical results at any worker count.  Example::
+
+        python -m repro sweep --scenario dense \\
+            --grid mtbf_scale=0.5,1.0,2.0 --workers 4
+
 ``standby-size``
     Print the P99 standby pool size for a fleet (Table 5's math).
 
@@ -23,7 +42,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
-from typing import List, Optional
+from typing import Dict, List, Optional, Sequence
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
@@ -43,6 +62,85 @@ def _cmd_run(args: argparse.Namespace) -> int:
         with open(args.output, "w") as fh:
             json.dump(report.to_dict(), fh, indent=2)
         print(f"\nfull report written to {args.output}")
+    return 0
+
+
+def _parse_assignments(pairs: Sequence[str], split_values: bool
+                       ) -> Dict[str, object]:
+    """Parse ``key=value`` (or ``key=v1,v2,...``) CLI fragments."""
+    out: Dict[str, object] = {}
+    for pair in pairs or ():
+        if "=" not in pair:
+            raise SystemExit(
+                f"error: expected key=value, got {pair!r}")
+        key, _, raw = pair.partition("=")
+        key = key.strip()
+        values = [v.strip() for v in raw.split(",") if v.strip()]
+        if not values:
+            raise SystemExit(f"error: no values in {pair!r}")
+        if split_values:
+            out[key] = values
+        else:
+            if len(values) > 1:
+                raise SystemExit(
+                    f"error: --set takes a single value, got {pair!r} "
+                    f"(use --grid to sweep over several)")
+            out[key] = values[0]
+    return out
+
+
+def _cmd_list_scenarios(args: argparse.Namespace) -> int:
+    from repro.experiments import iter_scenarios
+
+    for spec in iter_scenarios():
+        tags = f"  [{', '.join(spec.tags)}]" if spec.tags else ""
+        print(f"{spec.name}{tags}")
+        print(f"    {spec.description}")
+        for p in spec.params.values():
+            # passed as `--set name=value` / `--grid name=v1,v2,...`
+            print(f"    {p.name:<24} {p.type:<6} "
+                  f"default={p.default!r}  {p.help}")
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.experiments import (
+        ResultCache,
+        ScenarioError,
+        SweepError,
+        SweepRunner,
+        SweepSpec,
+        summarize,
+    )
+
+    grid = _parse_assignments(args.grid, split_values=True)
+    fixed = _parse_assignments(args.set, split_values=False)
+    spec = SweepSpec(scenario=args.scenario, params=fixed, grid=grid,
+                     base_seed=args.base_seed)
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    try:
+        runner = SweepRunner(workers=args.workers, cache=cache)
+        result = runner.run(spec)
+    except (ScenarioError, SweepError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    summary = summarize(result)
+
+    cells = len(result.results)
+    grid_desc = ", ".join(f"{k}={','.join(map(str, v))}"
+                          for k, v in sorted(grid.items())) or "(single cell)"
+    print(summary.table(
+        f"sweep: {args.scenario} over {grid_desc}"))
+    print(f"\n{cells} cells, {result.cache_hits} served from cache, "
+          f"{cells - result.cache_hits} simulated "
+          f"({args.workers} worker{'s' if args.workers != 1 else ''})")
+    if cache is not None:
+        print(f"cache: {args.cache_dir} ({len(cache)} entries)")
+    if args.output:
+        with open(args.output, "w") as fh:
+            json.dump({"summary": summary.to_dict(),
+                       "sweep": result.to_dict()}, fh, indent=2)
+        print(f"full sweep written to {args.output}")
     return 0
 
 
@@ -138,6 +236,36 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--output", type=str, default=None,
                        help="write the full JSON report here")
         p.set_defaults(func=_cmd_run, flavor=flavor)
+
+    p = sub.add_parser("list-scenarios",
+                       help="list registered scenarios and their "
+                            "parameters")
+    p.set_defaults(func=_cmd_list_scenarios)
+
+    p = sub.add_parser("sweep",
+                       help="run a parameter grid over a registered "
+                            "scenario, in parallel, with caching")
+    p.add_argument("--scenario", type=str, required=True,
+                   help="registered scenario name (see list-scenarios)")
+    p.add_argument("--grid", action="append", default=[],
+                   metavar="KEY=V1,V2,...",
+                   help="sweep this parameter over the listed values "
+                        "(repeatable; cells = cartesian product)")
+    p.add_argument("--set", action="append", default=[],
+                   metavar="KEY=VALUE",
+                   help="fix this parameter for every cell (repeatable)")
+    p.add_argument("--workers", type=int, default=1,
+                   help="worker processes for cell fan-out")
+    p.add_argument("--base-seed", type=int, default=0,
+                   help="seeds derive from (base_seed, cell_index)")
+    p.add_argument("--cache-dir", type=str,
+                   default=".repro-sweep-cache",
+                   help="on-disk result cache directory")
+    p.add_argument("--no-cache", action="store_true",
+                   help="always re-simulate, never read/write the cache")
+    p.add_argument("--output", type=str, default=None,
+                   help="write the summary + all cell reports as JSON")
+    p.set_defaults(func=_cmd_sweep)
 
     p = sub.add_parser("standby-size", help="P99 standby pool sizing")
     p.add_argument("--machines", type=int, default=1024)

@@ -120,11 +120,13 @@ class RunReport:
 
     def to_dict(self) -> dict:
         """JSON-serializable dump of the run (for dashboards/archival)."""
+        mfus = [m for _, m in self.mfu_series]
         return {
             "wall_time_s": self.wall_time_s,
             "final_step": self.final_step,
             "cumulative_ettr": self.cumulative_ettr,
             "min_sliding_ettr": self.ettr.min_sliding(),
+            "mean_mfu": sum(mfus) / len(mfus) if mfus else 0.0,
             "ettr_curve": {
                 "times": list(self.ettr.times),
                 "cumulative": list(self.ettr.cumulative),

@@ -1,0 +1,68 @@
+"""Parallel scenario-sweep subsystem.
+
+* :mod:`repro.experiments.registry` — named scenarios with typed
+  parameter specs (built-ins register from
+  :mod:`repro.workloads.scenarios`);
+* :mod:`repro.experiments.sweep` — grid expansion + multiprocessing
+  fan-out with deterministic per-cell seeding;
+* :mod:`repro.experiments.cache` — content-hash-keyed on-disk result
+  cache, so repeated sweeps never re-simulate;
+* :mod:`repro.experiments.summary` — reduce a sweep into the paper's
+  comparison tables (ETTR, MFU, unproductive-time breakdown).
+"""
+
+from repro.experiments.cache import (
+    CACHE_SCHEMA_VERSION,
+    ResultCache,
+    cell_key,
+)
+from repro.experiments.registry import (
+    ParamSpec,
+    ScenarioError,
+    ScenarioSpec,
+    get_scenario,
+    iter_scenarios,
+    list_scenarios,
+    register_scenario,
+)
+from repro.experiments.summary import (
+    SweepSummary,
+    format_table,
+    summarize,
+)
+from repro.experiments.sweep import (
+    CellResult,
+    SweepCell,
+    SweepError,
+    SweepResult,
+    SweepRunner,
+    SweepSpec,
+    derive_cell_seed,
+    expand_cells,
+    expand_grid,
+)
+
+__all__ = [
+    "CACHE_SCHEMA_VERSION",
+    "CellResult",
+    "ParamSpec",
+    "ResultCache",
+    "ScenarioError",
+    "ScenarioSpec",
+    "SweepCell",
+    "SweepError",
+    "SweepResult",
+    "SweepRunner",
+    "SweepSpec",
+    "SweepSummary",
+    "cell_key",
+    "derive_cell_seed",
+    "expand_cells",
+    "expand_grid",
+    "format_table",
+    "get_scenario",
+    "iter_scenarios",
+    "list_scenarios",
+    "register_scenario",
+    "summarize",
+]

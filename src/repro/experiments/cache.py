@@ -1,0 +1,76 @@
+"""On-disk result cache for sweep cells.
+
+A cell is identified by a *stable* content hash of everything that
+determines its output: scenario name, fully-resolved parameters, seed,
+the package version, and a schema version bumped whenever the report
+format changes.  Cache entries are single JSON files named by that
+hash, written atomically (tmp + rename) so concurrent workers sharing
+one cache directory never observe torn files.
+
+The key is **configuration-addressed, not code-addressed**: the
+package version covers releases, but uncommitted edits to the
+simulator change results without changing keys.  When hacking on
+simulation code, pass ``--no-cache`` (or clear the cache directory)
+to avoid being served stale numbers.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from typing import Any, Dict, Optional
+
+from repro import __version__
+
+#: Bump when RunReport.to_dict() or cell payload layout changes.
+CACHE_SCHEMA_VERSION = 1
+
+
+def cell_key(scenario: str, params: Dict[str, Any], seed: int) -> str:
+    """Stable hex digest identifying one sweep cell's configuration."""
+    blob = json.dumps(
+        {"scenario": scenario, "params": params, "seed": seed,
+         "schema": CACHE_SCHEMA_VERSION, "version": __version__},
+        sort_keys=True, separators=(",", ":"), default=str)
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+class ResultCache:
+    """A directory of ``<cell_key>.json`` payloads."""
+
+    def __init__(self, directory: str):
+        self.directory = directory
+
+    def _path(self, key: str) -> str:
+        return os.path.join(self.directory, f"{key}.json")
+
+    def get(self, key: str) -> Optional[Dict[str, Any]]:
+        """The cached payload, or None on miss / unreadable entry."""
+        try:
+            with open(self._path(key), "r", encoding="utf-8") as fh:
+                return json.load(fh)
+        except (OSError, ValueError):
+            return None
+
+    def put(self, key: str, payload: Dict[str, Any]) -> None:
+        os.makedirs(self.directory, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=self.directory, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                json.dump(payload, fh, sort_keys=True)
+            os.replace(tmp, self._path(key))
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    def __len__(self) -> int:
+        try:
+            return sum(1 for n in os.listdir(self.directory)
+                       if n.endswith(".json"))
+        except OSError:
+            return 0

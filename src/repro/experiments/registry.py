@@ -1,0 +1,151 @@
+"""The scenario registry: every runnable scenario under one name.
+
+A *scenario* here is anything that can be built from a flat dict of
+typed parameters and exposes ``run()`` returning either a
+:class:`~repro.core.byterobust.RunReport` or a plain JSON-safe dict
+(the "analytic" scenarios — standby sizing and friends — take the
+second route).  Builders register themselves with
+:func:`register_scenario`, declaring a :class:`ParamSpec` per tunable
+so the sweep layer and the CLI can expand grids, coerce command-line
+strings, and reject typos before any simulation starts.
+
+Naming convention: lowercase, dash-separated, most-generic word first
+(``dense``, ``dense-small``, ``degraded-network``).  Variants of a base
+scenario share its prefix so ``list-scenarios`` groups naturally.
+
+The built-in scenarios live in :mod:`repro.workloads.scenarios` and
+register at import time; :func:`ensure_builtin_scenarios` performs that
+import lazily so this module stays dependency-free (worker processes
+import it first).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+_COERCERS: Dict[str, Callable[[str], Any]] = {
+    "int": int,
+    "float": float,
+    "str": str,
+    "bool": lambda s: s.lower() in ("1", "true", "yes", "on"),
+}
+
+
+class ScenarioError(ValueError):
+    """Unknown scenario, unknown parameter, or bad parameter value."""
+
+
+@dataclass(frozen=True)
+class ParamSpec:
+    """One tunable of a registered scenario."""
+
+    name: str
+    type: str = "float"            # int | float | str | bool
+    default: Any = None
+    help: str = ""
+
+    def __post_init__(self) -> None:
+        if self.type not in _COERCERS:
+            raise ScenarioError(
+                f"param {self.name!r}: unsupported type {self.type!r} "
+                f"(one of {sorted(_COERCERS)})")
+
+    def coerce(self, value: Any) -> Any:
+        """Turn a CLI string (or an already-typed value) into the
+        declared type."""
+        try:
+            if isinstance(value, str):
+                return _COERCERS[self.type](value)
+            if self.type == "int":
+                return int(value)
+            if self.type == "float":
+                return float(value)
+            if self.type == "bool":
+                return bool(value)
+            return value
+        except (TypeError, ValueError) as exc:
+            raise ScenarioError(
+                f"param {self.name!r}: cannot coerce {value!r} "
+                f"to {self.type}") from exc
+
+
+@dataclass
+class ScenarioSpec:
+    """A named scenario: builder + typed parameter schema."""
+
+    name: str
+    builder: Callable[..., Any]
+    params: Dict[str, ParamSpec]
+    description: str = ""
+    tags: Sequence[str] = ()
+
+    def defaults(self) -> Dict[str, Any]:
+        return {p.name: p.default for p in self.params.values()}
+
+    def resolve(self, overrides: Optional[Dict[str, Any]] = None
+                ) -> Dict[str, Any]:
+        """Defaults + overrides, all coerced; rejects unknown names."""
+        resolved = self.defaults()
+        for key, value in (overrides or {}).items():
+            if key not in self.params:
+                raise ScenarioError(
+                    f"scenario {self.name!r} has no parameter {key!r} "
+                    f"(available: {', '.join(sorted(self.params))})")
+            resolved[key] = self.params[key].coerce(value)
+        return resolved
+
+    def build(self, **overrides: Any) -> Any:
+        """Instantiate the scenario with coerced parameters."""
+        return self.builder(**self.resolve(overrides))
+
+
+_REGISTRY: Dict[str, ScenarioSpec] = {}
+
+
+def register_scenario(name: str, params: Sequence[ParamSpec],
+                      description: str = "",
+                      tags: Sequence[str] = ()
+                      ) -> Callable[[Callable[..., Any]],
+                                    Callable[..., Any]]:
+    """Decorator: register ``builder`` under ``name``.
+
+    The builder keeps working as a plain function; registration only
+    records it so sweeps and the CLI can find it by name.
+    """
+    def deco(builder: Callable[..., Any]) -> Callable[..., Any]:
+        if name in _REGISTRY:
+            raise ScenarioError(f"scenario {name!r} already registered")
+        _REGISTRY[name] = ScenarioSpec(
+            name=name, builder=builder,
+            params={p.name: p for p in params},
+            description=description or (builder.__doc__ or "").strip()
+            .split("\n")[0],
+            tags=tuple(tags))
+        return builder
+    return deco
+
+
+def ensure_builtin_scenarios() -> None:
+    """Import the built-in scenario modules (idempotent)."""
+    import repro.workloads.scenarios  # noqa: F401  (registers on import)
+
+
+def get_scenario(name: str) -> ScenarioSpec:
+    ensure_builtin_scenarios()
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ScenarioError(
+            f"unknown scenario {name!r} "
+            f"(available: {', '.join(list_scenarios())})") from None
+
+
+def list_scenarios() -> List[str]:
+    ensure_builtin_scenarios()
+    return sorted(_REGISTRY)
+
+
+def iter_scenarios() -> List[ScenarioSpec]:
+    ensure_builtin_scenarios()
+    return [_REGISTRY[name] for name in sorted(_REGISTRY)]

@@ -1,0 +1,131 @@
+"""Sweep aggregation: reduce a grid of runs to paper-style tables.
+
+:func:`summarize` turns a :class:`~repro.experiments.sweep.SweepResult`
+into one row per cell carrying the headline metrics every benchmark
+table needs — ETTR (cumulative + min sliding), incident counts, the
+Fig. 3 unproductive-time breakdown, and mean MFU.  Analytic scenarios
+(whose reports are flat dicts rather than RunReports) contribute their
+scalar fields verbatim, so standby-sizing sweeps tabulate just as well
+as simulation sweeps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.experiments.sweep import SweepResult
+
+#: Sim-report metrics, in table order.
+_SIM_METRICS = ("cumulative_ettr", "min_sliding_ettr", "incidents",
+                "resolved", "unproductive_s", "recompute_s", "mean_mfu")
+
+
+def format_table(headers: Sequence[str],
+                 rows: Sequence[Sequence[Any]]) -> str:
+    """Plain-text aligned table (same shape the benchmarks print)."""
+    def fmt(cell: Any) -> str:
+        if isinstance(cell, float):
+            return f"{cell:.4f}"
+        return str(cell)
+
+    materialized = [[fmt(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for cells in materialized:
+        widths = [max(w, len(c)) for w, c in zip(widths, cells)]
+    line = "  ".join(f"{{:<{w}}}" for w in widths)
+    out = [line.format(*headers),
+           "  ".join("-" * w for w in widths)]
+    out += [line.format(*cells) for cells in materialized]
+    return "\n".join(out)
+
+
+@dataclass
+class SweepSummary:
+    """One row of metrics per sweep cell, plus what varied."""
+
+    rows: List[Dict[str, Any]]
+    varied: List[str]
+
+    def metric_columns(self) -> List[str]:
+        fixed = {"scenario", "seed", "cached"} | set(self.varied)
+        ordered = [m for m in _SIM_METRICS
+                   if any(m in row for row in self.rows)]
+        extra = sorted({k for row in self.rows for k in row}
+                       - fixed - set(ordered))
+        return ordered + extra
+
+    def table(self, title: Optional[str] = None) -> str:
+        headers = ["scenario"] + list(self.varied) \
+            + self.metric_columns()
+        body = format_table(
+            headers,
+            [[row.get(h, "") for h in headers] for row in self.rows])
+        return f"=== {title} ===\n{body}" if title else body
+
+    def best(self, metric: str = "cumulative_ettr",
+             maximize: bool = True) -> Dict[str, Any]:
+        """The row with the best value of ``metric``."""
+        candidates = [r for r in self.rows if metric in r]
+        if not candidates:
+            raise KeyError(f"no row carries metric {metric!r}")
+        return (max if maximize else min)(
+            candidates, key=lambda r: r[metric])
+
+    def to_dict(self) -> dict:
+        return {"varied": list(self.varied),
+                "rows": [dict(row) for row in self.rows]}
+
+
+def _sim_row(report: Dict[str, Any]) -> Dict[str, Any]:
+    breakdown = report.get("unproductive_breakdown", {})
+    incidents = report.get("incidents", [])
+    row = {
+        "cumulative_ettr": report.get("cumulative_ettr"),
+        "min_sliding_ettr": report.get("min_sliding_ettr"),
+        "incidents": len(incidents),
+        "resolved": sum(1 for i in incidents
+                        if i.get("recovered_at", -1) >= 0),
+        "unproductive_s": breakdown.get("total_s"),
+        "recompute_s": breakdown.get("recompute_s"),
+    }
+    if "mean_mfu" in report:
+        row["mean_mfu"] = report["mean_mfu"]
+    return row
+
+
+def _analytic_row(report: Dict[str, Any]) -> Dict[str, Any]:
+    return {k: v for k, v in report.items()
+            if isinstance(v, (int, float, str, bool))}
+
+
+def summarize(result: SweepResult) -> SweepSummary:
+    """Reduce a sweep into a comparison table (one row per cell)."""
+    cells = [r.cell for r in result.results]
+    # derived per-cell seeds always differ, so they would pollute the
+    # varied-parameter columns — but a seed the user explicitly grids
+    # over IS the comparison axis and must stay visible.  Parameters a
+    # scenario simply doesn't declare (multi-scenario sweeps) don't
+    # count as varying either.
+    seed_is_incidental = all(c.seed_derived for c in cells
+                             if "seed" in c.params)
+    varied = sorted({
+        name
+        for name in {n for c in cells for n in c.params}
+        if not (name == "seed" and seed_is_incidental)
+        and len({repr(c.params[name])
+                 for c in cells if name in c.params}) > 1
+    })
+    rows: List[Dict[str, Any]] = []
+    for res in result.results:
+        row: Dict[str, Any] = {"scenario": res.cell.scenario}
+        for name in varied:
+            row[name] = res.cell.params.get(name)
+        if "cumulative_ettr" in res.report:
+            row.update(_sim_row(res.report))
+        else:
+            row.update(_analytic_row(res.report))
+        row["seed"] = res.cell.seed
+        row["cached"] = res.cached
+        rows.append(row)
+    return SweepSummary(rows=rows, varied=varied)

@@ -1,0 +1,238 @@
+"""Parallel scenario sweeps: grid expansion, fan-out, collection.
+
+A sweep takes one or more :class:`SweepSpec`s — a registered scenario
+name, fixed parameter overrides, and a grid of per-parameter value
+lists — expands the grid into :class:`SweepCell`s (cartesian product in
+sorted-key order, so cell indices are stable), and runs every cell
+either inline (``workers=1``) or across a :mod:`multiprocessing` pool.
+
+Determinism is a contract, not an accident:
+
+* cell order is fixed by the expansion, and results are collected in
+  cell order regardless of which worker finishes first;
+* each cell's RNG seed is either the explicit ``seed`` parameter or
+  derived from ``(base_seed, cell_index)`` via a stable hash, so the
+  same grid produces the same reports no matter the worker count;
+* cells already present in the :class:`~repro.experiments.cache.ResultCache`
+  are served from disk and never re-simulated.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import multiprocessing
+import traceback
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.experiments.cache import ResultCache, cell_key
+from repro.experiments.registry import get_scenario
+
+
+class SweepError(RuntimeError):
+    """A sweep cell failed; carries the failing cell's identity."""
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """One scenario plus the parameter grid to explore over it."""
+
+    scenario: str
+    #: fixed overrides applied to every cell
+    params: Dict[str, Any] = field(default_factory=dict)
+    #: param name -> list of values; cells = cartesian product
+    grid: Dict[str, Sequence[Any]] = field(default_factory=dict)
+    base_seed: int = 0
+
+
+@dataclass(frozen=True)
+class SweepCell:
+    """One fully-resolved point of a sweep."""
+
+    index: int
+    scenario: str
+    params: Dict[str, Any]
+    seed: int
+    key: str
+    #: True when the seed came from (base_seed, cell_index) rather
+    #: than an explicit ``seed`` parameter — the aggregator uses this
+    #: to tell seed sweeps apart from incidental per-cell seeding
+    seed_derived: bool = False
+
+
+@dataclass
+class CellResult:
+    """A cell plus its (possibly cached) report payload."""
+
+    cell: SweepCell
+    report: Dict[str, Any]
+    cached: bool
+
+
+@dataclass
+class SweepResult:
+    """All cell results, in cell-index order."""
+
+    results: List[CellResult]
+
+    @property
+    def cache_hits(self) -> int:
+        return sum(1 for r in self.results if r.cached)
+
+    def reports(self) -> List[Dict[str, Any]]:
+        return [r.report for r in self.results]
+
+    def to_dict(self) -> dict:
+        return {
+            "cells": [
+                {
+                    "index": r.cell.index,
+                    "scenario": r.cell.scenario,
+                    "params": dict(r.cell.params),
+                    "seed": r.cell.seed,
+                    "key": r.cell.key,
+                    "report": r.report,
+                }
+                for r in self.results
+            ],
+        }
+
+
+def derive_cell_seed(base_seed: int, index: int) -> int:
+    """A stable, well-mixed per-cell seed from ``(base_seed, index)``.
+
+    ``base_seed + index`` would correlate neighbouring cells (numpy
+    seeds close together share low-order state); hashing decorrelates
+    them while staying reproducible across processes and platforms.
+    """
+    digest = hashlib.sha256(
+        f"{base_seed}:{index}".encode("ascii")).digest()
+    return int.from_bytes(digest[:4], "big")
+
+
+def expand_grid(grid: Dict[str, Sequence[Any]]) -> List[Dict[str, Any]]:
+    """Cartesian product of a grid, in sorted-key order.
+
+    ``{}`` expands to one empty combination (a single-cell sweep).
+    """
+    if not grid:
+        return [{}]
+    keys = sorted(grid)
+    combos = []
+    for values in itertools.product(*(grid[k] for k in keys)):
+        combos.append(dict(zip(keys, values)))
+    return combos
+
+
+def expand_cells(specs: Sequence[SweepSpec]) -> List[SweepCell]:
+    """Expand specs into cells with global, stable indices.
+
+    Seed derivation uses the *spec-local* cell position, not the
+    global index: a spec's cells (and their cache keys) stay identical
+    no matter which other specs share the sweep.
+    """
+    cells: List[SweepCell] = []
+    for spec in specs:
+        scenario = get_scenario(spec.scenario)
+        for local_index, combo in enumerate(expand_grid(spec.grid)):
+            overrides = dict(spec.params)
+            overrides.update(combo)
+            takes_seed = "seed" in scenario.params
+            derived = takes_seed and "seed" not in overrides
+            if derived:
+                overrides["seed"] = derive_cell_seed(spec.base_seed,
+                                                     local_index)
+            params = scenario.resolve(overrides)
+            # analytic scenarios have no RNG; pin the recorded seed so
+            # their cache key depends only on the parameters
+            seed = int(params["seed"]) if takes_seed else 0
+            cells.append(SweepCell(
+                index=len(cells), scenario=spec.scenario, params=params,
+                seed=seed, key=cell_key(spec.scenario, params, seed),
+                seed_derived=derived))
+    return cells
+
+
+def _run_cell(args: Tuple[str, Dict[str, Any]]
+              ) -> Tuple[str, Union[Dict[str, Any], str]]:
+    """Pool worker: build + run one cell, return a JSON-safe payload.
+
+    Must stay a module-level function (pickled by multiprocessing).
+    Exceptions are returned as strings — raising inside a pool worker
+    would lose the cell identity in the parent.
+    """
+    scenario_name, params = args
+    try:
+        scenario = get_scenario(scenario_name).build(**params)
+        outcome = scenario.run()
+        report = (outcome.to_dict() if hasattr(outcome, "to_dict")
+                  else dict(outcome))
+        return ("ok", report)
+    except Exception:
+        return ("error", traceback.format_exc())
+
+
+class SweepRunner:
+    """Expands, fans out, caches, and collects a sweep.
+
+    ``workers=1`` runs cells inline (no pool, easiest to debug and to
+    measure coverage on); ``workers>1`` uses a process pool, forking
+    where the platform allows it and falling back to spawn elsewhere.
+    """
+
+    def __init__(self, workers: int = 1,
+                 cache: Optional[ResultCache] = None):
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1: {workers}")
+        self.workers = workers
+        self.cache = cache
+
+    def run(self, specs: Union[SweepSpec, Sequence[SweepSpec]]
+            ) -> SweepResult:
+        if isinstance(specs, SweepSpec):
+            specs = [specs]
+        cells = expand_cells(specs)
+
+        results: Dict[int, CellResult] = {}
+        to_run: List[SweepCell] = []
+        for cell in cells:
+            payload = (self.cache.get(cell.key)
+                       if self.cache is not None else None)
+            if payload is not None:
+                results[cell.index] = CellResult(
+                    cell=cell, report=payload, cached=True)
+            else:
+                to_run.append(cell)
+
+        for cell, (status, payload) in zip(
+                to_run, self._execute(to_run)):
+            if status != "ok":
+                raise SweepError(
+                    f"cell #{cell.index} ({cell.scenario} "
+                    f"{cell.params}) failed:\n{payload}")
+            if self.cache is not None:
+                self.cache.put(cell.key, payload)
+            results[cell.index] = CellResult(
+                cell=cell, report=payload, cached=False)
+
+        return SweepResult(
+            results=[results[c.index] for c in cells])
+
+    # ------------------------------------------------------------------
+    def _execute(self, cells: Sequence[SweepCell]
+                 ) -> List[Tuple[str, Union[Dict[str, Any], str]]]:
+        jobs = [(c.scenario, c.params) for c in cells]
+        if not jobs:
+            return []
+        if self.workers == 1 or len(jobs) == 1:
+            return [_run_cell(job) for job in jobs]
+        methods = multiprocessing.get_all_start_methods()
+        ctx = multiprocessing.get_context(
+            "fork" if "fork" in methods else "spawn")
+        workers = min(self.workers, len(jobs))
+        with ctx.Pool(processes=workers) as pool:
+            # map() preserves input order — completion order never
+            # leaks into the result, which keeps sweeps deterministic
+            # across worker counts
+            return pool.map(_run_cell, jobs, chunksize=1)

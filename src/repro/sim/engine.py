@@ -20,19 +20,32 @@ class SimulationError(RuntimeError):
 class EventHandle:
     """A cancellable handle for a scheduled callback."""
 
-    __slots__ = ("time", "priority", "seq", "callback", "cancelled")
+    __slots__ = ("time", "priority", "seq", "callback", "cancelled",
+                 "executed", "_sim")
 
     def __init__(self, time: float, priority: int, seq: int,
-                 callback: Callable[[], Any]):
+                 callback: Callable[[], Any],
+                 sim: Optional["Simulator"] = None):
         self.time = time
         self.priority = priority
         self.seq = seq
         self.callback = callback
         self.cancelled = False
+        self.executed = False
+        self._sim = sim
 
     def cancel(self) -> None:
-        """Prevent the callback from running.  Idempotent."""
+        """Prevent the callback from running.  Idempotent.
+
+        Cancelling after execution (or a second time) is a no-op, so
+        the owning simulator's pending counter is decremented exactly
+        once per effective cancellation.
+        """
+        if self.cancelled or self.executed:
+            return
         self.cancelled = True
+        if self._sim is not None:
+            self._sim._pending -= 1
 
     def __lt__(self, other: "EventHandle") -> bool:
         return (self.time, self.priority, self.seq) < (
@@ -76,7 +89,8 @@ class Simulator:
         if time < self._now:
             raise SimulationError(
                 f"cannot schedule at {time} before now ({self._now})")
-        handle = EventHandle(time, priority, next(self._seq), callback)
+        handle = EventHandle(time, priority, next(self._seq), callback,
+                             sim=self)
         heapq.heappush(self._queue, handle)
         self._pending += 1
         return handle
@@ -87,9 +101,10 @@ class Simulator:
         return self._queue[0].time if self._queue else None
 
     def _drop_cancelled(self) -> None:
+        # cancelled handles already left the pending count in cancel();
+        # this only trims the heap
         while self._queue and self._queue[0].cancelled:
             heapq.heappop(self._queue)
-            self._pending -= 1
 
     def step(self) -> bool:
         """Run the next pending event.  Returns False if none remain."""
@@ -98,6 +113,7 @@ class Simulator:
             return False
         handle = heapq.heappop(self._queue)
         self._pending -= 1
+        handle.executed = True
         if handle.time < self._now:  # pragma: no cover - invariant guard
             raise SimulationError("event queue went backwards in time")
         self._now = handle.time
@@ -135,9 +151,8 @@ class Simulator:
         return executed
 
     def pending_count(self) -> int:
-        """Number of scheduled, not-yet-cancelled callbacks."""
-        self._drop_cancelled()
-        return sum(1 for h in self._queue if not h.cancelled)
+        """Number of scheduled, not-yet-cancelled callbacks.  O(1)."""
+        return self._pending
 
     def every(self, interval: float, callback: Callable[[], Any],
               first_delay: Optional[float] = None,

@@ -21,19 +21,31 @@ from repro.workloads.traces import (
     TraceEvent,
 )
 from repro.workloads.scenarios import (
+    AnalyticScenario,
     ProductionScenario,
+    aggressive_checkpoint_scenario,
+    degraded_network_scenario,
     dense_production_scenario,
+    large_fleet_scenario,
     moe_production_scenario,
+    small_fleet_scenario,
+    standby_sizing_scenario,
 )
 
 __all__ = [
+    "AnalyticScenario",
     "IncidentTraceGenerator",
     "ProductionScenario",
     "TABLE1_COUNTS",
     "TABLE2_ROOT_CAUSES",
     "TraceEvent",
+    "aggressive_checkpoint_scenario",
     "daily_machine_failure_prob",
+    "degraded_network_scenario",
     "dense_production_scenario",
+    "large_fleet_scenario",
     "moe_production_scenario",
     "mtbf_seconds",
+    "small_fleet_scenario",
+    "standby_sizing_scenario",
 ]

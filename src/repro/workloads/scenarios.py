@@ -7,20 +7,28 @@ and drives the whole thing: faults are injected at their trace times
 anyway), manual updates flow through the controller, and the run ends
 with a :class:`~repro.core.byterobust.RunReport`.
 
-The two presets mirror the paper's deployment evaluation: a dense
+The base presets mirror the paper's deployment evaluation: a dense
 Llama-like 70+B job and a 200+B MoE job on Hopper-class machines.  For
 tractable test/bench runtimes the presets default to scaled-down
 machine counts and compressed durations; the shapes (incident mix,
 mechanism distribution, ETTR plateau) are what carry over.
+
+Every builder registers itself in the scenario registry
+(:mod:`repro.experiments.registry`) under a dash-separated name —
+``dense``, ``moe``, ``staged``, plus variants ``dense-small``,
+``dense-large``, ``degraded-network``, ``aggressive-checkpoint`` and
+the analytic ``standby-sizing`` — so sweeps and the CLI can build any
+of them from a flat parameter dict.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Callable, Dict, List, Optional
 
 from repro.cluster.faults import Fault, FaultSymptom, JobEffect, RootCause, RootCauseDetail
 from repro.core.byterobust import ByteRobustSystem, RunReport, SystemConfig
+from repro.experiments.registry import ParamSpec, register_scenario
 from repro.monitor.collectors import CollectorConfig
 from repro.monitor.detectors import DetectorConfig
 from repro.parallelism import ParallelismConfig
@@ -28,7 +36,33 @@ from repro.sim import RngStreams
 from repro.training.job import JobState, TrainingJobConfig
 from repro.training.model import dense_70b, moe_200b
 from repro.workloads.failure_model import mtbf_seconds
-from repro.workloads.traces import IncidentTraceGenerator, TraceEvent
+from repro.workloads.traces import (
+    TABLE1_COUNTS,
+    IncidentTraceGenerator,
+    TraceEvent,
+)
+
+
+def _fleet_params(num_machines: int, duration_s: float, seed: int,
+                  mtbf_scale: float,
+                  hang_detect_s: Optional[float] = 300.0
+                  ) -> List[ParamSpec]:
+    """The parameter schema shared by every fleet scenario."""
+    specs = [
+        ParamSpec("num_machines", "int", num_machines,
+                  "machines in the training job"),
+        ParamSpec("duration_s", "float", duration_s,
+                  "simulated run length in seconds"),
+        ParamSpec("seed", "int", seed, "RNG seed for trace + system"),
+        ParamSpec("mtbf_scale", "float", mtbf_scale,
+                  "fleet MTBF multiplier (small fleets need small "
+                  "values to see incidents)"),
+    ]
+    if hang_detect_s is not None:
+        specs.append(ParamSpec(
+            "hang_detect_s", "float", hang_detect_s,
+            "zero-RDMA window before a hang is declared"))
+    return specs
 
 
 @dataclass
@@ -70,6 +104,22 @@ class ProductionScenario:
         return self.system.report(run_end=self.duration_s)
 
 
+def _dense_job(num_machines: int) -> TrainingJobConfig:
+    """The dense 70B-class job shape shared by every dense scenario.
+
+    ``num_machines`` must be expressible as tp*pp*dp / gpus_per_machine;
+    the preset uses TP=8, PP=2 and scales DP.
+    """
+    gpm = 8
+    dp = max(1, num_machines * gpm // (8 * 2))
+    return TrainingJobConfig(
+        model=dense_70b(seq_len=4096),
+        parallelism=ParallelismConfig(tp=8, pp=2, dp=dp,
+                                      gpus_per_machine=gpm),
+        global_batch_size=256,
+        gpu_peak_tflops=989.0)
+
+
 def _production_config(job: TrainingJobConfig, seed: int,
                        hang_detect_s: float) -> SystemConfig:
     return SystemConfig(
@@ -79,28 +129,33 @@ def _production_config(job: TrainingJobConfig, seed: int,
     )
 
 
+@register_scenario(
+    "dense", params=_fleet_params(16, 24 * 3600.0, 0, 1.0),
+    description="Dense 70B-class production pretraining job (Sec. 8.1)",
+    tags=("production", "dense"))
 def dense_production_scenario(num_machines: int = 16,
                               duration_s: float = 24 * 3600.0,
                               seed: int = 0,
                               mtbf_scale: float = 1.0,
-                              hang_detect_s: float = 300.0
+                              hang_detect_s: float = 300.0,
+                              trace_counts: Optional[dict] = None,
+                              configure: Optional[
+                                  Callable[[SystemConfig], None]] = None
                               ) -> ProductionScenario:
     """The dense-model production job (scaled down by default).
 
-    ``num_machines`` must be expressible as tp*pp*dp / gpus_per_machine;
-    the preset uses TP=8, PP=2 and scales DP.
+    ``trace_counts`` overrides the Table 1 symptom mix and
+    ``configure`` mutates the :class:`SystemConfig` before wiring —
+    the hooks the dense variants (degraded network, aggressive
+    checkpointing) build on instead of re-plumbing the job.
     """
-    gpm = 8
-    dp = max(1, num_machines * gpm // (8 * 2))
-    job = TrainingJobConfig(
-        model=dense_70b(seq_len=4096),
-        parallelism=ParallelismConfig(tp=8, pp=2, dp=dp,
-                                      gpus_per_machine=gpm),
-        global_batch_size=256,
-        gpu_peak_tflops=989.0)
+    job = _dense_job(num_machines)
     config = _production_config(job, seed, hang_detect_s)
+    if configure is not None:
+        configure(config)
     system = ByteRobustSystem(config)
-    gen = IncidentTraceGenerator(RngStreams(seed).fork("trace"))
+    gen = IncidentTraceGenerator(RngStreams(seed).fork("trace"),
+                                 counts=trace_counts)
     mtbf = mtbf_seconds(job.parallelism.world_size) * mtbf_scale
     events = gen.poisson_trace(duration_s, mtbf,
                                machine_ids=list(range(num_machines)))
@@ -108,6 +163,12 @@ def dense_production_scenario(num_machines: int = 16,
                               duration_s=duration_s)
 
 
+@register_scenario(
+    "staged", params=_fleet_params(8, 5 * 86400.0, 7, 0.01,
+                                   hang_detect_s=None),
+    description="Multi-stage pretraining recipe with stage-driven "
+                "code churn (Fig. 1)",
+    tags=("production", "dense", "recipe"))
 def staged_pretrain_scenario(num_machines: int = 8,
                              duration_s: float = 5 * 86400.0,
                              seed: int = 7,
@@ -128,13 +189,7 @@ def staged_pretrain_scenario(num_machines: int = 8,
     )
 
     recipe = recipe or standard_five_stage_recipe()
-    gpm = 8
-    dp = max(1, num_machines * gpm // (8 * 2))
-    job = TrainingJobConfig(
-        model=dense_70b(seq_len=4096),
-        parallelism=ParallelismConfig(tp=8, pp=2, dp=dp,
-                                      gpus_per_machine=gpm),
-        global_batch_size=256, gpu_peak_tflops=989.0)
+    job = _dense_job(num_machines)
     system = ByteRobustSystem(_production_config(job, seed, 300.0))
     rng = RngStreams(seed).fork("staged")
     gen = IncidentTraceGenerator(rng, counts={
@@ -168,6 +223,11 @@ def staged_pretrain_scenario(num_machines: int = 8,
                               duration_s=duration_s)
 
 
+@register_scenario(
+    "moe", params=_fleet_params(16, 24 * 3600.0, 1, 1.0),
+    description="MoE 200B-class production job with heavier "
+                "custom-optimization churn (Sec. 8.1)",
+    tags=("production", "moe"))
 def moe_production_scenario(num_machines: int = 16,
                             duration_s: float = 24 * 3600.0,
                             seed: int = 1,
@@ -198,3 +258,145 @@ def moe_production_scenario(num_machines: int = 16,
                                machine_ids=list(range(num_machines)))
     return ProductionScenario(system=system, events=events,
                               duration_s=duration_s)
+
+
+@register_scenario(
+    "dense-small", params=_fleet_params(4, 6 * 3600.0, 3, 0.05),
+    description="Dense job on a small 4-machine fleet (fast smoke "
+                "runs; MTBF compressed to keep the incident mix)",
+    tags=("variant", "dense"))
+def small_fleet_scenario(num_machines: int = 4,
+                         duration_s: float = 6 * 3600.0,
+                         seed: int = 3,
+                         mtbf_scale: float = 0.05,
+                         hang_detect_s: float = 300.0
+                         ) -> ProductionScenario:
+    """The dense preset shrunk to a 32-GPU fleet."""
+    return dense_production_scenario(
+        num_machines=num_machines, duration_s=duration_s, seed=seed,
+        mtbf_scale=mtbf_scale, hang_detect_s=hang_detect_s)
+
+
+@register_scenario(
+    "dense-large", params=_fleet_params(32, 24 * 3600.0, 5, 1.0),
+    description="Dense job on a 32-machine (256-GPU) fleet, closer "
+                "to the paper's deployment scale",
+    tags=("variant", "dense"))
+def large_fleet_scenario(num_machines: int = 32,
+                         duration_s: float = 24 * 3600.0,
+                         seed: int = 5,
+                         mtbf_scale: float = 1.0,
+                         hang_detect_s: float = 300.0
+                         ) -> ProductionScenario:
+    """The dense preset grown to a 256-GPU fleet."""
+    return dense_production_scenario(
+        num_machines=num_machines, duration_s=duration_s, seed=seed,
+        mtbf_scale=mtbf_scale, hang_detect_s=hang_detect_s)
+
+
+@register_scenario(
+    "degraded-network",
+    params=_fleet_params(16, 24 * 3600.0, 4, 1.0)
+    + [ParamSpec("ib_error_factor", "float", 8.0,
+                 "multiplier on InfiniBand-error incidence"),
+       ParamSpec("hang_factor", "float", 2.0,
+                 "multiplier on job-hang incidence")],
+    description="Dense job on a flaky fabric: InfiniBand errors and "
+                "hangs far above the Table 1 baseline",
+    tags=("variant", "dense", "network"))
+def degraded_network_scenario(num_machines: int = 16,
+                              duration_s: float = 24 * 3600.0,
+                              seed: int = 4,
+                              mtbf_scale: float = 1.0,
+                              hang_detect_s: float = 300.0,
+                              ib_error_factor: float = 8.0,
+                              hang_factor: float = 2.0
+                              ) -> ProductionScenario:
+    """Dense job whose incident mix skews hard toward the network.
+
+    Port flapping, NIC crashes, switch outages and collective hangs
+    dominate — the regime the paper's fabric-level diagnosis targets.
+    """
+    counts = dict(TABLE1_COUNTS)
+    counts[FaultSymptom.INFINIBAND_ERROR] = int(
+        counts[FaultSymptom.INFINIBAND_ERROR] * ib_error_factor)
+    counts[FaultSymptom.JOB_HANG] = int(
+        counts[FaultSymptom.JOB_HANG] * hang_factor)
+    return dense_production_scenario(
+        num_machines=num_machines, duration_s=duration_s, seed=seed,
+        mtbf_scale=mtbf_scale, hang_detect_s=hang_detect_s,
+        trace_counts=counts)
+
+
+@register_scenario(
+    "aggressive-checkpoint",
+    params=_fleet_params(16, 24 * 3600.0, 6, 1.0)
+    + [ParamSpec("remote_every_steps", "int", 20,
+                 "steps between remote checkpoint uploads")],
+    description="Dense job checkpointing to remote storage far more "
+                "often than the default cadence",
+    tags=("variant", "dense", "checkpoint"))
+def aggressive_checkpoint_scenario(num_machines: int = 16,
+                                   duration_s: float = 24 * 3600.0,
+                                   seed: int = 6,
+                                   mtbf_scale: float = 1.0,
+                                   hang_detect_s: float = 300.0,
+                                   remote_every_steps: int = 20
+                                   ) -> ProductionScenario:
+    """Dense job trading checkpoint overhead for less recompute.
+
+    A tight remote cadence caps the rollback window after a failure at
+    the cost of extra save traffic — the Table 8 trade-off as a
+    runnable scenario.
+    """
+    def tighten(config: SystemConfig) -> None:
+        config.remote_checkpoint_every_steps = remote_every_steps
+
+    return dense_production_scenario(
+        num_machines=num_machines, duration_s=duration_s, seed=seed,
+        mtbf_scale=mtbf_scale, hang_detect_s=hang_detect_s,
+        configure=tighten)
+
+
+@dataclass
+class AnalyticScenario:
+    """A closed-form 'run': no simulator, just a dict of numbers.
+
+    Lets pure-math evaluations (standby sizing, WAS tables) ride the
+    same sweep/cache machinery as the simulated scenarios.
+    """
+
+    compute: Callable[[], Dict[str, float]]
+
+    def run(self) -> Dict[str, float]:
+        return self.compute()
+
+
+@register_scenario(
+    "standby-sizing",
+    params=[ParamSpec("machines", "int", 1024, "active training machines"),
+            ParamSpec("gpus_per_machine", "int", 16, "GPUs per machine"),
+            ParamSpec("daily_failure_prob", "float", 0.0012,
+                      "per-machine daily failure probability"),
+            ParamSpec("quantile", "float", 0.99,
+                      "sizing quantile of the binomial failure model")],
+    description="P99 warm-standby pool sizing (Table 5, closed form)",
+    tags=("analytic", "standby"))
+def standby_sizing_scenario(machines: int = 1024,
+                            gpus_per_machine: int = 16,
+                            daily_failure_prob: float = 0.0012,
+                            quantile: float = 0.99) -> AnalyticScenario:
+    """Table 5's binomial standby-pool sizing as a sweepable cell."""
+    from repro.controller import StandbyPolicy
+
+    def compute() -> Dict[str, float]:
+        policy = StandbyPolicy(daily_failure_prob=daily_failure_prob,
+                               quantile=quantile)
+        row = dict(policy.table5_row(machines, gpus_per_machine))
+        row.update({"machines": machines,
+                    "gpus_per_machine": gpus_per_machine,
+                    "daily_failure_prob": daily_failure_prob,
+                    "quantile": quantile})
+        return row
+
+    return AnalyticScenario(compute)

@@ -1,0 +1,285 @@
+"""Tests for the scenario-sweep subsystem (:mod:`repro.experiments`):
+registry typing, grid expansion, deterministic seeding, worker-count
+invariance, the on-disk result cache, the aggregator, and the O(1)
+pending-event counter the sweeps lean on."""
+
+import json
+import os
+
+import pytest
+
+from repro.experiments import (
+    ParamSpec,
+    ResultCache,
+    ScenarioError,
+    SweepRunner,
+    SweepSpec,
+    cell_key,
+    derive_cell_seed,
+    expand_cells,
+    expand_grid,
+    get_scenario,
+    list_scenarios,
+    summarize,
+)
+from repro.cli import main
+from repro.sim import Simulator
+
+#: A grid small enough for CI but with enough fault pressure that the
+#: reports actually differ across cells.
+SMALL_SPEC = SweepSpec(
+    "dense-small",
+    params={"duration_s": 4 * 3600.0},
+    grid={"mtbf_scale": [0.001, 0.002]},
+    base_seed=7)
+
+
+def canonical(result) -> str:
+    return json.dumps(result.to_dict(), sort_keys=True)
+
+
+class TestRegistry:
+    def test_builtin_scenarios_registered(self):
+        names = list_scenarios()
+        for expected in ("dense", "moe", "staged", "dense-small",
+                         "dense-large", "degraded-network",
+                         "aggressive-checkpoint", "standby-sizing"):
+            assert expected in names
+
+    def test_unknown_scenario_and_param_rejected(self):
+        with pytest.raises(ScenarioError, match="unknown scenario"):
+            get_scenario("nope")
+        with pytest.raises(ScenarioError, match="no parameter"):
+            get_scenario("dense").resolve({"not_a_param": 1})
+
+    def test_param_coercion(self):
+        spec = ParamSpec("x", "int", 3)
+        assert spec.coerce("42") == 42
+        assert spec.coerce(7.0) == 7
+        with pytest.raises(ScenarioError):
+            spec.coerce("forty-two")
+        with pytest.raises(ScenarioError):
+            ParamSpec("y", "complex", 0)
+
+    def test_resolve_applies_defaults_and_coerces(self):
+        params = get_scenario("dense").resolve(
+            {"num_machines": "4", "mtbf_scale": "0.5"})
+        assert params["num_machines"] == 4
+        assert params["mtbf_scale"] == 0.5
+        assert params["duration_s"] == 24 * 3600.0
+
+    def test_analytic_scenario_runs_to_dict(self):
+        report = get_scenario("standby-sizing").build(
+            machines=1024).run()
+        assert report["p99_standby_machines"] == 4
+
+
+class TestExpansion:
+    def test_grid_expansion_order_is_stable(self):
+        combos = expand_grid({"b": [1, 2], "a": ["x"]})
+        assert combos == [{"a": "x", "b": 1}, {"a": "x", "b": 2}]
+        assert expand_grid({}) == [{}]
+
+    def test_cell_seeds_derived_and_stable(self):
+        cells = expand_cells([SMALL_SPEC])
+        assert [c.index for c in cells] == [0, 1]
+        for cell in cells:
+            assert cell.seed == derive_cell_seed(7, cell.index)
+            assert cell.params["seed"] == cell.seed
+        # distinct, decorrelated seeds
+        assert cells[0].seed != cells[1].seed
+
+    def test_seeds_independent_of_sweep_composition(self):
+        # a spec's cells (and cache keys) must not change when other
+        # specs share the sweep — seeds derive from spec-local indices
+        alone = expand_cells([SweepSpec("moe", base_seed=5)])
+        together = expand_cells([
+            SweepSpec("dense", grid={"mtbf_scale": [0.5, 1.0]}),
+            SweepSpec("moe", base_seed=5)])
+        assert together[-1].seed == alone[0].seed
+        assert together[-1].key == alone[0].key
+
+    def test_explicit_seed_wins_over_derivation(self):
+        cells = expand_cells([SweepSpec(
+            "dense-small", params={"seed": 123},
+            grid={"mtbf_scale": [0.01, 0.02]})])
+        assert [c.seed for c in cells] == [123, 123]
+
+    def test_analytic_cells_pin_seed_to_zero(self):
+        cells = expand_cells([SweepSpec(
+            "standby-sizing", grid={"machines": [128, 256]})])
+        assert [c.seed for c in cells] == [0, 0]
+
+    def test_cell_key_stable_hash(self):
+        params = {"a": 1, "b": 2.0}
+        assert cell_key("s", params, 3) == cell_key(
+            "s", {"b": 2.0, "a": 1}, 3)
+        assert cell_key("s", params, 3) != cell_key("s", params, 4)
+
+
+class TestSweepDeterminism:
+    def test_worker_count_does_not_change_results(self):
+        serial = SweepRunner(workers=1).run(SMALL_SPEC)
+        pooled = SweepRunner(workers=4).run(SMALL_SPEC)
+        assert canonical(serial) == canonical(pooled)
+        # the cells genuinely simulate different fault histories
+        reports = serial.reports()
+        assert reports[0] != reports[1]
+
+    def test_second_run_served_entirely_from_cache(self, tmp_path):
+        cache = ResultCache(str(tmp_path / "cache"))
+        first = SweepRunner(workers=2, cache=cache).run(SMALL_SPEC)
+        second = SweepRunner(workers=2, cache=cache).run(SMALL_SPEC)
+        assert first.cache_hits == 0
+        assert second.cache_hits == len(second.results) == 2
+        assert all(r.cached for r in second.results)
+        assert canonical(first) == canonical(second)
+
+    def test_failing_cell_raises_with_identity(self):
+        bad = SweepSpec("dense-small", params={"duration_s": -1.0})
+        with pytest.raises(Exception, match="cell #0"):
+            SweepRunner(workers=1).run(bad)
+
+    def test_workers_validation(self):
+        with pytest.raises(ValueError):
+            SweepRunner(workers=0)
+
+
+class TestResultCache:
+    def test_round_trip_and_miss(self, tmp_path):
+        cache = ResultCache(str(tmp_path / "c"))
+        assert cache.get("deadbeef") is None
+        cache.put("deadbeef", {"x": 1})
+        assert cache.get("deadbeef") == {"x": 1}
+        assert len(cache) == 1
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        path = os.path.join(str(tmp_path), "abc.json")
+        with open(path, "w") as fh:
+            fh.write("{not json")
+        assert cache.get("abc") is None
+
+
+class TestSummary:
+    def test_summary_rows_and_varied(self):
+        result = SweepRunner(workers=1).run(SMALL_SPEC)
+        summary = summarize(result)
+        assert summary.varied == ["mtbf_scale"]
+        assert len(summary.rows) == 2
+        for row in summary.rows:
+            assert row["scenario"] == "dense-small"
+            assert 0.0 <= row["cumulative_ettr"] <= 1.0
+            assert row["incidents"] >= row["resolved"] >= 0
+        table = summary.table("t")
+        assert "mtbf_scale" in table and "cumulative_ettr" in table
+        best = summary.best("cumulative_ettr")
+        assert best["cumulative_ettr"] == max(
+            r["cumulative_ettr"] for r in summary.rows)
+
+    def test_explicit_seed_grid_is_a_varied_column(self):
+        result = SweepRunner().run(SweepSpec(
+            "dense-small", params={"duration_s": 1800.0},
+            grid={"seed": [1, 2]}))
+        summary = summarize(result)
+        assert summary.varied == ["seed"]
+        assert "seed" in summary.table()
+
+    def test_undeclared_params_not_marked_varied(self):
+        # ib_error_factor exists only on degraded-network; fixed at its
+        # default it must not appear as a varied column
+        result = SweepRunner().run([
+            SweepSpec("dense-small", params={"duration_s": 1800.0}),
+            SweepSpec("degraded-network",
+                      params={"duration_s": 1800.0, "num_machines": 4,
+                              "mtbf_scale": 0.05})])
+        summary = summarize(result)
+        assert summary.varied == []
+
+    def test_analytic_summary(self):
+        result = SweepRunner().run(SweepSpec(
+            "standby-sizing", grid={"machines": [128, 1024]}))
+        summary = summarize(result)
+        rows = {r["machines"]: r for r in summary.rows}
+        assert rows[128]["p99_standby_machines"] == 2
+        assert rows[1024]["p99_standby_machines"] == 4
+
+
+class TestSweepCli:
+    def test_list_scenarios(self, capsys):
+        assert main(["list-scenarios"]) == 0
+        out = capsys.readouterr().out
+        assert "dense-small" in out and "mtbf_scale" in out
+
+    def test_sweep_command_with_cache_and_output(self, tmp_path,
+                                                 capsys):
+        out_file = tmp_path / "sweep.json"
+        argv = ["sweep", "--scenario", "dense-small",
+                "--grid", "mtbf_scale=0.01,0.03",
+                "--set", "duration_s=7200",
+                "--workers", "2", "--base-seed", "7",
+                "--cache-dir", str(tmp_path / "cache"),
+                "--output", str(out_file)]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert "0 served from cache" in first
+        data = json.loads(out_file.read_text())
+        assert len(data["sweep"]["cells"]) == 2
+        assert data["summary"]["varied"] == ["mtbf_scale"]
+
+        assert main(argv) == 0
+        second = capsys.readouterr().out
+        assert "2 served from cache" in second
+
+    def test_sweep_rejects_bad_grid_syntax(self):
+        with pytest.raises(SystemExit):
+            main(["sweep", "--scenario", "dense-small",
+                  "--grid", "mtbf_scale"])
+
+    def test_set_rejects_multiple_values(self):
+        with pytest.raises(SystemExit, match="single value"):
+            main(["sweep", "--scenario", "dense-small",
+                  "--set", "mtbf_scale=0.5,1.0"])
+
+    def test_sweep_unknown_scenario_clean_error(self, capsys):
+        assert main(["sweep", "--scenario", "nope",
+                     "--no-cache"]) == 2
+        assert "unknown scenario" in capsys.readouterr().err
+
+    def test_sweep_failing_cell_clean_error(self, capsys):
+        assert main(["sweep", "--scenario", "dense-small",
+                     "--set", "duration_s=-1", "--no-cache"]) == 2
+        assert "cell #0" in capsys.readouterr().err
+
+
+class TestPendingCountO1:
+    def test_cancel_keeps_counter_accurate(self):
+        sim = Simulator()
+        handles = [sim.schedule(i + 1.0, lambda: None)
+                   for i in range(3)]
+        assert sim.pending_count() == 3
+        handles[1].cancel()
+        assert sim.pending_count() == 2
+        handles[1].cancel()          # double-cancel is a no-op
+        assert sim.pending_count() == 2
+        sim.run()
+        assert sim.pending_count() == 0
+
+    def test_cancel_after_execution_is_noop(self):
+        sim = Simulator()
+        handle = sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        sim.run(until=1.5)
+        assert sim.pending_count() == 1
+        handle.cancel()              # already ran; must not underflow
+        assert sim.pending_count() == 1
+
+    def test_counter_matches_queue_scan(self):
+        sim = Simulator()
+        handles = [sim.schedule(float(i + 1), lambda: None)
+                   for i in range(50)]
+        for h in handles[::3]:
+            h.cancel()
+        scan = sum(1 for h in sim._queue
+                   if not h.cancelled and not h.executed)
+        assert sim.pending_count() == scan
