@@ -1,0 +1,83 @@
+#!/usr/bin/env python
+"""CI regression gate for ``BENCH_sim.json``.
+
+Compares the *speedup ratios* of a fresh benchmark run against the
+committed baseline and fails (exit 1) when any tracked ratio regressed
+by more than ``--tolerance`` (default 30%).  Ratios — fast path vs the
+in-tree seed implementation — are used instead of absolute wall-clock
+precisely so the gate transfers across runner hardware: both sides of
+each ratio ran on the same machine in the same job.
+
+Usage::
+
+    python benchmarks/perf/check_regression.py \
+        --current BENCH_sim.json \
+        --baseline benchmarks/perf/baseline.json \
+        --tolerance 0.30
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+
+def _speedups(payload: dict) -> dict:
+    """name -> speedup ratio for every gated benchmark in a payload."""
+    out = {}
+    for row in payload.get("microbench", []):
+        if "speedup" in row:
+            out[f"micro:{row['name']}"] = row["speedup"]
+    for row in payload.get("scenarios", []):
+        if "speedup" in row:
+            out[f"scenario:{row['name']}"] = row["speedup"]
+    return out
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--current", required=True,
+                        help="BENCH_sim.json from this run")
+    parser.add_argument("--baseline", required=True,
+                        help="committed baseline JSON")
+    parser.add_argument("--tolerance", type=float, default=0.30,
+                        help="allowed fractional regression (0.30 = 30%%)")
+    args = parser.parse_args(argv)
+
+    with open(args.current) as fh:
+        current = _speedups(json.load(fh))
+    with open(args.baseline) as fh:
+        baseline = _speedups(json.load(fh))
+
+    failures = []
+    for name, base in sorted(baseline.items()):
+        now = current.get(name)
+        if now is None:
+            failures.append(f"{name}: missing from current run")
+            continue
+        floor = base * (1.0 - args.tolerance)
+        status = "OK " if now >= floor else "FAIL"
+        print(f"{status} {name:<28} baseline {base:8.2f}x  "
+              f"current {now:8.2f}x  floor {floor:6.2f}x")
+        if now < floor:
+            failures.append(
+                f"{name}: {now:.2f}x < floor {floor:.2f}x "
+                f"(baseline {base:.2f}x - {args.tolerance:.0%})")
+
+    extra = set(current) - set(baseline)
+    for name in sorted(extra):
+        print(f"NEW  {name:<28} current {current[name]:8.2f}x "
+              f"(not gated; add to baseline to track)")
+
+    if failures:
+        print("\nperformance regression detected:", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print("\nall tracked speedups within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -77,18 +77,28 @@ class CheckpointManager:
         self.remote_step: int = -1
         self.saves_started = 0
         self.enabled = True
+        #: (effective mfu, context) — everything else in the context
+        #: is static, so it only needs rebuilding when the MFU moves
+        #: (hot updates, degradations), not twice per training step.
+        self._ctx_cache: Optional[tuple] = None
         job.step_listeners.append(self._on_step)
         job.overhead_providers.append(self._blocking_overhead)
 
     # ------------------------------------------------------------------
     def _context(self) -> CheckpointContext:
-        return CheckpointContext(
+        mfu = self.job.mfu_model.current_mfu()
+        cached = self._ctx_cache
+        if cached is not None and cached[0] == mfu:
+            return cached[1]
+        ctx = CheckpointContext(
             shard_sizes=self.shard_sizes, tiers=self.tiers,
             base_step_s=self.job.mfu_model.step_time(
                 self.job.config.model.flops_per_step(
                     self.job.config.global_batch_size),
                 self.job.topology.world_size,
                 self.job.config.gpu_peak_tflops))
+        self._ctx_cache = (mfu, ctx)
+        return ctx
 
     def _blocking_overhead(self, step: int) -> float:
         if not self.enabled:
@@ -119,11 +129,13 @@ class CheckpointManager:
 
     def _mark_local(self, step: int) -> None:
         for state in self.slot_states.values():
-            state.local_step = max(state.local_step, step)
+            if step > state.local_step:
+                state.local_step = step
 
     def _mark_backup(self, step: int) -> None:
         for state in self.slot_states.values():
-            state.backup_step = max(state.backup_step, step)
+            if step > state.backup_step:
+                state.backup_step = step
 
     def _mark_remote(self, step: int) -> None:
         self.remote_step = max(self.remote_step, step)

@@ -27,6 +27,15 @@ Commands
         python -m repro sweep --scenario dense \\
             --grid mtbf_scale=0.5,1.0,2.0 --workers 4
 
+``perf``
+    Run the simulation-core benchmark suite (:mod:`repro.perf`) —
+    engine microbenchmarks and end-to-end scenario wall-clock, each
+    measured against the preserved seed implementation — and write the
+    ``BENCH_sim.json`` payload.  ``--quick`` shrinks sizes for CI
+    smoke runs::
+
+        python -m repro perf --quick --output BENCH_sim.json
+
 ``standby-size``
     Print the P99 standby pool size for a fleet (Table 5's math).
 
@@ -135,12 +144,46 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
           f"{cells - result.cache_hits} simulated "
           f"({args.workers} worker{'s' if args.workers != 1 else ''})")
     if cache is not None:
-        print(f"cache: {args.cache_dir} ({len(cache)} entries)")
+        stats = cache.stats()
+        print(f"cache: {args.cache_dir} ({len(cache)} entries; "
+              f"{stats['hits']} hits, {stats['misses']} misses, "
+              f"{stats['writes']} writes this sweep)")
     if args.output:
         with open(args.output, "w") as fh:
             json.dump({"summary": summary.to_dict(),
                        "sweep": result.to_dict()}, fh, indent=2)
         print(f"full sweep written to {args.output}")
+    return 0
+
+
+def _cmd_perf(args: argparse.Namespace) -> int:
+    from repro.perf import run_benchmarks
+
+    payload = run_benchmarks(quick=args.quick,
+                             include_xl=not args.no_xl,
+                             with_seed_baseline=not args.no_baseline,
+                             repeat=args.repeat)
+    print(f"# BENCH_sim (schema {payload['schema']}, "
+          f"{'quick' if payload['quick'] else 'full'} mode, "
+          f"python {payload['python']})")
+    for row in payload["microbench"]:
+        line = (f"micro {row['name']:<18} "
+                f"{row['fast']['events_per_sec']:>12,.0f} ev/s")
+        if "speedup" in row:
+            line += (f"   seed {row['seed']['events_per_sec']:>12,.0f} "
+                     f"ev/s   speedup {row['speedup']:.2f}x")
+        print(line)
+    for row in payload["scenarios"]:
+        line = (f"scenario {row['name']:<18} "
+                f"{row['fast_seconds']:>8.2f}s")
+        if "speedup" in row:
+            line += (f"   seed {row['seed_seconds']:>8.2f}s   "
+                     f"speedup {row['speedup']:.2f}x")
+        print(line)
+    if args.output:
+        with open(args.output, "w") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+        print(f"\nbenchmark payload written to {args.output}")
     return 0
 
 
@@ -266,6 +309,21 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--output", type=str, default=None,
                    help="write the summary + all cell reports as JSON")
     p.set_defaults(func=_cmd_sweep)
+
+    p = sub.add_parser("perf",
+                       help="simulation-core benchmarks "
+                            "(BENCH_sim.json)")
+    p.add_argument("--quick", action="store_true",
+                   help="CI smoke sizes (seconds, not minutes)")
+    p.add_argument("--no-xl", action="store_true",
+                   help="skip the ~10k-GPU dense-xl scenario")
+    p.add_argument("--no-baseline", action="store_true",
+                   help="skip the seed-baseline comparison runs")
+    p.add_argument("--repeat", type=int, default=None,
+                   help="microbench repetitions (default: 1 quick, 3 full)")
+    p.add_argument("--output", type=str, default=None,
+                   help="write the BENCH_sim.json payload here")
+    p.set_defaults(func=_cmd_perf)
 
     p = sub.add_parser("standby-size", help="P99 standby pool sizing")
     p.add_argument("--machines", type=int, default=1024)

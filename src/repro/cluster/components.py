@@ -15,6 +15,30 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 
+class _Inspectable:
+    """Mixin: any field write bumps the owning machine's health version.
+
+    The inspection fast path caches each machine's per-subsystem health
+    rollup and revalidates it with a single integer compare; that is
+    only sound if *every* mutation — the fault injector's, a repair's,
+    or a test poking a field directly — invalidates the cache.  Routing
+    all attribute writes through here guarantees it without asking any
+    caller to cooperate.
+    """
+
+    def __setattr__(self, name: str, value) -> None:
+        object.__setattr__(self, name, value)
+        owner = self.__dict__.get("_owner")
+        if owner is not None:
+            owner.health_ver += 1
+            owner.cluster_ver[0] += 1
+
+    def _bind(self, owner: "Machine") -> None:
+        self.__dict__["_owner"] = owner
+        owner.health_ver += 1
+        owner.cluster_ver[0] += 1
+
+
 class MachineState(enum.Enum):
     """Lifecycle of a machine within the pool."""
 
@@ -27,7 +51,7 @@ class MachineState(enum.Enum):
 
 
 @dataclass
-class Gpu:
+class Gpu(_Inspectable):
     """One GPU's inspectable health state."""
 
     index: int
@@ -71,7 +95,7 @@ class Gpu:
 
 
 @dataclass
-class Nic:
+class Nic(_Inspectable):
     """One RDMA NIC's inspectable state."""
 
     index: int
@@ -87,7 +111,7 @@ class Nic:
 
 
 @dataclass
-class HostState:
+class HostState(_Inspectable):
     """Host-side (non-GPU) inspectable state."""
 
     kernel_panic: bool = False
@@ -140,9 +164,21 @@ class Machine:
     def __init__(self, machine_id: int, spec: Optional[MachineSpec] = None):
         self.id = machine_id
         self.spec = spec or MachineSpec()
+        #: Monotone counter bumped by every component-state write; the
+        #: inspection fast path revalidates its cached health rollup
+        #: against it with one integer compare.
+        self.health_ver = 0
+        self._health_cache = None
+        #: Shared mutable cell also bumped on every write.  A Cluster
+        #: points all of its machines (and switches) at one cell, so a
+        #: sweep can prove "nothing anywhere changed" with a single
+        #: integer read; standalone machines get a private cell.
+        self.cluster_ver = [0]
         self.gpus = [Gpu(i) for i in range(self.spec.gpus_per_machine)]
         self.nics = [Nic(i) for i in range(self.spec.nics_per_machine)]
         self.host = HostState()
+        for part in (*self.gpus, *self.nics, self.host):
+            part._bind(self)
         self.state = MachineState.FREE
         #: Identifier of the leaf switch this machine hangs off.
         self.switch_id: Optional[int] = None
@@ -150,11 +186,27 @@ class Machine:
         self.active_fault_ids: List[int] = []
 
     # ------------------------------------------------------------------
+    def component_health(self) -> "tuple[bool, bool, bool]":
+        """``(host_ok, gpus_ok, nics_ok)``, O(1) while state is unchanged.
+
+        The full component scan reruns only after a write bumped
+        :attr:`health_ver`; between faults (the overwhelmingly common
+        case for inspection sweeps) this is one compare and a tuple
+        load.
+        """
+        cached = self._health_cache
+        if cached is not None and cached[0] == self.health_ver:
+            return cached[1]
+        summary = (self.host.healthy(),
+                   all(g.healthy() for g in self.gpus),
+                   all(n.healthy() for n in self.nics))
+        self._health_cache = (self.health_ver, summary)
+        return summary
+
     def healthy(self) -> bool:
         """All inspectable components healthy (SDC excluded by design)."""
-        return (self.host.healthy()
-                and all(g.healthy() for g in self.gpus)
-                and all(n.healthy() for n in self.nics))
+        host_ok, gpus_ok, nics_ok = self.component_health()
+        return host_ok and gpus_ok and nics_ok
 
     def has_sdc_defect(self) -> bool:
         return any(g.sdc_defective for g in self.gpus)
@@ -164,6 +216,8 @@ class Machine:
         self.gpus = [Gpu(i) for i in range(self.spec.gpus_per_machine)]
         self.nics = [Nic(i) for i in range(self.spec.nics_per_machine)]
         self.host = HostState()
+        for part in (*self.gpus, *self.nics, self.host):
+            part._bind(self)
         self.active_fault_ids.clear()
 
     def component_summary(self) -> Dict[str, bool]:

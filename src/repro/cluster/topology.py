@@ -24,6 +24,14 @@ class Switch:
     #: Machines cabled to this switch (ids).
     machine_ids: List[int] = field(default_factory=list)
 
+    def __setattr__(self, name: str, value) -> None:
+        # switches participate in the cluster-wide change counter so
+        # the inspection fast path can skip provably-unchanged sweeps
+        object.__setattr__(self, name, value)
+        cell = self.__dict__.get("_ver_cell")
+        if cell is not None:
+            cell[0] += 1
+
 
 @dataclass(frozen=True)
 class ClusterSpec:
@@ -49,16 +57,32 @@ class Cluster:
 
     def __init__(self, spec: ClusterSpec):
         self.spec = spec
+        #: One shared change counter for every component in the fleet;
+        #: see :meth:`health_version`.
+        self._ver_cell = [0]
         self.machines: List[Machine] = [
             Machine(i, spec.machine_spec) for i in range(spec.num_machines)]
+        for machine in self.machines:
+            machine.cluster_ver = self._ver_cell
         self.switches: List[Switch] = []
         per = spec.machines_per_switch
         for sw_id in range(-(-spec.num_machines // per)):
             ids = list(range(sw_id * per,
                              min((sw_id + 1) * per, spec.num_machines)))
-            self.switches.append(Switch(id=sw_id, machine_ids=ids))
+            switch = Switch(id=sw_id, machine_ids=ids)
+            switch.__dict__["_ver_cell"] = self._ver_cell
+            self.switches.append(switch)
             for mid in ids:
                 self.machines[mid].switch_id = sw_id
+
+    def health_version(self) -> int:
+        """Cluster-wide change counter: bumps on *any* component write.
+
+        Equal values across two instants prove no machine or switch
+        state changed in between, which lets periodic sweeps skip
+        re-scanning a provably-unchanged fleet.
+        """
+        return self._ver_cell[0]
 
     # ------------------------------------------------------------------
     def machine(self, machine_id: int) -> Machine:

@@ -38,23 +38,41 @@ def cell_key(scenario: str, params: Dict[str, Any], seed: int) -> str:
 
 
 class ResultCache:
-    """A directory of ``<cell_key>.json`` payloads."""
+    """A directory of ``<cell_key>.json`` payloads.
+
+    The instance counts its own traffic (:attr:`hits`, :attr:`misses`,
+    :attr:`writes`) so sweep drivers can report cache effectiveness —
+    a silent cache that never hits is indistinguishable from no cache
+    in wall-clock terms, but not in a CI log that prints the counters.
+    """
 
     def __init__(self, directory: str):
         self.directory = directory
+        self.hits = 0
+        self.misses = 0
+        self.writes = 0
 
     def _path(self, key: str) -> str:
         return os.path.join(self.directory, f"{key}.json")
+
+    def stats(self) -> Dict[str, int]:
+        """Traffic counters since construction (for logs/CI summaries)."""
+        return {"hits": self.hits, "misses": self.misses,
+                "writes": self.writes}
 
     def get(self, key: str) -> Optional[Dict[str, Any]]:
         """The cached payload, or None on miss / unreadable entry."""
         try:
             with open(self._path(key), "r", encoding="utf-8") as fh:
-                return json.load(fh)
+                payload = json.load(fh)
         except (OSError, ValueError):
+            self.misses += 1
             return None
+        self.hits += 1
+        return payload
 
     def put(self, key: str, payload: Dict[str, Any]) -> None:
+        self.writes += 1
         os.makedirs(self.directory, exist_ok=True)
         fd, tmp = tempfile.mkstemp(dir=self.directory, suffix=".tmp")
         try:

@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 from typing import Callable, List, Optional
 
 from repro.sim import Simulator
+from repro.sim.ring import RingBuffer
 from repro.training.job import LogEvent, TrainingJob
 from repro.training.metrics import StepMetrics
 
@@ -31,7 +32,8 @@ class CollectorConfig:
     #: Log tail cadence — bounds explicit-failure detection latency
     #: (the paper reports ~60 s detection via log indicators).
     log_interval_s: float = 30.0
-    #: History retention (samples); old samples are dropped.
+    #: History retention (samples); the ring buffers drop the oldest
+    #: sample once full, so month-long windows never reallocate.
     max_samples: int = 100_000
 
 
@@ -43,9 +45,10 @@ class MetricsCollector:
         self.sim = sim
         self.job = job
         self.config = config or CollectorConfig()
-        self.steps: List[StepMetrics] = []
-        self.gauges: List[GaugeSample] = []
-        self.new_logs: List[LogEvent] = []
+        cap = self.config.max_samples
+        self.steps: RingBuffer = RingBuffer(cap)
+        self.gauges: RingBuffer = RingBuffer(cap)
+        self.new_logs: RingBuffer = RingBuffer(cap)
         self._log_cursor = 0
         self._step_listeners: List[Callable[[StepMetrics], None]] = []
         self._gauge_listeners: List[Callable[[GaugeSample], None]] = []
@@ -66,11 +69,15 @@ class MetricsCollector:
     def start(self) -> None:
         if self._tasks:
             return
+        # Coalesced ticks: the gauge poll shares a TickGroup (one heap
+        # entry per cadence) with any other same-interval task, e.g.
+        # the inspection engine's GPU sweep.
         self._tasks = [
-            self.sim.every(self.config.gauge_interval_s, self._poll_gauges,
-                           first_delay=self.config.gauge_interval_s),
-            self.sim.every(self.config.log_interval_s, self._poll_logs,
-                           first_delay=self.config.log_interval_s),
+            self.sim.every_tick(self.config.gauge_interval_s,
+                                self._poll_gauges,
+                                first_delay=self.config.gauge_interval_s),
+            self.sim.every_tick(self.config.log_interval_s, self._poll_logs,
+                                first_delay=self.config.log_interval_s),
         ]
 
     def stop(self) -> None:
@@ -81,8 +88,6 @@ class MetricsCollector:
     # ------------------------------------------------------------------
     def _on_step(self, metrics: StepMetrics) -> None:
         self.steps.append(metrics)
-        if len(self.steps) > self.config.max_samples:
-            del self.steps[:len(self.steps) // 2]
         for fn in list(self._step_listeners):
             fn(metrics)
 
@@ -92,8 +97,6 @@ class MetricsCollector:
             rdma_traffic_frac=self.job.rdma_traffic_frac(),
             tensorcore_util_frac=self.job.tensorcore_util_frac())
         self.gauges.append(sample)
-        if len(self.gauges) > self.config.max_samples:
-            del self.gauges[:len(self.gauges) // 2]
         for fn in list(self._gauge_listeners):
             fn(sample)
 
@@ -107,8 +110,10 @@ class MetricsCollector:
 
     # ------------------------------------------------------------------
     def recent_steps(self, count: int) -> List[StepMetrics]:
-        return self.steps[-count:]
+        return self.steps.recent(count)
 
     def gauge_window(self, window_s: float) -> List[GaugeSample]:
+        # samples are appended in time order, so the window is a suffix:
+        # scan from the newest backwards, O(window) not O(history)
         cutoff = self.sim.now - window_s
-        return [g for g in self.gauges if g.time >= cutoff]
+        return self.gauges.tail_while(lambda g: g.time >= cutoff)

@@ -88,6 +88,36 @@ class InspectionEngine:
         self._last_emit: Dict[Tuple[str, Tuple[int, ...]], float] = {}
         self._tasks: list = []
         self._started = False
+        #: category -> (cluster version, inspected ids) of the last
+        #: *clean* sweep; see the fast-path note above the sweeps.
+        self._clean_state: Dict[str, Tuple[int, List[int]]] = {}
+        self._health_version = getattr(cluster, "health_version", None)
+
+    def _skip_unchanged(self, category: str, ids: List[int]
+                        ) -> Optional[int]:
+        """Cluster version if this sweep must run, None to skip it.
+
+        A sweep may be skipped only when the previous sweep over the
+        *same machines* found every inspected component healthy and the
+        cluster-wide change counter proves nothing was written since:
+        a clean sweep is a pure read, so re-running it cannot emit,
+        strike, or dedup anything.
+        """
+        version = self._health_version
+        if version is None:          # cluster stub without the counter
+            return -1
+        ver = version()
+        state = self._clean_state.get(category)
+        if state is not None and state[0] == ver and state[1] == ids:
+            return None
+        return ver
+
+    def _mark_clean(self, category: str, ver: int, ids: List[int],
+                    clean: bool) -> None:
+        if clean and ver >= 0:
+            self._clean_state[category] = (ver, list(ids))
+        else:
+            self._clean_state.pop(category, None)
 
     def add_listener(self, fn: Callable[[InspectionEvent], None]) -> None:
         self._listeners.append(fn)
@@ -97,13 +127,16 @@ class InspectionEngine:
             return
         self._started = True
         cfg = self.config
+        # Coalesced ticks: each sweep joins the TickGroup for its
+        # cadence, sharing one heap entry with every other task on the
+        # same interval (e.g. the collector's gauge poll).
         self._tasks = [
-            self.sim.every(cfg.network_interval_s, self._sweep_network,
-                           first_delay=cfg.network_interval_s),
-            self.sim.every(cfg.gpu_interval_s, self._sweep_gpu,
-                           first_delay=cfg.gpu_interval_s),
-            self.sim.every(cfg.host_interval_s, self._sweep_host,
-                           first_delay=cfg.host_interval_s),
+            self.sim.every_tick(cfg.network_interval_s, self._sweep_network,
+                                first_delay=cfg.network_interval_s),
+            self.sim.every_tick(cfg.gpu_interval_s, self._sweep_gpu,
+                                first_delay=cfg.gpu_interval_s),
+            self.sim.every_tick(cfg.host_interval_s, self._sweep_host,
+                                first_delay=cfg.host_interval_s),
         ]
 
     def stop(self) -> None:
@@ -142,19 +175,39 @@ class InspectionEngine:
             fn(event)
 
     # ------------------------------------------------------------------
+    # Sweeps consult each machine's O(1) health rollup
+    # (:meth:`Machine.component_health`) and only walk the per-component
+    # checks on machines whose subsystem is actually unhealthy — a
+    # healthy machine's sweep is a pure read, so skipping it cannot
+    # change any emission.  Unhealthy machines take the exact seed code
+    # path, so event content, deduplication, and ordering are
+    # byte-identical.
     def _sweep_network(self) -> None:
+        ids = self._machine_ids()
+        ver = self._skip_unchanged("network", ids)
+        if ver is None:
+            return
+        clean = True
         switches_seen: Dict[int, bool] = {}
-        for mid in self._machine_ids():
-            machine = self.cluster.machine(mid)
-            if any(not nic.up for nic in machine.nics):
-                self._emit("nic_crash", "network", SignalConfidence.NETWORK,
-                           [mid])
-            if any(nic.flapping or nic.packet_loss_rate
-                   >= nic.FLAP_LOSS_THRESHOLD for nic in machine.nics):
-                self._emit("port_flapping", "network",
-                           SignalConfidence.NETWORK, [mid])
-            sw = self.cluster.switch_of(mid)
-            switches_seen.setdefault(sw.id, sw.up)
+        machines = self.cluster.machines
+        switches = self.cluster.switches
+        for mid in ids:
+            machine = machines[mid]
+            if not machine.component_health()[2]:
+                clean = False
+                if any(not nic.up for nic in machine.nics):
+                    self._emit("nic_crash", "network",
+                               SignalConfidence.NETWORK, [mid])
+                if any(nic.flapping or nic.packet_loss_rate
+                       >= nic.FLAP_LOSS_THRESHOLD for nic in machine.nics):
+                    self._emit("port_flapping", "network",
+                               SignalConfidence.NETWORK, [mid])
+            sw = switches[machine.switch_id]
+            if sw.id not in switches_seen:
+                switches_seen[sw.id] = sw.up
+                if not sw.up:
+                    clean = False
+        self._mark_clean("network", ver, ids, clean)
         for sw_id, up in switches_seen.items():
             if up:
                 self._switch_strikes.pop(sw_id, None)
@@ -170,8 +223,17 @@ class InspectionEngine:
                            switch_id=sw_id)
 
     def _sweep_gpu(self) -> None:
-        for mid in self._machine_ids():
-            machine = self.cluster.machine(mid)
+        ids = self._machine_ids()
+        ver = self._skip_unchanged("gpu", ids)
+        if ver is None:
+            return
+        clean = True
+        machines = self.cluster.machines
+        for mid in ids:
+            machine = machines[mid]
+            if machine.component_health()[1]:
+                continue
+            clean = False
             for gpu in machine.gpus:
                 if not gpu.available:
                     self._emit("gpu_lost", "gpu", SignalConfidence.HIGH,
@@ -191,10 +253,21 @@ class InspectionEngine:
                 elif gpu.pcie_bandwidth_frac < 0.8:
                     self._emit("pcie_degraded", "gpu",
                                SignalConfidence.WARN, [mid])
+        self._mark_clean("gpu", ver, ids, clean)
 
     def _sweep_host(self) -> None:
-        for mid in self._machine_ids():
-            host = self.cluster.machine(mid).host
+        ids = self._machine_ids()
+        ver = self._skip_unchanged("host", ids)
+        if ver is None:
+            return
+        clean = True
+        machines = self.cluster.machines
+        for mid in ids:
+            machine = machines[mid]
+            if machine.component_health()[0]:
+                continue
+            clean = False
+            host = machine.host
             if host.kernel_panic:
                 self._emit("os_kernel_fault", "host", SignalConfidence.HIGH,
                            [mid])
@@ -215,3 +288,4 @@ class InspectionEngine:
             elif host.cpu_load_frac >= host.CPU_OVERLOAD_FRAC:
                 self._emit("cpu_overload", "host", SignalConfidence.WARN,
                            [mid])
+        self._mark_clean("host", ver, ids, clean)

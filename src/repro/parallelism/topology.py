@@ -92,6 +92,10 @@ class RankTopology:
         self._dp = config.dp
         self._strides = {"tp": 1, "pp": self._tp, "dp": self._tp * self._pp}
         self._group_cache: Dict[str, List[List[int]]] = {}
+        #: (dim, group base rank) -> machine span; groups are static,
+        #: so spans are computed once per group, not once per member
+        #: query (the backup planner asks per rank).
+        self._span_cache: Dict[tuple, List[int]] = {}
 
     # ------------------------------------------------------------------
     # rank <-> coordinate
@@ -167,6 +171,13 @@ class RankTopology:
     def group_of(self, rank: int, dim: str) -> List[int]:
         """The ``dim`` parallel group containing ``rank``."""
         self._check_rank(rank)
+        stride = self._strides.get(dim)
+        if stride is not None:
+            # strided dims are regular: derive the group directly
+            # instead of scanning all groups (O(size) vs O(world))
+            base = rank - self.coord_of(rank).axis(dim) * stride
+            return [base + i * stride
+                    for i in range(self.group_size(dim))]
         for group in self.groups(dim):
             if rank in group:
                 return group
@@ -212,7 +223,16 @@ class RankTopology:
 
     def machines_of_group(self, rank: int, dim: str) -> List[int]:
         """Machines spanned by ``rank``'s parallel group along ``dim``."""
-        return self.machines_of_ranks(self.group_of(rank, dim))
+        stride = self._strides.get(dim)
+        if stride is None:
+            return self.machines_of_ranks(self.group_of(rank, dim))
+        base = rank - self.coord_of(rank).axis(dim) * stride
+        key = (dim, base)
+        cached = self._span_cache.get(key)
+        if cached is None:
+            cached = self.machines_of_ranks(self.group_of(rank, dim))
+            self._span_cache[key] = cached
+        return list(cached)
 
     def iter_ranks(self) -> Iterator[int]:
         return iter(range(self.world_size))

@@ -1,0 +1,38 @@
+"""Performance benchmarking for the simulation core (``BENCH_sim``).
+
+The package measures two things, both against the *seed* (pre-fast-path)
+implementation preserved in :mod:`repro.sim._reference` and
+:mod:`repro.perf.baseline`:
+
+* **engine microbenchmarks** — events/sec through the raw simulator for
+  one-shot scheduling, cancellation-heavy traffic, and the coalesced
+  periodic-tick scheduler (the headline O(tasks) → O(1) win);
+* **scenario wall-clock** — end-to-end runtime of registered scenarios
+  (``dense``, ``degraded-network``, optionally ``dense-xl``) through
+  the sweep API, fast path vs seed baseline.
+
+:func:`run_benchmarks` returns the ``BENCH_sim.json`` payload;
+``python -m repro perf`` writes it.  CI's ``perf-smoke`` job gates on
+the *speedup ratios* (machine-independent) via
+``benchmarks/perf/check_regression.py``.
+"""
+
+from repro.perf.baseline import seed_baseline
+from repro.perf.bench import (
+    BENCH_SCHEMA_VERSION,
+    bench_cancellation,
+    bench_oneshot_events,
+    bench_scenario,
+    bench_scheduler_ticks,
+    run_benchmarks,
+)
+
+__all__ = [
+    "BENCH_SCHEMA_VERSION",
+    "bench_cancellation",
+    "bench_oneshot_events",
+    "bench_scenario",
+    "bench_scheduler_ticks",
+    "run_benchmarks",
+    "seed_baseline",
+]

@@ -15,17 +15,28 @@ deterministic, simpy-like kernel:
   another.
 """
 
-from repro.sim.engine import EventHandle, Simulator
+from repro.sim.engine import (
+    EventHandle,
+    PeriodicTask,
+    Simulator,
+    TickGroup,
+    TickMember,
+)
 from repro.sim.events import Event, Timeout
 from repro.sim.process import Process, ProcessExit
+from repro.sim.ring import RingBuffer
 from repro.sim.rng import RngStreams
 
 __all__ = [
     "Event",
     "EventHandle",
+    "PeriodicTask",
     "Process",
     "ProcessExit",
+    "RingBuffer",
     "RngStreams",
     "Simulator",
+    "TickGroup",
+    "TickMember",
     "Timeout",
 ]

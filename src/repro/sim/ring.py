@@ -1,0 +1,53 @@
+"""A bounded append-only history buffer for metric streams.
+
+Month-long simulated windows used to grow Python lists without bound
+(or shed half their history in one reallocation burst); a
+:class:`RingBuffer` keeps the last ``maxlen`` samples with O(1)
+amortized appends and no large reallocation spikes.  It is a thin
+:class:`collections.deque` subclass so ``len()``, indexing (including
+negative indices) and iteration all behave like the list it replaces,
+plus two tail-oriented helpers the detectors use.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from itertools import islice
+from typing import Callable, Iterable, List, Optional, TypeVar
+
+T = TypeVar("T")
+
+
+class RingBuffer(deque):
+    """A deque with a hard capacity and list-flavoured tail helpers."""
+
+    def __init__(self, maxlen: int, iterable: Iterable[T] = ()):
+        if maxlen < 1:
+            raise ValueError(f"maxlen must be positive: {maxlen}")
+        super().__init__(iterable, maxlen)
+
+    def recent(self, count: int) -> List[T]:
+        """The last ``count`` items, oldest first (``list[-count:]``)."""
+        if count <= 0:
+            return []
+        tail = list(islice(reversed(self), count))
+        tail.reverse()
+        return tail
+
+    def tail_while(self, predicate: Callable[[T], bool],
+                   limit: Optional[int] = None) -> List[T]:
+        """Longest suffix whose items all satisfy ``predicate``.
+
+        Scans from the newest item backwards and stops at the first
+        non-matching one, so windowed queries over a monotone field
+        (e.g. sample time >= cutoff) cost O(window), not O(history).
+        """
+        out: List[T] = []
+        for item in reversed(self):
+            if not predicate(item):
+                break
+            out.append(item)
+            if limit is not None and len(out) >= limit:
+                break
+        out.reverse()
+        return out

@@ -95,6 +95,7 @@ class TrainingJob:
         self.state = JobState.INIT
         #: logical machine slot -> physical machine id
         self.slot_to_machine: Dict[int, int] = {}
+        self._machines_cache: Optional[List[int]] = None
         self.current_step = 0
         self.nan_active = False
         self.loss_spike_factor = 1.0
@@ -126,8 +127,18 @@ class TrainingJob:
 
     @property
     def machines(self) -> List[int]:
-        """Physical machine ids by slot order."""
-        return [self.slot_to_machine[s] for s in range(self.num_machines)]
+        """Physical machine ids by slot order.
+
+        The list is rebuilt only after a binding change; monitor sweeps
+        query it tens of thousands of times between changes, so they
+        share one materialization (callers must not mutate it).
+        """
+        cached = self._machines_cache
+        if cached is None:
+            cached = [self.slot_to_machine[s]
+                      for s in range(self.num_machines)]
+            self._machines_cache = cached
+        return cached
 
     def bind_machines(self, machine_ids: Sequence[int]) -> None:
         if len(machine_ids) != self.num_machines:
@@ -135,6 +146,7 @@ class TrainingJob:
                 f"job needs {self.num_machines} machines, "
                 f"got {len(machine_ids)}")
         self.slot_to_machine = dict(enumerate(machine_ids))
+        self._machines_cache = None
 
     def replace_machines(self, replacements: Dict[int, int]) -> None:
         """Swap physical machines into slots (phys_old -> phys_new)."""
@@ -143,6 +155,7 @@ class TrainingJob:
             if old not in inverse:
                 raise ValueError(f"machine {old} is not part of this job")
             self.slot_to_machine[inverse[old]] = new
+        self._machines_cache = None
 
     def slot_of_machine(self, machine_id: int) -> Optional[int]:
         for slot, phys in self.slot_to_machine.items():

@@ -55,14 +55,32 @@ class LossCurve:
         self.s0 = s0
         self.noise_scale = noise_scale
         self.seed = seed
+        # Per-step values are pure functions of (seed, step), so they
+        # are memoized: spinning up a numpy Generator per query is the
+        # expensive part, and rollbacks / report rendering re-query the
+        # same steps.  Cached values are bit-identical to recomputation
+        # (a cleared entry is simply recomputed), so the caches are
+        # flushed at a size bound to keep month-long runs from
+        # accumulating hundreds of thousands of entries.
+        self._noise_cache: Dict[int, float] = {}
+        self._gnorm_cache: Dict[int, float] = {}
+
+    _CACHE_LIMIT = 100_000
 
     def base(self, step: int) -> float:
         return ((self.l0 - self.l_inf)
                 * (1.0 + step / self.s0) ** (-self.alpha) + self.l_inf)
 
     def noise(self, step: int) -> float:
-        rng = np.random.default_rng(derive_seed(self.seed, f"loss:{step}"))
-        return float(rng.normal(0.0, self.noise_scale))
+        cached = self._noise_cache.get(step)
+        if cached is None:
+            rng = np.random.default_rng(
+                derive_seed(self.seed, f"loss:{step}"))
+            cached = float(rng.normal(0.0, self.noise_scale))
+            if len(self._noise_cache) >= self._CACHE_LIMIT:
+                self._noise_cache.clear()
+            self._noise_cache[step] = cached
+        return cached
 
     def loss(self, step: int, nan: bool = False,
              spike_factor: float = 1.0) -> float:
@@ -76,9 +94,15 @@ class LossCurve:
         """Gradient norm tracks loss decay (scaled), same determinism."""
         if nan:
             return float("nan")
-        rng = np.random.default_rng(derive_seed(self.seed, f"gnorm:{step}"))
-        base = 0.4 * self.base(step) * (1.0 + float(rng.normal(0, 0.05)))
-        return base * spike_factor
+        cached = self._gnorm_cache.get(step)
+        if cached is None:
+            rng = np.random.default_rng(
+                derive_seed(self.seed, f"gnorm:{step}"))
+            cached = 0.4 * self.base(step) * (1.0 + float(rng.normal(0, 0.05)))
+            if len(self._gnorm_cache) >= self._CACHE_LIMIT:
+                self._gnorm_cache.clear()
+            self._gnorm_cache[step] = cached
+        return cached * spike_factor
 
 
 @dataclass

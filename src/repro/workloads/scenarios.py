@@ -16,9 +16,9 @@ mechanism distribution, ETTR plateau) are what carry over.
 Every builder registers itself in the scenario registry
 (:mod:`repro.experiments.registry`) under a dash-separated name —
 ``dense``, ``moe``, ``staged``, plus variants ``dense-small``,
-``dense-large``, ``degraded-network``, ``aggressive-checkpoint`` and
-the analytic ``standby-sizing`` — so sweeps and the CLI can build any
-of them from a flat parameter dict.
+``dense-large``, ``dense-xl``, ``degraded-network``,
+``aggressive-checkpoint`` and the analytic ``standby-sizing`` — so
+sweeps and the CLI can build any of them from a flat parameter dict.
 """
 
 from __future__ import annotations
@@ -292,6 +292,46 @@ def large_fleet_scenario(num_machines: int = 32,
     return dense_production_scenario(
         num_machines=num_machines, duration_s=duration_s, seed=seed,
         mtbf_scale=mtbf_scale, hang_detect_s=hang_detect_s)
+
+
+@register_scenario(
+    "dense-xl",
+    params=_fleet_params(1250, 2 * 3600.0, 11, 0.1)
+    + [ParamSpec("global_batch_size", "int", 8192,
+                 "sequences per optimizer step (scaled with the fleet)")],
+    description="Dense job at paper deployment scale: 1250 machines "
+                "(~10k Hopper GPUs).  Tractable thanks to the "
+                "coalesced-tick scheduler and O(1) inspection sweeps",
+    tags=("variant", "dense", "xl"))
+def xl_fleet_scenario(num_machines: int = 1250,
+                      duration_s: float = 2 * 3600.0,
+                      seed: int = 11,
+                      mtbf_scale: float = 0.1,
+                      hang_detect_s: float = 300.0,
+                      global_batch_size: int = 8192
+                      ) -> ProductionScenario:
+    """The dense preset grown to a ~10k-GPU fleet (Sec. 8.1 scale).
+
+    The batch size scales with the fleet so simulated step time stays
+    realistic; the default window and MTBF compression keep a handful
+    of incidents in scope without letting the smoke run grow unbounded.
+    """
+    gpm = 8
+    dp = max(1, num_machines * gpm // (8 * 2))
+    job = TrainingJobConfig(
+        model=dense_70b(seq_len=4096),
+        parallelism=ParallelismConfig(tp=8, pp=2, dp=dp,
+                                      gpus_per_machine=gpm),
+        global_batch_size=global_batch_size,
+        gpu_peak_tflops=989.0)
+    config = _production_config(job, seed, hang_detect_s)
+    system = ByteRobustSystem(config)
+    gen = IncidentTraceGenerator(RngStreams(seed).fork("trace"))
+    mtbf = mtbf_seconds(job.parallelism.world_size) * mtbf_scale
+    events = gen.poisson_trace(duration_s, mtbf,
+                               machine_ids=list(range(num_machines)))
+    return ProductionScenario(system=system, events=events,
+                              duration_s=duration_s)
 
 
 @register_scenario(

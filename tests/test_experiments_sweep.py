@@ -160,6 +160,22 @@ class TestResultCache:
             fh.write("{not json")
         assert cache.get("abc") is None
 
+    def test_traffic_counters(self, tmp_path):
+        cache = ResultCache(str(tmp_path / "c"))
+        assert cache.stats() == {"hits": 0, "misses": 0, "writes": 0}
+        cache.get("nope")                       # miss
+        cache.put("key", {"x": 1})              # write
+        cache.get("key")                        # hit
+        cache.get("key")                        # hit
+        assert cache.stats() == {"hits": 2, "misses": 1, "writes": 1}
+
+    def test_corrupt_entry_counts_as_miss(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        with open(os.path.join(str(tmp_path), "bad.json"), "w") as fh:
+            fh.write("{not json")
+        cache.get("bad")
+        assert cache.stats()["misses"] == 1
+
 
 class TestSummary:
     def test_summary_rows_and_varied(self):
@@ -230,6 +246,9 @@ class TestSweepCli:
         assert main(argv) == 0
         second = capsys.readouterr().out
         assert "2 served from cache" in second
+        # the CLI surfaces cache traffic so CI logs show effectiveness
+        assert "2 hits, 0 misses, 0 writes this sweep" in second
+        assert "2 misses, 2 writes this sweep" in first
 
     def test_sweep_rejects_bad_grid_syntax(self):
         with pytest.raises(SystemExit):
@@ -280,6 +299,7 @@ class TestPendingCountO1:
                    for i in range(50)]
         for h in handles[::3]:
             h.cancel()
-        scan = sum(1 for h in sim._queue
-                   if not h.cancelled and not h.executed)
+        # the heap holds [time, priority, seq, callback] entries; a
+        # cancelled entry has its callback slot cleared in place
+        scan = sum(1 for entry in sim._queue if entry[3] is not None)
         assert sim.pending_count() == scan

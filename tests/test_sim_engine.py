@@ -167,6 +167,96 @@ def test_periodic_rejects_nonpositive_interval():
         sim.every(0.0, lambda: None)
 
 
+def test_every_tick_coalesces_same_cadence():
+    sim = Simulator()
+    order = []
+    sim.every_tick(10.0, lambda: order.append("a"))
+    sim.every_tick(10.0, lambda: order.append("b"))
+    # one heap entry carries both members
+    assert sim.pending_count() == 1
+    sim.run(until=25.0)
+    assert order == ["a", "b", "a", "b"]
+
+
+def test_every_tick_first_delay_and_stop():
+    sim = Simulator()
+    ticks = []
+    member = sim.every_tick(10.0, lambda: ticks.append(sim.now),
+                            first_delay=5.0)
+    sim.run(until=26.0)
+    assert ticks == [5.0, 15.0, 25.0]
+    member.stop()
+    assert member.stopped
+    sim.run(until=100.0)
+    assert ticks == [5.0, 15.0, 25.0]
+    assert sim.pending_count() == 0
+
+
+def test_every_tick_different_cadences_stay_separate():
+    sim = Simulator()
+    order = []
+    sim.every_tick(10.0, lambda: order.append("ten"))
+    sim.every_tick(4.0, lambda: order.append("four"))
+    assert sim.pending_count() == 2
+    sim.run(until=12.0)
+    assert order == ["four", "four", "ten", "four"]
+
+
+def test_every_tick_member_stopped_mid_batch_does_not_fire():
+    sim = Simulator()
+    order = []
+    holder = {}
+    sim.every_tick(5.0, lambda: (order.append("first"),
+                                 holder["second"].stop()))
+    holder["second"] = sim.every_tick(5.0, lambda: order.append("second"))
+    sim.run(until=11.0)
+    assert order == ["first", "first"]
+
+
+def test_every_tick_registered_mid_batch_joins_and_fires_next_tick():
+    sim = Simulator()
+    order = []
+    holder = {}
+
+    def spawner():
+        order.append(("spawner", sim.now))
+        if "late" not in holder:
+            holder["late"] = sim.every_tick(
+                5.0, lambda: order.append(("late", sim.now)))
+
+    sim.every_tick(5.0, spawner)
+    sim.run(until=11.0)
+    # the late member joined the live group (one heap entry) and first
+    # fired one full interval after registration
+    assert order == [("spawner", 5.0), ("spawner", 10.0), ("late", 10.0)]
+    assert sim.pending_count() == 1
+
+
+def test_every_tick_member_exception_kills_only_that_member():
+    sim = Simulator()
+    order = []
+
+    def bad():
+        order.append(("bad", sim.now))
+        raise RuntimeError("boom")
+
+    sim.every_tick(5.0, bad)
+    sim.every_tick(5.0, lambda: order.append(("good", sim.now)))
+    with pytest.raises(RuntimeError):
+        sim.run(until=20.0)
+    # the raiser is dead, the cadence survives: resuming the run keeps
+    # firing the healthy member on the anchored grid
+    sim.run(until=20.0)
+    assert order == [("bad", 5.0), ("good", 10.0), ("good", 15.0),
+                     ("good", 20.0)]
+
+
+def test_every_tick_rejects_nonpositive_interval():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.every_tick(0.0, lambda: None)
+
+
 def test_stop_periodic_from_its_own_callback():
     sim = Simulator()
     ticks = []

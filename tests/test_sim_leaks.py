@@ -1,0 +1,82 @@
+"""Property tests: the engine's cancellation table cannot leak.
+
+The fast-path heap stores ``[time, priority, seq, callback]`` entries
+whose callback slot doubles as the cancellation mark.  These properties
+pin the two invariants that make that safe under arbitrary interleaved
+schedule/cancel/run traffic:
+
+* draining the queue leaves no entries behind (cancelled or not) and a
+  zero pending count;
+* ``pending_count`` always equals the number of un-cancelled,
+  un-executed entries, no matter the cancel pattern.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import Simulator
+
+#: A schedule/cancel script: (delay_index, cancel_this_one) pairs.
+SCRIPTS = st.lists(
+    st.tuples(st.integers(min_value=0, max_value=30),
+              st.booleans()),
+    min_size=1, max_size=200)
+
+
+@given(script=SCRIPTS, partial=st.booleans())
+@settings(max_examples=60, deadline=None)
+def test_cancel_heavy_runs_leave_no_residue(script, partial):
+    sim = Simulator()
+    fired = []
+    handles = []
+    for delay_idx, _ in script:
+        handles.append(
+            sim.schedule(delay_idx * 0.5,
+                         lambda i=len(handles): fired.append(i)))
+    cancelled = set()
+    for (_, cancel), handle in zip(script, handles):
+        if cancel:
+            handle.cancel()
+            handle.cancel()          # idempotent
+            cancelled.add(handle)
+    assert sim.pending_count() == len(handles) - len(cancelled)
+
+    if partial:
+        # stop mid-window, then drain: the split must not change totals
+        sim.run(until=7.0)
+    sim.run()
+
+    assert len(fired) == len(handles) - len(cancelled)
+    # no residue: heap fully drained, live count zero
+    assert sim._queue == []
+    assert sim.pending_count() == 0
+
+
+@given(script=SCRIPTS)
+@settings(max_examples=60, deadline=None)
+def test_pending_count_matches_entry_scan(script):
+    sim = Simulator()
+    handles = [sim.schedule(d * 0.25, lambda: None) for d, _ in script]
+    for (_, cancel), handle in zip(script, handles):
+        if cancel:
+            handle.cancel()
+    live_entries = sum(1 for e in sim._queue if e[3] is not None)
+    assert sim.pending_count() == live_entries
+
+
+@given(n_tasks=st.integers(min_value=1, max_value=25),
+       stop_after=st.integers(min_value=0, max_value=6))
+@settings(max_examples=40, deadline=None)
+def test_tick_group_retires_cleanly(n_tasks, stop_after):
+    """Stopping every member of a TickGroup cancels its heap entry and
+    unregisters the group — no orphan ticks keep the queue alive."""
+    sim = Simulator()
+    members = [sim.every_tick(2.0, lambda: None) for _ in range(n_tasks)]
+    sim.run(until=2.0 * stop_after)
+    for m in members:
+        m.stop()
+        m.stop()                     # idempotent
+    sim.run()
+    assert sim._queue == [] or all(e[3] is None for e in sim._queue)
+    assert sim.pending_count() == 0
+    assert sim._tick_groups == {}
