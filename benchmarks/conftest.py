@@ -6,54 +6,78 @@ simulated substrate, so they are compared on *shape* (who wins, by
 roughly what factor) — see EXPERIMENTS.md for the per-experiment
 discussion.
 
+All drivers obtain their data the same way: a registered scenario
+(:mod:`repro.workloads.scenarios` / :mod:`repro.workloads.paper`) plus
+a :class:`~repro.experiments.sweep.SweepSpec`, executed through
+:func:`run_sweep`.  Two environment variables wire the suite into CI's
+nightly benchmarks job:
+
+* ``REPRO_BENCH_CACHE`` — directory for a shared
+  :class:`~repro.experiments.cache.ResultCache`; re-runs are served
+  from disk and a sweep killed mid-run resumes where it stopped.
+* ``REPRO_BENCH_REPORT_DIR`` — when set, every table the suite prints
+  is also written there as a markdown file (the uploaded CI artifact).
+* ``REPRO_BENCH_WORKERS`` — worker processes per sweep (default 1;
+  the cells stream back in completion order either way).
+
 Run:  pytest benchmarks/ --benchmark-only
 """
 
 from __future__ import annotations
 
-from typing import Iterable, List, Sequence
+import os
+import re
+from typing import Iterable, Sequence, Union
 
-from repro import ByteRobustSystem, SystemConfig
-from repro.monitor.detectors import DetectorConfig
-from repro.parallelism import ParallelismConfig
-from repro.training import TrainingJobConfig
-from repro.training.model import ModelSpec
+from repro.experiments import (
+    ResultCache,
+    SweepResult,
+    SweepRunner,
+    SweepSpec,
+    Table,
+)
+
+
+def run_sweep(*specs: SweepSpec, workers: int = 0) -> SweepResult:
+    """Run benchmark sweeps through the shared cache, if configured."""
+    cache_dir = os.environ.get("REPRO_BENCH_CACHE")
+    cache = ResultCache(cache_dir) if cache_dir else None
+    if workers < 1:
+        workers = int(os.environ.get("REPRO_BENCH_WORKERS", "1"))
+    runner = SweepRunner(workers=workers, cache=cache)
+    return runner.run(list(specs))
+
+
+def _slugify(title: str) -> str:
+    return re.sub(r"[^a-z0-9]+", "-", title.lower()).strip("-")[:80]
 
 
 def print_table(title: str, headers: Sequence[str],
                 rows: Iterable[Sequence]) -> None:
-    """Render one experiment table to stdout (shown with pytest -s)."""
-    print(f"\n=== {title} ===")
-    widths = [len(h) for h in headers]
-    materialized: List[List[str]] = []
-    for row in rows:
-        cells = [f"{c:.2f}" if isinstance(c, float) else str(c)
-                 for c in row]
-        materialized.append(cells)
-        widths = [max(w, len(c)) for w, c in zip(widths, cells)]
-    fmt = "  ".join(f"{{:<{w}}}" for w in widths)
-    print(fmt.format(*headers))
-    print("  ".join("-" * w for w in widths))
-    for cells in materialized:
-        print(fmt.format(*cells))
+    """Render one experiment table to stdout (shown with pytest -s).
+
+    When ``REPRO_BENCH_REPORT_DIR`` is set the same table is also
+    written there as markdown, giving CI a rendered-report artifact
+    without any benchmark knowing about it.
+    """
+    table = Table(headers=list(headers),
+                  rows=[list(row) for row in rows], title=title)
+    print()
+    print(table.to_text())
+    report_dir = os.environ.get("REPRO_BENCH_REPORT_DIR")
+    if report_dir:
+        os.makedirs(report_dir, exist_ok=True)
+        path = os.path.join(report_dir, f"{_slugify(title)}.md")
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(table.to_markdown() + "\n")
 
 
-def small_managed_system(seed: int = 0, machines: int = 8,
-                         hang_window_s: float = 180.0,
-                         **system_kwargs) -> ByteRobustSystem:
-    """A compact fully-managed job used by timing benchmarks."""
-    gpm = 2
-    dp = machines * gpm // 4          # tp=2, pp=2 fixed
-    config = SystemConfig(
-        job=TrainingJobConfig(
-            model=ModelSpec("bench", 2 * 10**9, 2 * 10**9, 8,
-                            seq_len=2048),
-            parallelism=ParallelismConfig(tp=2, pp=2, dp=dp,
-                                          gpus_per_machine=gpm),
-            global_batch_size=128, gpu_peak_tflops=100.0),
-        seed=seed,
-        detector=DetectorConfig(hang_zero_rdma_s=hang_window_s),
-        **system_kwargs)
-    system = ByteRobustSystem(config)
-    system.start()
-    return system
+def single_report(spec: SweepSpec) -> dict:
+    """Run a one-cell sweep and return its report payload."""
+    return run_sweep(spec).reports()[0]
+
+
+def reports_by(result: SweepResult, param: str
+               ) -> "dict[Union[str, int, float], dict]":
+    """Index a sweep's reports by one parameter's per-cell value."""
+    return {r.cell.params[param]: r.report for r in result.results}

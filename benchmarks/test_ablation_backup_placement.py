@@ -4,106 +4,54 @@ Three placements — cross-parallel-group (ByteRobust), neighbor machine,
 and no backup (remote storage only) — evaluated on the event the system
 is designed for: the analyzer over-evicting a full PP group.  Metrics:
 where recovery reads from, how many steps are lost, and how long the
-checkpoint load takes.
+checkpoint load takes.  The driver grids the ``backup-recovery``
+scenario's ``placement`` parameter over all three plans in one sweep.
 """
 
-from conftest import print_table
+from conftest import print_table, reports_by, run_sweep
 
-from repro.checkpoint import (
-    BackupPlan,
-    CheckpointManager,
-    RecoverySource,
-    StorageTiers,
-    plan_cross_group_backup,
-)
-from repro.cluster.components import MachineSpec
-from repro.parallelism import (
-    ParallelismConfig,
-    RankTopology,
-    zero_shard_sizes,
-)
-from repro.sim import Simulator
-from repro.training import TrainingJob, TrainingJobConfig
-from repro.training.model import ModelSpec
+from repro.checkpoint import RecoverySource
+from repro.experiments import SweepSpec
 
 REMOTE_EVERY = 50
 STEPS_BEFORE_FAILURE = 60
 
 
-def build_job():
-    sim = Simulator()
-    job = TrainingJob(sim, TrainingJobConfig(
-        model=ModelSpec("abl", 10**9, 10**9, 8, seq_len=2048),
-        parallelism=ParallelismConfig(tp=2, pp=4, dp=2,
-                                      gpus_per_machine=2),
-        global_batch_size=64, gpu_peak_tflops=100.0))
-    job.bind_machines(list(range(8)))
-    return sim, job
-
-
-def neighbor_plan(topo: RankTopology) -> BackupPlan:
-    plan = BackupPlan(topology=topo)
-    gpm = topo.config.gpus_per_machine
-    for rank in topo.iter_ranks():
-        plan.peer_of[rank] = (rank + gpm) % topo.world_size
-    return plan
-
-
-def run_placement(placement: str):
-    sim, job = build_job()
-    sizes = zero_shard_sizes(10**9, tp=2, pp=4, dp=2, zero_stage=1)
-    tiers = StorageTiers(machine_spec=MachineSpec(gpus_per_machine=2))
-    manager = CheckpointManager(sim, job, sizes, tiers,
-                                remote_every_steps=REMOTE_EVERY)
-    if placement == "cross_group":
-        manager.plan = plan_cross_group_backup(job.topology)
-    elif placement == "neighbor":
-        manager.plan = neighbor_plan(job.topology)
-    elif placement == "none":
-        # backups are never durable: point every peer at the rank's own
-        # machine so eviction always destroys "both" copies
-        plan = BackupPlan(topology=job.topology)
-        for rank in job.topology.iter_ranks():
-            plan.peer_of[rank] = rank
-        manager.plan = plan
-    job.start()
-    sim.run(until=job.step_time() * STEPS_BEFORE_FAILURE + 10)
-    evicted = job.topology.machines_of_group(8, "pp")   # machines 4..7
-    decision = manager.plan_recovery(evicted)
-    return decision, job.current_step
-
-
 def run_all():
-    return {p: run_placement(p)
-            for p in ("cross_group", "neighbor", "none")}
+    result = run_sweep(SweepSpec(
+        "backup-recovery",
+        params={"remote_every_steps": REMOTE_EVERY,
+                "steps_before_failure": STEPS_BEFORE_FAILURE},
+        grid={"placement": ["cross_group", "neighbor", "none"]}))
+    return reports_by(result, "placement")
 
 
 def test_ablation_backup_placement(benchmark):
     results = benchmark.pedantic(run_all, rounds=1, iterations=1)
     rows = []
-    for placement, (decision, at_step) in results.items():
-        rows.append((placement, decision.source.value,
-                     decision.restart_step, decision.lost_steps,
-                     f"{decision.load_seconds:.1f}"))
+    for placement, decision in results.items():
+        rows.append((placement, decision["source"],
+                     decision["restart_step"], decision["lost_steps"],
+                     f"{decision['load_s']:.1f}"))
     print_table(
         "Ablation: backup placement under PP-group over-eviction",
         ["placement", "recovery source", "restart step", "lost steps",
          "load (s)"], rows)
 
-    cross, _ = results["cross_group"]
-    neighbor, _ = results["neighbor"]
-    none, _ = results["none"]
+    cross = results["cross_group"]
+    neighbor = results["neighbor"]
+    none = results["none"]
 
     # cross-group: recovers from peers, loses at most one step
-    assert cross.source is RecoverySource.PEER_BACKUP
-    assert cross.lost_steps <= 1
+    assert cross["source"] == RecoverySource.PEER_BACKUP.value
+    assert cross["lost_steps"] <= 1
     # neighbor placement: the evicted PP group contained both copies of
     # some shards -> falls back to the stale remote checkpoint
-    assert neighbor.source is RecoverySource.REMOTE_STORAGE
-    assert neighbor.lost_steps > cross.lost_steps
+    assert neighbor["source"] == RecoverySource.REMOTE_STORAGE.value
+    assert neighbor["lost_steps"] > cross["lost_steps"]
     # no backup at all: remote-only, same staleness, slower load path
-    assert none.source is RecoverySource.REMOTE_STORAGE
-    assert none.restart_step % REMOTE_EVERY == 0   # stale remote cadence
-    assert none.lost_steps > cross.lost_steps
+    assert none["source"] == RecoverySource.REMOTE_STORAGE.value
+    assert none["restart_step"] % REMOTE_EVERY == 0   # stale remote cadence
+    assert none["lost_steps"] > cross["lost_steps"]
     # the design premium: recompute avoided by cross-group placement
-    assert neighbor.lost_steps >= 10 * max(1, cross.lost_steps)
+    assert neighbor["lost_steps"] >= 10 * max(1, cross["lost_steps"])

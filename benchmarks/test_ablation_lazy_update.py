@@ -4,83 +4,53 @@ ByteRobust merges non-critical code updates into the next
 failure-triggered restart instead of restarting immediately ("lazy
 update"), exploiting the high natural interruption frequency of
 large-scale training.  Eager application pays one full restart per
-update.  The bench runs the same job + incident trace under both
-policies and compares restart counts and ETTR.
+update.  The ``hotupdate-policy`` scenario runs the same job +
+incident trace under one policy; the driver sweeps both policies and
+compares restart counts and ETTR.
 """
 
-from conftest import print_table, small_managed_system
+from conftest import print_table, run_sweep
 
-from repro.cluster.faults import (
-    Fault,
-    FaultSymptom,
-    RootCause,
-    RootCauseDetail,
-)
-from repro.controller.hotupdate import CodeUpdate
-from repro.training.metrics import CodeVersionProfile
+from repro.experiments import SweepSpec
 
 DURATION_S = 12 * 3600
-#: a failure every ~2 hours (the natural interruption cadence)
-FAILURE_TIMES = [7200 * (i + 1) for i in range(5)]
-#: five non-critical optimization updates requested between failures
-UPDATE_TIMES = [3600 + 7200 * i for i in range(5)]
-
-
-def run(policy: str, seed: int):
-    system = small_managed_system(seed=seed)
-    for i, t in enumerate(UPDATE_TIMES):
-        mfu = 0.30 * (1.03 ** (i + 1))
-        system.sim.schedule_at(
-            t, lambda s=system, i=i, mfu=mfu:
-            s.controller.request_manual_update(CodeUpdate(
-                version=f"v{i + 1}",
-                profile=CodeVersionProfile(f"v{i + 1}", mfu),
-                critical=(policy == "eager"))))
-    for t in FAILURE_TIMES:
-        system.sim.schedule_at(
-            t, lambda s=system: s.injector.inject(Fault(
-                symptom=FaultSymptom.GPU_UNAVAILABLE,
-                root_cause=RootCause.INFRASTRUCTURE,
-                detail=RootCauseDetail.GPU_LOST,
-                machine_ids=[s.job.machines[0]],
-                log_signature="CUDA error: device unavailable",
-                exit_code=134)))
-    system.run_until(DURATION_S)
-    report = system.report()
-    # count actual job restarts: lazily-merged updates are bookkeeping
-    # incidents (detail "lazy update ..."), not separate restarts
-    restarts = len([i for i in report.incidents.resolved()
-                    if not i.detail.startswith("lazy update")])
-    return report, restarts, system.hotupdate.current.version
+UPDATE_COUNT = 5
 
 
 def run_both():
-    return {policy: run(policy, seed)
-            for seed, policy in enumerate(("lazy", "eager"))}
+    result = run_sweep(
+        SweepSpec("hotupdate-policy",
+                  params={"policy": "lazy", "seed": 0,
+                          "duration_s": DURATION_S}),
+        SweepSpec("hotupdate-policy",
+                  params={"policy": "eager", "seed": 1,
+                          "duration_s": DURATION_S}))
+    return {r.cell.params["policy"]: r.report for r in result.results}
 
 
 def test_ablation_lazy_update(benchmark):
     results = benchmark.pedantic(run_both, rounds=1, iterations=1)
     rows = []
-    for policy, (report, restarts, version) in results.items():
-        rows.append((policy, restarts, version,
-                     f"{report.cumulative_ettr:.4f}"))
+    for policy, report in results.items():
+        rows.append((policy, report["restarts"],
+                     report["final_version"],
+                     f"{report['cumulative_ettr']:.4f}"))
     print_table(
         "Ablation: lazy vs eager hot-update application",
         ["policy", "job restarts", "final version",
          "cumulative ETTR"], rows)
 
-    lazy_report, lazy_restarts, lazy_version = results["lazy"]
-    eager_report, eager_restarts, eager_version = results["eager"]
+    lazy = results["lazy"]
+    eager = results["eager"]
 
     # both policies end on the newest code
-    assert lazy_version == eager_version == "v5"
+    assert lazy["final_version"] == eager["final_version"] == "v5"
     # lazy merges updates into failure restarts: strictly fewer restarts
-    assert lazy_restarts < eager_restarts
+    assert lazy["restarts"] < eager["restarts"]
     # and therefore equal-or-better ETTR
-    assert lazy_report.cumulative_ettr >= eager_report.cumulative_ettr
+    assert lazy["cumulative_ettr"] >= eager["cumulative_ettr"]
     # every lazily-merged update is still accounted as a serviced
     # manual-restart incident (Table 4's bookkeeping)
-    lazy_hu = sum(lazy_report.mechanism_distribution
+    lazy_hu = sum(lazy["mechanism_distribution"]
                   .get("AutoFT-HU", {}).values())
-    assert lazy_hu == len(UPDATE_TIMES)
+    assert lazy_hu == lazy["updates_requested"] == UPDATE_COUNT

@@ -7,16 +7,17 @@ job down while stress tests identify the exact 1–2 faulty nodes (the
 paper cites >8 hours for one SDC case; ordinary stress batteries run
 tens of minutes).
 
-This bench compares the two policies on a hang incident over a fleet of
-GPUs: unproductive GPU-time of over-eviction (whole PP group evicted
-instantly, healthy members repaired and returned later) vs precise
-localization (only the faulty machine evicted, but every GPU idles
-through the stress-testing window).
+The ``eviction-policy`` scenario prices one policy on a hang incident
+over a fleet of GPUs: unproductive GPU-time of over-eviction (whole PP
+group evicted instantly, healthy members repaired and returned later)
+vs precise localization (only the faulty machine evicted, but every
+GPU idles through the stress-testing window).  The driver sweeps both
+policies.
 """
 
-from conftest import print_table
+from conftest import print_table, reports_by, run_sweep
 
-from repro.cluster.pool import ProvisioningTimes
+from repro.experiments import SweepSpec
 
 NUM_MACHINES = 75             # 9600 GPUs / 8 per machine / 16 pipelines
 GPUS_PER_MACHINE = 8
@@ -26,40 +27,26 @@ AGGREGATION_S = 5.0
 
 
 def compare_policies():
-    times = ProvisioningTimes()
-    total_gpus = NUM_MACHINES * GPUS_PER_MACHINE
-
-    # --- over-eviction: evict the whole PP group now ------------------
-    over_downtime = AGGREGATION_S + times.standby_wake_time(
-        PP_GROUP_MACHINES)
-    # falsely evicted healthy machines idle until repaired/returned,
-    # but the returned standbys keep the job itself at full strength
-    false_positives = PP_GROUP_MACHINES - 1
-    over_waste_gpu_s = (over_downtime * total_gpus
-                        + false_positives * GPUS_PER_MACHINE
-                        * times.self_check_s)
-
-    # --- precise localization: stress-test before evicting -----------
-    precise_downtime = (AGGREGATION_S + STRESS_TEST_S
-                        + times.standby_wake_time(1))
-    precise_waste_gpu_s = precise_downtime * total_gpus
-
-    return {
-        "over_eviction": (over_downtime, false_positives,
-                          over_waste_gpu_s),
-        "precise": (precise_downtime, 0, precise_waste_gpu_s),
-    }
+    result = run_sweep(SweepSpec(
+        "eviction-policy",
+        params={"num_machines": NUM_MACHINES,
+                "gpus_per_machine": GPUS_PER_MACHINE,
+                "pp_group_machines": PP_GROUP_MACHINES,
+                "stress_test_s": STRESS_TEST_S,
+                "aggregation_s": AGGREGATION_S},
+        grid={"policy": ["over-eviction", "precise"]}))
+    return reports_by(result, "policy")
 
 
 def test_ablation_over_eviction_wins_at_scale(benchmark):
     result = benchmark.pedantic(compare_policies, rounds=1, iterations=1)
-    over_dt, over_fp, over_waste = result["over_eviction"]
-    prec_dt, prec_fp, prec_waste = result["precise"]
+    over = result["over-eviction"]
+    prec = result["precise"]
     rows = [
-        ("over-eviction (PP group)", f"{over_dt:.0f}", over_fp,
-         f"{over_waste / 3600:.0f}"),
-        ("precise localization", f"{prec_dt:.0f}", prec_fp,
-         f"{prec_waste / 3600:.0f}"),
+        ("over-eviction (PP group)", f"{over['downtime_s']:.0f}",
+         over["false_evictions"], f"{over['waste_gpu_s'] / 3600:.0f}"),
+        ("precise localization", f"{prec['downtime_s']:.0f}",
+         prec["false_evictions"], f"{prec['waste_gpu_s'] / 3600:.0f}"),
     ]
     print_table(
         "Ablation: over-eviction vs precise localization (hang incident)",
@@ -67,8 +54,8 @@ def test_ablation_over_eviction_wins_at_scale(benchmark):
          "wasted GPU-hours"], rows)
 
     # over-eviction restarts the job an order of magnitude sooner
-    assert prec_dt / over_dt > 10
+    assert prec["downtime_s"] / over["downtime_s"] > 10
     # and wastes far less total GPU time despite the false positives
-    assert prec_waste / over_waste > 5
+    assert prec["waste_gpu_s"] / over["waste_gpu_s"] > 5
     # the trade-off the paper accepts: 6-7 healthy machines evicted
-    assert 1 <= over_fp <= 7
+    assert 1 <= over["false_evictions"] <= 7

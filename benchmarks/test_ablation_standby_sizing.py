@@ -2,20 +2,15 @@
 
 The P99 choice balances two costs: evictions that overflow the pool
 pay the reschedule path (slow recovery), while machines parked in the
-pool earn nothing (idle GPUs).  The bench sweeps the sizing quantile at
-the 1024-machine scale and reports expected recovery time and idle
-capacity — P99 sits at the knee.
+pool earn nothing (idle GPUs).  The driver grids the analytic
+``standby-quantile`` scenario's quantile at the 1024-machine scale and
+reads expected recovery time and idle capacity from the payloads —
+P99 sits at the knee.
 """
 
-from conftest import print_table
+from conftest import print_table, reports_by, run_sweep
 
-from repro.baselines import (
-    ByteRobustRestart,
-    weighted_average_scheduling_time,
-)
-from repro.baselines.restart import eviction_scenario_weights
-from repro.controller import StandbyPolicy
-from repro.controller.standby import binomial_quantile
+from repro.experiments import SweepSpec
 
 NUM_MACHINES = 1024
 CATASTROPHIC = 32
@@ -23,48 +18,37 @@ QUANTILES = [0.50, 0.90, 0.99, 0.999]
 
 
 def sweep():
-    base = StandbyPolicy()
-    p = base.daily_failure_prob
-    # weights over eviction sizes: up to the *true* P999 so overflow
-    # events are represented for the small pools
-    k_max = max(binomial_quantile(NUM_MACHINES, p, 0.999), CATASTROPHIC)
-    weights = eviction_scenario_weights(
-        NUM_MACHINES, p, p99_count=binomial_quantile(NUM_MACHINES, p, 0.999),
-        catastrophic_size=CATASTROPHIC, catastrophic_prob=0.01)
-    out = []
-    for q in QUANTILES:
-        policy = StandbyPolicy(daily_failure_prob=p, quantile=q)
-        pool = policy.standby_count(NUM_MACHINES)
-        strategy = ByteRobustRestart(standby_policy=policy)
-        was = weighted_average_scheduling_time(strategy, NUM_MACHINES,
-                                               weights)
-        overflow_prob = sum(prob for k, prob in weights.items()
-                            if k > pool)
-        out.append((q, pool, was, overflow_prob))
-    return out
+    result = run_sweep(SweepSpec(
+        "standby-quantile",
+        params={"machines": NUM_MACHINES,
+                "catastrophic_size": CATASTROPHIC},
+        grid={"quantile": QUANTILES}))
+    return reports_by(result, "quantile")
 
 
 def test_ablation_standby_quantile_sweep(benchmark):
-    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
-    rows = [(f"P{q * 100:g}", pool, f"{was:.0f}",
-             f"{overflow:.3f}", pool * 16)
-            for q, pool, was, overflow in results]
+    by_q = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    rows = [(f"P{q * 100:g}", by_q[q]["pool_machines"],
+             f"{by_q[q]['was_s']:.0f}",
+             f"{by_q[q]['overflow_prob']:.3f}",
+             by_q[q]["pool_machines"] * 16)
+            for q in QUANTILES]
     print_table(
         "Ablation: standby sizing quantile sweep (1024 machines)",
         ["quantile", "pool (machines)", "WAS time (s)",
          "overflow prob", "idle GPUs"], rows)
 
-    by_q = {q: (pool, was, overflow) for q, pool, was, overflow in results}
     # bigger pools -> never-slower recovery, monotone idle cost
-    pools = [by_q[q][0] for q in QUANTILES]
-    wass = [by_q[q][1] for q in QUANTILES]
+    pools = [by_q[q]["pool_machines"] for q in QUANTILES]
+    wass = [by_q[q]["was_s"] for q in QUANTILES]
     assert pools == sorted(pools)
     assert all(b <= a + 1e-9 for a, b in zip(wass, wass[1:]))
 
     # the knee: going P50 -> P99 buys a real recovery-time reduction...
-    assert by_q[0.50][1] - by_q[0.99][1] > 20
+    assert by_q[0.50]["was_s"] - by_q[0.99]["was_s"] > 20
     # ...while P99 -> P999 buys almost nothing but parks more machines
-    assert by_q[0.99][1] - by_q[0.999][1] < 10
-    assert by_q[0.999][0] > by_q[0.99][0] >= by_q[0.50][0]
+    assert by_q[0.99]["was_s"] - by_q[0.999]["was_s"] < 10
+    assert (by_q[0.999]["pool_machines"] > by_q[0.99]["pool_machines"]
+            >= by_q[0.50]["pool_machines"])
     # P99 absorbs ~99% of eviction events without rescheduling
-    assert by_q[0.99][2] <= 0.02 + 0.01   # + the pinned catastrophic 1%
+    assert by_q[0.99]["overflow_prob"] <= 0.02 + 0.01   # + pinned 1%

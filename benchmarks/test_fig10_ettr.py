@@ -10,14 +10,14 @@ The simulated fleets are far smaller than 9,600 GPUs, so the incident
 *rate* is matched to production (an incident every few hours) via
 ``mtbf_scale`` rather than fleet size.
 
-Both jobs run through the sweep subsystem
-(:mod:`repro.experiments.sweep`): one spec per job, fanned out across
-two workers, consuming the JSON cell payloads the sweep collects.
+Both jobs run through the streaming sweep subsystem: one spec per job,
+fanned out through the shared benchmark sweep runner, consuming the
+JSON cell payloads the sweep collects.
 """
 
-from conftest import print_table
+from conftest import print_table, run_sweep
 
-from repro.experiments import SweepRunner, SweepSpec
+from repro.experiments import SweepSpec
 
 NUM_MACHINES = 8
 DURATION_S = 4 * 86400
@@ -30,11 +30,10 @@ _COMMON = {"num_machines": NUM_MACHINES, "duration_s": DURATION_S,
 
 
 def run_jobs():
-    runner = SweepRunner(workers=2)
-    result = runner.run([
+    result = run_sweep(
         SweepSpec("dense", params=dict(_COMMON, seed=31)),
         SweepSpec("moe", params=dict(_COMMON, seed=32)),
-    ])
+        workers=2)
     dense, moe = result.reports()
     return dense, moe
 

@@ -3,55 +3,39 @@
 The paper's jobs start from a naive pretraining code base and deploy
 successively tuned versions through ByteRobust's hot update; each leap
 in the MFU curve is one deployment, reaching 1.25x (dense) and 1.58x
-(MoE) the initial MFU.  The bench drives the same ladder of updates
-through the hot-update mechanism and checks the staircase shape and the
-negligible ETTR cost of each update.
+(MoE) the initial MFU.  The ``hotupdate-ladder`` scenario drives the
+ladder; the driver grids its ``flavor`` parameter over both jobs and
+checks the staircase shape and the negligible ETTR cost of each
+update.
 """
 
-from conftest import print_table, small_managed_system
+from conftest import print_table, reports_by, run_sweep
 
-from repro.controller.hotupdate import CodeUpdate
-from repro.training.metrics import CodeVersionProfile, mfu_relative_series
-
-#: Code-version ladders: dense reaches 1.25x, MoE 1.58x (paper).
-LADDERS = {
-    "Dense": [0.30, 0.33, 0.355, 0.375],          # -> 1.25x
-    "MoE": [0.28, 0.33, 0.385, 0.41, 0.4424],     # -> 1.58x
-}
-UPDATE_SPACING_S = 3000.0
-
-
-def run_ladder(name, ladder, seed):
-    system = small_managed_system(seed=seed)
-    system.job.mfu_model.set_profile(CodeVersionProfile("v0", ladder[0]))
-    for i, mfu in enumerate(ladder[1:], start=1):
-        system.sim.schedule_at(
-            i * UPDATE_SPACING_S,
-            lambda s=system, i=i, mfu=mfu:
-            s.controller.request_manual_update(CodeUpdate(
-                version=f"v{i}",
-                profile=CodeVersionProfile(f"v{i}", mfu),
-                critical=True)))
-    system.run_until(len(ladder) * UPDATE_SPACING_S + 3600)
-    return system.report()
+from repro.experiments import SweepSpec
+from repro.training.metrics import mfu_relative_series
 
 
 def run_both():
-    return {name: run_ladder(name, ladder, seed)
-            for seed, (name, ladder) in enumerate(LADDERS.items())}
+    result = run_sweep(
+        SweepSpec("hotupdate-ladder", params={"flavor": "dense",
+                                              "seed": 0}),
+        SweepSpec("hotupdate-ladder", params={"flavor": "moe",
+                                              "seed": 1}))
+    return reports_by(result, "flavor")
 
 
 def test_fig11_relative_mfu_growth(benchmark):
     reports = benchmark.pedantic(run_both, rounds=1, iterations=1)
     rows = []
-    for name, ladder in LADDERS.items():
+    for name in ("dense", "moe"):
         report = reports[name]
-        mfus = [m for _, m in report.mfu_series]
+        ladder = report["ladder"]
+        mfus = [m for _, m in report["mfu_series"]]
         rel = mfu_relative_series(mfus)
         target = ladder[-1] / ladder[0]
         rows.append((name, len(ladder) - 1, f"{rel[-1]:.2f}x",
                      f"{target:.2f}x",
-                     f"{report.cumulative_ettr:.4f}"))
+                     f"{report['cumulative_ettr']:.4f}"))
 
         # staircase: MFU never decreases and ends at the ladder top
         assert all(b >= a - 1e-9 for a, b in zip(mfus, mfus[1:]))
@@ -60,9 +44,9 @@ def test_fig11_relative_mfu_growth(benchmark):
         assert len({round(m, 4) for m in mfus}) == len(ladder)
         # hot updates cost almost nothing: ETTR stays high despite
         # len(ladder)-1 full restarts (paper: "negligible degradation")
-        assert report.cumulative_ettr > 0.95
+        assert report["cumulative_ettr"] > 0.95
         # all updates were resolved through the hot-update mechanism
-        dist = report.mechanism_distribution
+        dist = report["mechanism_distribution"]
         assert sum(dist.get("AutoFT-HU", {}).values()) == len(ladder) - 1
     print_table(
         "Fig. 11: relative MFU after hot-update ladder",
@@ -71,7 +55,7 @@ def test_fig11_relative_mfu_growth(benchmark):
 
     # MoE ends higher than dense (1.58x vs 1.25x) — the paper's point
     moe_rel = mfu_relative_series(
-        [m for _, m in reports["MoE"].mfu_series])[-1]
+        [m for _, m in reports["moe"]["mfu_series"]])[-1]
     dense_rel = mfu_relative_series(
-        [m for _, m in reports["Dense"].mfu_series])[-1]
+        [m for _, m in reports["dense"]["mfu_series"]])[-1]
     assert moe_rel > dense_rel

@@ -7,38 +7,26 @@ catastrophic switch failure (32 machines) carries a fixed 1%.  Shape
 targets: ByteRobust ≈ 10.9x faster than requeue, ≈ 5.4x faster than
 reschedule, and within ~5% of the infinite-standby oracle; requeue's
 cost grows markedly with scale while warm standby stays flat.
+
+The driver grids the analytic ``was-time`` scenario over the four
+paper scales in one sweep.
 """
 
-from conftest import print_table
+from conftest import print_table, reports_by, run_sweep
 
-from repro.baselines import (
-    ByteRobustRestart,
-    OracleRestart,
-    RequeueRestart,
-    RescheduleRestart,
-    weighted_average_scheduling_time,
-)
-from repro.baselines.restart import eviction_scenario_weights
-from repro.controller import StandbyPolicy
+from repro.experiments import SweepSpec
 
 SCALES = [128, 256, 512, 1024]
 CATASTROPHIC_MACHINES = 32
 
 
 def compute_was():
-    policy = StandbyPolicy()
-    strategies = [RequeueRestart(), RescheduleRestart(), OracleRestart(),
-                  ByteRobustRestart(standby_policy=policy)]
-    out = {}
-    for n in SCALES:
-        p99 = policy.standby_count(n)
-        weights = eviction_scenario_weights(
-            n, policy.daily_failure_prob, p99_count=p99,
-            catastrophic_size=CATASTROPHIC_MACHINES,
-            catastrophic_prob=0.01)
-        out[n] = {s.name: weighted_average_scheduling_time(s, n, weights)
-                  for s in strategies}
-    return out
+    result = run_sweep(SweepSpec(
+        "was-time",
+        params={"catastrophic_size": CATASTROPHIC_MACHINES,
+                "catastrophic_prob": 0.01},
+        grid={"machines": SCALES}))
+    return reports_by(result, "machines")
 
 
 def test_fig12_was_time(benchmark):

@@ -4,19 +4,15 @@ The paper shows a 1000-GPU job restarted 28 times over 10 days: loss
 decreases monotonically across runs (and *overlaps exactly* where
 manual restarts rolled steps back to verify bit-wise consistency),
 while relative MFU climbs as engineering improvements land on each
-restart.  The bench replays that pattern: a training job restarted many
-times with occasional rollbacks and MFU-improving code updates.
+restart.  The ``restart-replay`` scenario replays that pattern; the
+driver is a one-cell sweep over it.
 """
 
 import math
 
-from conftest import print_table
+from conftest import print_table, single_report
 
-from repro.parallelism import ParallelismConfig
-from repro.sim import Simulator
-from repro.training import TrainingJob, TrainingJobConfig
-from repro.training.metrics import CodeVersionProfile, mfu_relative_series
-from repro.training.model import ModelSpec
+from repro.experiments import SweepSpec
 
 NUM_RUNS = 28
 STEPS_PER_RUN = 40
@@ -24,44 +20,23 @@ ROLLBACK_STEPS = 5      # manual restarts rewind a few steps (Fig. 2)
 
 
 def simulate_runs():
-    sim = Simulator()
-    job = TrainingJob(sim, TrainingJobConfig(
-        model=ModelSpec("fig2", 10**10, 10**10, 24, seq_len=4096),
-        parallelism=ParallelismConfig(tp=2, pp=2, dp=4,
-                                      gpus_per_machine=2),
-        global_batch_size=256, gpu_peak_tflops=500.0))
-    job.bind_machines(list(range(8)))
-    job.start()
-
-    run_traces = []        # one (steps, losses, mfu) tuple per run
-    mfu = 0.30
-    for run in range(NUM_RUNS):
-        start_step = job.current_step
-        horizon = sim.now + job.step_time() * STEPS_PER_RUN * 1.01
-        sim.run(until=horizon)
-        steps = [r.step for r in job.step_records
-                 if r.step > start_step and r.committed]
-        losses = [job.loss_curve.loss(s) for s in steps]
-        run_traces.append((steps, losses, mfu))
-        if run == NUM_RUNS - 1:
-            break
-        # manual restart: engineering improvement + small rollback
-        job.suspend()
-        mfu = min(0.55, mfu * 1.025)
-        job.mfu_model.set_profile(CodeVersionProfile(f"v{run + 1}", mfu))
-        job.restart(from_step=max(0, job.current_step - ROLLBACK_STEPS))
-    return run_traces
+    report = single_report(SweepSpec(
+        "restart-replay",
+        params={"num_runs": NUM_RUNS, "steps_per_run": STEPS_PER_RUN,
+                "rollback_steps": ROLLBACK_STEPS}))
+    return report
 
 
 def test_fig2_loss_and_mfu_across_runs(benchmark):
-    traces = benchmark.pedantic(simulate_runs, rounds=1, iterations=1)
+    report = benchmark.pedantic(simulate_runs, rounds=1, iterations=1)
+    traces = report["runs"]
     assert len(traces) == NUM_RUNS
 
     # --- loss: decreasing across the job, bit-wise replay on overlap ---
     first_losses = {}
     overlap_checked = 0
-    for steps, losses, _ in traces:
-        for step, loss in zip(steps, losses):
+    for run in traces:
+        for step, loss in zip(run["steps"], run["losses"]):
             assert not math.isnan(loss)
             if step in first_losses:
                 assert loss == first_losses[step]   # exact re-trace
@@ -70,20 +45,21 @@ def test_fig2_loss_and_mfu_across_runs(benchmark):
                 first_losses[step] = loss
     assert overlap_checked > 0, "rollbacks must re-execute some steps"
 
-    mean_first = sum(traces[0][1]) / len(traces[0][1])
-    mean_last = sum(traces[-1][1]) / len(traces[-1][1])
+    mean_first = sum(traces[0]["losses"]) / len(traces[0]["losses"])
+    mean_last = sum(traces[-1]["losses"]) / len(traces[-1]["losses"])
     assert mean_last < mean_first          # loss fell over the job
 
     # --- MFU: rising plateau across runs (relative to the minimum) ---
-    rel = mfu_relative_series([m for _, _, m in traces])
+    rel = report["relative_mfu"]
     assert rel[0] == 1.0
     assert rel[-1] > 1.5                   # paper: up to ~2x relative
     assert all(b >= a for a, b in zip(rel, rel[1:]))
 
-    rows = [(i + 1, steps[0], steps[-1], f"{losses[0]:.3f}",
-             f"{losses[-1]:.3f}", f"{relv:.2f}x")
-            for i, ((steps, losses, _), relv)
-            in enumerate(zip(traces, rel)) if i % 4 == 0]
+    rows = [(i + 1, run["steps"][0], run["steps"][-1],
+             f"{run['losses'][0]:.3f}", f"{run['losses'][-1]:.3f}",
+             f"{relv:.2f}x")
+            for i, (run, relv) in enumerate(zip(traces, rel))
+            if i % 4 == 0]
     print_table(
         "Fig. 2: per-run loss span and relative MFU (every 4th run)",
         ["run", "first step", "last step", "loss@first", "loss@last",

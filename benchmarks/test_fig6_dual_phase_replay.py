@@ -3,40 +3,24 @@
 The paper's worked example: z=24 machines, group size m=4, n=6 groups;
 an SDC machine at #13 fails horizontal group H3 and vertical group V1,
 and the constraint intersection {x // 4 == 3} ∩ {x mod 6 == 1} = {13}.
-The bench reproduces the example, sweeps the defect over every
-position, and validates the cardinality formula.
+The driver grids the ``replay-localization`` scenario's ``faulty``
+parameter over every position — one sweep, 24 cells — and validates
+the cardinality formula from the cell payloads.
 """
 
-from conftest import print_table
+from conftest import print_table, reports_by, run_sweep
 
-from repro.cluster import Cluster, ClusterSpec, Fault, FaultInjector
-from repro.cluster.faults import (
-    FaultSymptom,
-    JobEffect,
-    RootCause,
-    RootCauseDetail,
-)
-from repro.diagnosis import DualPhaseReplay, solution_cardinality
-from repro.sim import RngStreams, Simulator
+from repro.experiments import SweepSpec
 
 Z, M = 24, 4
 
 
-def locate(faulty_machine, reproduce_prob=1.0, seed=3):
-    sim = Simulator()
-    cluster = Cluster(ClusterSpec(num_machines=Z, machines_per_switch=Z))
-    injector = FaultInjector(sim, cluster)
-    injector.inject(Fault(
-        symptom=FaultSymptom.NAN_VALUE,
-        root_cause=RootCause.INFRASTRUCTURE,
-        detail=RootCauseDetail.GPU_SDC, machine_ids=[faulty_machine],
-        effect=JobEffect.NAN, reproduce_prob=reproduce_prob))
-    replay = DualPhaseReplay(cluster, RngStreams(seed))
-    return replay.locate_faulty_machines(list(range(Z)), m=M)
-
-
 def full_sweep():
-    return {faulty: locate(faulty) for faulty in range(Z)}
+    result = run_sweep(SweepSpec(
+        "replay-localization",
+        params={"machines": Z, "group_size": M, "seed": 3},
+        grid={"faulty": list(range(Z))}))
+    return reports_by(result, "faulty")
 
 
 def test_fig6_dual_phase_replay(benchmark):
@@ -44,23 +28,22 @@ def test_fig6_dual_phase_replay(benchmark):
 
     # the paper's exact example: machine 13 -> H3, V1
     fig6 = results[13]
-    assert fig6.failed_horizontal == [3]
-    assert fig6.failed_vertical == [1]
-    assert fig6.suspects == [13]
+    assert fig6["failed_horizontal"] == [3]
+    assert fig6["failed_vertical"] == [1]
+    assert fig6["suspects"] == [13]
 
     # every position is uniquely locatable in exactly two phases
     for faulty, result in results.items():
-        assert result.suspects == [faulty]
-        assert len(result.failed_horizontal) == 1
-        assert len(result.failed_vertical) == 1
+        assert result["suspects"] == [faulty]
+        assert len(result["failed_horizontal"]) == 1
+        assert len(result["failed_vertical"]) == 1
 
     # m <= n: the algorithm promises unique solutions
-    n = Z // M
-    assert solution_cardinality(M, n) == 1
+    assert fig6["solution_cardinality"] == 1
 
-    rows = [(f"#{faulty}", f"H{r.failed_horizontal[0]}",
-             f"V{r.failed_vertical[0]}", r.suspects,
-             f"{r.duration_s:.0f}")
+    rows = [(f"#{faulty}", f"H{r['failed_horizontal'][0]}",
+             f"V{r['failed_vertical'][0]}", r["suspects"],
+             f"{r['duration_s']:.0f}")
             for faulty, r in sorted(results.items()) if faulty % 6 == 1]
     print_table(
         "Fig. 6: dual-phase replay localization (every 6th position)",
@@ -69,5 +52,5 @@ def test_fig6_dual_phase_replay(benchmark):
 
     # two replay phases regardless of which machine is broken: the
     # cost does not scale with fleet size the way bisection would
-    durations = {r.duration_s for r in results.values()}
+    durations = {r["duration_s"] for r in results.values()}
     assert len(durations) == 1

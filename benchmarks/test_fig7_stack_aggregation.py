@@ -6,66 +6,58 @@ machine 14 blocks in ``isend``; machines 12–13 block in ``irecv``;
 machines 0–11 drain to gradient sync.  Aggregation groups the 32
 trainer stacks into one 24-rank healthy group plus outliers of sizes
 4 / 2 / 2, and isolates the outliers' shared PP group — machines
-12, 13, 14, 15.
+12, 13, 14, 15.  The ``stack-aggregation`` scenario runs the capture;
+this driver is a one-cell sweep over it.
 """
 
-from collections import Counter
+from conftest import print_table, single_report
 
-from conftest import print_table
-
-from repro.analyzer import RuntimeAnalyzer
-from repro.parallelism import ParallelismConfig, RankTopology
-from repro.training.stacks import (
-    HangScenario,
-    StackKind,
-    capture_world,
-    propagate_hang,
-)
+from repro.experiments import SweepSpec
 
 
 def aggregate_fig7():
-    topo = RankTopology(ParallelismConfig(tp=2, pp=4, dp=4,
-                                          gpus_per_machine=2))
-    states = propagate_hang(topo, [30, 31], HangScenario.BACKWARD_COMM)
-    traces = capture_world(topo, None, states)
-    analyzer = RuntimeAnalyzer(topo)
-    return topo, states, analyzer.aggregate(traces)
+    return single_report(SweepSpec(
+        "stack-aggregation",
+        params={"tp": 2, "pp": 4, "dp": 4, "gpus_per_machine": 2,
+                "hang": "backward_comm"}))
 
 
 def test_fig7_stack_aggregation(benchmark):
-    topo, states, result = benchmark.pedantic(aggregate_fig7, rounds=1,
-                                              iterations=1)
+    report = benchmark.pedantic(aggregate_fig7, rounds=1, iterations=1)
 
     # step 2: group sizes match the figure (inlier 24, outliers 4/2/2)
-    trainer_groups = [g for g in result.groups if g.role == "trainer"]
-    assert sorted(g.size for g in trainer_groups) == [2, 2, 4, 24]
-    inlier = max(trainer_groups, key=lambda g: g.size)
-    assert not inlier.is_outlier
-    assert inlier.machine_ids == list(range(12))
-    assert "start_grad_sync" in inlier.text
+    trainer_groups = [g for g in report["groups"]
+                      if g["role"] == "trainer"]
+    assert sorted(g["size"] for g in trainer_groups) == [2, 2, 4, 24]
+    inlier = max(trainer_groups, key=lambda g: g["size"])
+    assert not inlier["is_outlier"]
+    assert inlier["machine_ids"] == list(range(12))
+    assert "start_grad_sync" in inlier["text"]
 
     # the three outlier stacks carry the figure's exact frames
-    outlier_texts = {g.text for g in trainer_groups if g.is_outlier}
+    outlier_texts = {g["text"] for g in trainer_groups
+                     if g["is_outlier"]}
     assert any("all_gather_into_tensor" in t for t in outlier_texts)
     assert any("isend" in t for t in outlier_texts)
     assert any("irecv" in t for t in outlier_texts)
 
     # step 3: outliers share one PP group spanning machines 12-15
-    assert result.shared_dim == "pp"
-    assert result.eviction_machines == [12, 13, 14, 15]
+    assert report["shared_dim"] == "pp"
+    assert report["eviction_machines"] == [12, 13, 14, 15]
 
     # per-rank stack states reproduce the figure's coloring
-    kinds = Counter(states.values())
-    assert kinds[StackKind.GRAD_SYNC_WAIT] == 24
-    assert kinds[StackKind.TP_ALLGATHER_BLOCKED] == 2   # machine 15
-    assert kinds[StackKind.PP_SEND_BLOCKED] == 2        # machine 14
-    assert kinds[StackKind.PP_RECV_BLOCKED] == 4        # machines 12-13
+    kinds = report["stack_kinds"]
+    assert kinds["grad_sync_wait"] == 24
+    assert kinds["tp_allgather_blocked"] == 2   # machine 15
+    assert kinds["pp_send_blocked"] == 2        # machine 14
+    assert kinds["pp_recv_blocked"] == 4        # machines 12-13
 
-    rows = [("inlier" if not g.is_outlier else "outlier",
-             g.size, g.machine_ids, g.text.splitlines()[0][:48])
+    rows = [("inlier" if not g["is_outlier"] else "outlier",
+             g["size"], g["machine_ids"],
+             g["text"].splitlines()[0][:48])
             for g in trainer_groups]
     print_table(
         "Fig. 7: aggregated trainer stack groups",
         ["class", "ranks", "machines", "top frame"], rows)
-    print(f"isolated: {result.shared_dim} group -> evict machines "
-          f"{result.eviction_machines}")
+    print(f"isolated: {report['shared_dim']} group -> evict machines "
+          f"{report['eviction_machines']}")

@@ -5,48 +5,41 @@ shares none of its TP/PP/DP groups (the figure pairs ranks 8, 9 on
 machine 4 with ranks 2, 3 on machine 1), so over-evicting any complete
 parallel group — the analyzer's fault domain — never destroys both
 copies of a shard.  A neighbor-machine plan, by contrast, loses data
-under PP-group eviction; the bench demonstrates both.
+under PP-group eviction.  The driver grids the ``backup-survival``
+scenario's ``placement`` parameter over both plans in one sweep.
 """
 
-from conftest import print_table
+from conftest import print_table, reports_by, run_sweep
 
-from repro.checkpoint import BackupPlan, plan_cross_group_backup
-from repro.parallelism import ParallelismConfig, RankTopology
+from repro.experiments import SweepSpec
 
 
 def build_plans():
-    topo = RankTopology(ParallelismConfig(tp=2, pp=4, dp=2,
-                                          gpus_per_machine=2))
-    cross = plan_cross_group_backup(topo)
-    # strawman: back up on the next machine (shares the PP group for
-    # machines within one pipeline)
-    naive = BackupPlan(topology=topo)
-    gpm = topo.config.gpus_per_machine
-    for rank in topo.iter_ranks():
-        naive.peer_of[rank] = (rank + gpm) % topo.world_size
-    return topo, cross, naive
+    result = run_sweep(SweepSpec(
+        "backup-survival",
+        params={"tp": 2, "pp": 4, "dp": 2, "gpus_per_machine": 2},
+        grid={"placement": ["cross_group", "neighbor"]}))
+    by_placement = reports_by(result, "placement")
+    return by_placement["cross_group"], by_placement["neighbor"]
 
 
 def test_fig9_cross_group_backup(benchmark):
-    topo, cross, naive = benchmark.pedantic(build_plans, rounds=1,
-                                            iterations=1)
+    cross, naive = benchmark.pedantic(build_plans, rounds=1,
+                                      iterations=1)
 
     # the figure's exact pairing: machine 4's ranks exchange with
     # machine 1's ranks
-    assert cross.peer_of[8] == 2
-    assert cross.peer_of[9] == 3
+    assert cross["peer_of"]["8"] == 2
+    assert cross["peer_of"]["9"] == 3
 
     # no pairing shares any parallel group
-    for rank, peer in cross.peer_of.items():
-        assert not topo.shares_any_group(rank, peer)
+    assert cross["shares_no_group"]
 
     # --- the property that matters: group-eviction survival ----------
     rows = []
     for dim in ("pp", "tp", "dp"):
-        groups = {tuple(topo.machines_of_group(r, dim))
-                  for r in topo.iter_ranks()}
-        cross_ok = all(cross.survives_eviction(list(g)) for g in groups)
-        naive_ok = all(naive.survives_eviction(list(g)) for g in groups)
+        cross_ok = cross["survives"][dim]
+        naive_ok = naive["survives"][dim]
         rows.append((f"{dim.upper()} group eviction",
                      "survives" if cross_ok else "DATA LOSS",
                      "survives" if naive_ok else "DATA LOSS"))
@@ -57,12 +50,8 @@ def test_fig9_cross_group_backup(benchmark):
 
     # the neighbor plan must fail for at least one group eviction —
     # that failure is exactly why the cross-group strategy exists
-    naive_fails = any(
-        not naive.survives_eviction(topo.machines_of_group(r, dim))
-        for dim in ("pp", "tp", "dp") for r in topo.iter_ranks())
-    assert naive_fails
+    assert not all(naive["survives"].values())
 
     # backup load stays balanced (one backup shard per local shard)
-    per_machine = [len(cross.ranks_backed_up_on(m))
-                   for m in range(topo.num_machines)]
-    assert all(c == topo.config.gpus_per_machine for c in per_machine)
+    gpm = 2
+    assert all(c == gpm for c in cross["backup_load_per_machine"])

@@ -1,34 +1,37 @@
 """Table 1: statistics of training incidents over a three-month span.
 
-Regenerates the incident census by sampling the trace generator and
-compares the sampled percentages against the paper's reported
-distribution (they must agree because the generator is parameterized by
-Table 1 — the check is that the pipeline preserves the mix end-to-end).
+Regenerates the incident census through the ``incident-census``
+scenario (one sweep cell sampling the trace generator) and compares
+the sampled percentages against the paper's reported distribution
+(they must agree because the generator is parameterized by Table 1 —
+the check is that the pipeline preserves the mix end-to-end).
 """
 
-from conftest import print_table
+from conftest import print_table, single_report
 
 from repro.cluster.faults import FaultCategory
-from repro.sim import RngStreams
-from repro.workloads import TABLE1_COUNTS, IncidentTraceGenerator
+from repro.experiments import SweepSpec
+from repro.workloads import TABLE1_COUNTS
 
 SAMPLES = 50_000
 
 
 def generate_histogram():
-    gen = IncidentTraceGenerator(RngStreams(0))
-    return gen.symptom_histogram(SAMPLES)
+    return single_report(SweepSpec(
+        "incident-census", params={"samples": SAMPLES, "seed": 0}))
 
 
 def test_table1_incident_distribution(benchmark):
-    hist = benchmark.pedantic(generate_histogram, rounds=1, iterations=1)
-    total = sum(hist.values())
+    report = benchmark.pedantic(generate_histogram, rounds=1,
+                                iterations=1)
+    hist = report["histogram"]
+    total = report["total"]
     table_total = sum(TABLE1_COUNTS.values())
     rows = []
     for symptom, paper_count in sorted(TABLE1_COUNTS.items(),
                                        key=lambda kv: -kv[1]):
         paper_pct = 100.0 * paper_count / table_total
-        measured_pct = 100.0 * hist[symptom] / total
+        measured_pct = 100.0 * hist[symptom.value] / total
         rows.append((symptom.category.value, symptom.value, paper_count,
                      f"{paper_pct:.1f}%", f"{measured_pct:.1f}%"))
         # shape: sampled mix within 1.5 percentage points of the paper
@@ -38,12 +41,10 @@ def test_table1_incident_distribution(benchmark):
         ["category", "symptom", "paper#", "paper%", "measured%"], rows)
 
     # category-level totals match the paper's headline split
-    by_cat = {c: 0 for c in FaultCategory}
-    for symptom, count in hist.items():
-        by_cat[symptom.category] += count
-    explicit_pct = by_cat[FaultCategory.EXPLICIT] / total
-    implicit_pct = by_cat[FaultCategory.IMPLICIT] / total
-    manual_pct = by_cat[FaultCategory.MANUAL] / total
+    shares = report["category_shares"]
+    explicit_pct = shares[FaultCategory.EXPLICIT.value]
+    implicit_pct = shares[FaultCategory.IMPLICIT.value]
+    manual_pct = shares[FaultCategory.MANUAL.value]
     assert 0.68 < explicit_pct < 0.75      # paper ~71.7%
     assert 0.09 < implicit_pct < 0.13      # paper ~11.0%
     assert 0.15 < manual_pct < 0.20        # paper ~17.3%

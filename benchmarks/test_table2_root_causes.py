@@ -2,43 +2,28 @@
 
 The paper attributes three ambiguous symptoms: job hangs are mostly
 infrastructure (21/26), illegal memory accesses mostly user code
-(41/62), NaN values mostly infrastructure (3/4).  The bench samples the
-generator's attribution and checks the mix.
+(41/62), NaN values mostly infrastructure (3/4).  The
+``root-cause-mix`` scenario samples the generator's attribution; the
+driver checks the mix from its payload.
 """
 
-from conftest import print_table
+from conftest import print_table, single_report
 
-from repro.cluster.faults import FaultSymptom, RootCause
-from repro.sim import RngStreams
-from repro.workloads import TABLE2_ROOT_CAUSES, IncidentTraceGenerator
+from repro.experiments import SweepSpec
+from repro.workloads import TABLE2_ROOT_CAUSES
 
 TRIALS = 2000
 
-_SYMPTOMS = {
-    "job_hang": FaultSymptom.JOB_HANG,
-    "illegal_memory_access": FaultSymptom.GPU_MEMORY_ERROR,
-    "nan_value": FaultSymptom.NAN_VALUE,
-}
-
 
 def sample_attribution():
-    gen = IncidentTraceGenerator(RngStreams(1))
-    out = {}
-    for label, symptom in _SYMPTOMS.items():
-        infra = user = 0
-        for _ in range(TRIALS):
-            fault = gen.make_fault(symptom, list(range(32)))
-            if fault.root_cause is RootCause.INFRASTRUCTURE:
-                infra += 1
-            else:
-                user += 1
-        out[label] = (infra, user)
-    return out
+    return single_report(SweepSpec(
+        "root-cause-mix", params={"trials": TRIALS, "seed": 1}))
 
 
 def test_table2_root_cause_mix(benchmark):
-    measured = benchmark.pedantic(sample_attribution, rounds=1,
-                                  iterations=1)
+    report = benchmark.pedantic(sample_attribution, rounds=1,
+                                iterations=1)
+    measured = report["mix"]
     rows = []
     for label, (paper_infra, paper_user) in TABLE2_ROOT_CAUSES.items():
         infra, user = measured[label]

@@ -1,81 +1,52 @@
 """Table 3: time to detect infrastructure failures, with and without
 proactive inspections.
 
-For each root cause, the bench injects the fault into a monitored
-cluster at an off-grid instant and measures when the inspection engine
-raises the alert; the baseline column is the timeout-only detection
-model (~10-minute PyTorch-Distributed watchdog / multi-iteration MFU
-statistics).  Paper targets: network 30 s (switch 60 s), GPU 10 s, host
-kernel 2 s.
+For each root cause, the ``detection-latency`` scenario injects the
+fault into a monitored cluster at an off-grid instant and measures
+when the inspection engine raises the alert; the baseline column is
+the timeout-only detection model (~10-minute PyTorch-Distributed
+watchdog / multi-iteration MFU statistics).  Paper targets: network
+30 s (switch 60 s), GPU 10 s, host kernel 2 s.  The driver grids the
+scenario's ``case`` parameter over all seven root causes in one sweep.
 """
 
-from conftest import print_table
+from conftest import print_table, reports_by, run_sweep
 
-from repro.baselines import TimeoutOnlyDetection
-from repro.cluster import Cluster, ClusterSpec, Fault, FaultInjector
-from repro.cluster.faults import (
-    FaultSymptom,
-    JobEffect,
-    RootCause,
-    RootCauseDetail,
-)
-from repro.monitor import InspectionEngine
-from repro.sim import Simulator
+from repro.experiments import SweepSpec
+from repro.workloads.paper import DETECTION_CASES
 
-#: (label, detail, symptom, paper detection bound with inspection)
+#: (label, case slug) in table order
 CASES = [
-    ("NIC crash", RootCauseDetail.NIC_CRASH,
-     FaultSymptom.INFINIBAND_ERROR, 30.0),
-    ("Port flapping", RootCauseDetail.PORT_FLAPPING,
-     FaultSymptom.INFINIBAND_ERROR, 30.0),
-    ("Switch down", RootCauseDetail.SWITCH_DOWN,
-     FaultSymptom.INFINIBAND_ERROR, 60.0),
-    ("GPU driver hang", RootCauseDetail.GPU_DRIVER_HANG,
-     FaultSymptom.GPU_UNAVAILABLE, 10.0),
-    ("High temperature", RootCauseDetail.GPU_HIGH_TEMPERATURE,
-     FaultSymptom.MFU_DECLINE, 10.0),
-    ("GPU lost", RootCauseDetail.GPU_LOST,
-     FaultSymptom.GPU_UNAVAILABLE, 10.0),
-    ("OS kernel fault", RootCauseDetail.OS_KERNEL_FAULT,
-     FaultSymptom.OS_KERNEL_PANIC, 2.0),
+    ("NIC crash", "nic-crash"),
+    ("Port flapping", "port-flapping"),
+    ("Switch down", "switch-down"),
+    ("GPU driver hang", "gpu-driver-hang"),
+    ("High temperature", "gpu-high-temperature"),
+    ("GPU lost", "gpu-lost"),
+    ("OS kernel fault", "os-kernel-fault"),
 ]
 
 INJECT_AT = 100.001   # just off the sweep grid: worst-case latency
 
 
 def measure_detection_times():
-    measured = {}
-    for label, detail, symptom, _bound in CASES:
-        sim = Simulator()
-        cluster = Cluster(ClusterSpec(num_machines=4,
-                                      machines_per_switch=4))
-        injector = FaultInjector(sim, cluster)
-        engine = InspectionEngine(sim, cluster, lambda: [0, 1, 2, 3])
-        events = []
-        engine.add_listener(events.append)
-        engine.start()
-        fault = Fault(symptom=symptom, root_cause=RootCause.INFRASTRUCTURE,
-                      detail=detail,
-                      machine_ids=[] if detail is RootCauseDetail.SWITCH_DOWN
-                      else [1],
-                      switch_id=0 if detail is RootCauseDetail.SWITCH_DOWN
-                      else None,
-                      effect=JobEffect.NONE)
-        sim.schedule_at(INJECT_AT, lambda f=fault: injector.inject(f))
-        sim.run(until=INJECT_AT + 700)
-        assert events, f"{label}: never detected"
-        measured[label] = events[0].time - INJECT_AT
-    return measured
+    result = run_sweep(SweepSpec(
+        "detection-latency",
+        params={"inject_at": INJECT_AT},
+        grid={"case": [slug for _, slug in CASES]}))
+    return reports_by(result, "case")
 
 
 def test_table3_detection_times(benchmark):
     measured = benchmark.pedantic(measure_detection_times, rounds=1,
                                   iterations=1)
-    baseline = TimeoutOnlyDetection()
     rows = []
-    for label, detail, symptom, paper_bound in CASES:
-        with_inspection = measured[label]
-        without = baseline.detection_seconds(detail)
+    for label, slug in CASES:
+        report = measured[slug]
+        with_inspection = report["detection_s"]
+        without = report["baseline_s"]
+        paper_bound = DETECTION_CASES[slug][2]
+        assert report["paper_bound_s"] == paper_bound
         rows.append((label, f"{paper_bound:.0f}",
                      f"{with_inspection:.1f}", f"{without:.0f}"))
         # shape: detection within ~2 sweep intervals of the paper bound

@@ -1,32 +1,32 @@
 """Table 4: distribution of resolved incidents across mechanisms for
 the two production jobs (dense and MoE).
 
-Runs compressed versions of the Sec. 8.1 deployment jobs under the
-Table 1 incident mix and reports which mechanism resolved each
-incident.  Shape targets from the paper: AutoFT-ER dominates (56–73%),
-AutoFT-HU covers all manual restarts (11–25%), Analyzer-ER picks up the
-implicit failures (7–9%), Rollback a mid-single-digit share.
+Runs compressed versions of the Sec. 8.1 deployment jobs (the
+registered ``dense`` and ``moe`` scenarios) under the Table 1 incident
+mix — one sweep, one spec per job — and reports which mechanism
+resolved each incident.  Shape targets from the paper: AutoFT-ER
+dominates (56–73%), AutoFT-HU covers all manual restarts (11–25%),
+Analyzer-ER picks up the implicit failures (7–9%), Rollback a
+mid-single-digit share.
 """
 
-from conftest import print_table
+from conftest import print_table, run_sweep
 
-from repro.workloads import (
-    dense_production_scenario,
-    moe_production_scenario,
-)
+from repro.experiments import SweepSpec
 
 NUM_MACHINES = 8
 DURATION_S = 3 * 86400
 MTBF_SCALE = 0.006     # compress the 64-GPU fleet to production rates
 
+_COMMON = {"num_machines": NUM_MACHINES, "duration_s": DURATION_S,
+           "mtbf_scale": MTBF_SCALE}
+
 
 def run_both():
-    dense = dense_production_scenario(
-        num_machines=NUM_MACHINES, duration_s=DURATION_S, seed=21,
-        mtbf_scale=MTBF_SCALE).run()
-    moe = moe_production_scenario(
-        num_machines=NUM_MACHINES, duration_s=DURATION_S, seed=22,
-        mtbf_scale=MTBF_SCALE).run()
+    result = run_sweep(
+        SweepSpec("dense", params=dict(_COMMON, seed=21)),
+        SweepSpec("moe", params=dict(_COMMON, seed=22)))
+    dense, moe = result.reports()
     return dense, moe
 
 
@@ -34,7 +34,7 @@ def test_table4_mechanism_distribution(benchmark):
     dense, moe = benchmark.pedantic(run_both, rounds=1, iterations=1)
     rows = []
     for name, report in (("Dense", dense), ("MoE", moe)):
-        dist = report.mechanism_distribution
+        dist = report["mechanism_distribution"]
         total = sum(sum(row.values()) for row in dist.values())
         assert total > 0
         for mechanism, row in sorted(dist.items()):
@@ -60,8 +60,8 @@ def test_table4_mechanism_distribution(benchmark):
         rows)
 
     # MoE integrates more custom optimizations -> more manual restarts
-    dense_dist = dense.mechanism_distribution
-    moe_dist = moe.mechanism_distribution
+    dense_dist = dense["mechanism_distribution"]
+    moe_dist = moe["mechanism_distribution"]
     dense_total = sum(sum(r.values()) for r in dense_dist.values())
     moe_total = sum(sum(r.values()) for r in moe_dist.values())
     dense_hu = sum(dense_dist.get("AutoFT-HU", {}).values()) / dense_total

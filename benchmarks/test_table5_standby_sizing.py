@@ -6,14 +6,15 @@ Paper targets (the #P99 column): 2 / 2 / 3 / 4 standby machines at
 catastrophic case fixed at 32 machines.
 
 The four fleet scales run as one grid over the analytic
-``standby-sizing`` scenario through the sweep subsystem, exercising
-the same expand/fan-out/collect path the simulation sweeps use.
+``standby-sizing`` scenario through the shared benchmark sweep
+runner, exercising the same expand/stream/collect path the simulation
+sweeps use.
 """
 
-from conftest import print_table
+from conftest import print_table, run_sweep
 
 from repro.controller import StandbyPolicy, simultaneous_failure_pmf
-from repro.experiments import SweepRunner, SweepSpec
+from repro.experiments import SweepSpec
 
 #: (scale label, machines, paper P99 machines)
 ROWS = [
@@ -26,7 +27,7 @@ CATASTROPHIC_MACHINES = 32
 
 
 def compute_rows():
-    result = SweepRunner(workers=1).run(SweepSpec(
+    result = run_sweep(SweepSpec(
         "standby-sizing",
         params={"gpus_per_machine": 16},
         grid={"machines": [machines for _, machines, _ in ROWS]}))

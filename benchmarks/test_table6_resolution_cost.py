@@ -1,132 +1,62 @@
 """Table 6: incident resolution cost — ByteRobust vs selective stress
 testing.
 
-For each incident symptom the bench injects the fault into a managed
-job across several seeds and measures the time from failure
-localization to successful restart (the paper's metric).  The baseline
-column is the selective-stress-testing cost model; symptoms rooted in
-human mistakes are INF for the baseline (stress tests cannot see them)
-but cheap for ByteRobust's rollback / hot-update paths.
+For each incident symptom the ``resolution-cost`` scenario injects the
+fault into a managed job and measures the time from failure
+localization to successful restart (the paper's metric).  The driver
+grids the scenario over every symptom and three seeds — 24 cells, one
+sweep.  The baseline column is the selective-stress-testing cost
+model; symptoms rooted in human mistakes are INF for the baseline
+(stress tests cannot see them) but cheap for ByteRobust's rollback /
+hot-update paths.
 """
 
 import math
 
-from conftest import print_table, small_managed_system
+from conftest import print_table, run_sweep
 
-from repro.baselines import SelectiveStressTesting
-from repro.cluster.faults import (
-    Fault,
-    FaultSymptom,
-    JobEffect,
-    RootCause,
-    RootCauseDetail,
-)
-from repro.controller.hotupdate import CodeUpdate
-from repro.training.metrics import CodeVersionProfile
+from repro.experiments import SweepSpec
 
 SEEDS = (0, 1, 2)
 
-
-def _fault_for(symptom, system):
-    machines = system.job.machines
-    if symptom is FaultSymptom.CUDA_ERROR:
-        return Fault(symptom=symptom, root_cause=RootCause.INFRASTRUCTURE,
-                     detail=RootCauseDetail.GPU_HBM_FAULT,
-                     machine_ids=[machines[1]],
-                     log_signature="CUDA error: device-side assert",
-                     exit_code=134)
-    if symptom is FaultSymptom.INFINIBAND_ERROR:
-        return Fault(symptom=symptom, root_cause=RootCause.INFRASTRUCTURE,
-                     detail=RootCauseDetail.NIC_CRASH,
-                     machine_ids=[machines[2]],
-                     log_signature="NCCL WARN Net: ib_send failed",
-                     exit_code=1)
-    if symptom is FaultSymptom.HDFS_ERROR:
-        return Fault(symptom=symptom, root_cause=RootCause.INFRASTRUCTURE,
-                     detail=RootCauseDetail.STORAGE_SERVICE_FAULT,
-                     transient=True, auto_recover_after=120.0,
-                     log_signature="HDFS write failed: DataStreamer",
-                     exit_code=1)
-    if symptom is FaultSymptom.OS_KERNEL_PANIC:
-        return Fault(symptom=symptom, root_cause=RootCause.INFRASTRUCTURE,
-                     detail=RootCauseDetail.OS_KERNEL_FAULT,
-                     machine_ids=[machines[3]],
-                     log_signature="kernel panic - not syncing",
-                     exit_code=255)
-    if symptom is FaultSymptom.GPU_MEMORY_ERROR:
-        return Fault(symptom=symptom, root_cause=RootCause.INFRASTRUCTURE,
-                     detail=RootCauseDetail.GPU_HBM_FAULT,
-                     machine_ids=[machines[0]],
-                     log_signature="CUDA error: an illegal memory access",
-                     exit_code=134)
-    if symptom is FaultSymptom.NAN_VALUE:
-        return Fault(symptom=symptom, root_cause=RootCause.INFRASTRUCTURE,
-                     detail=RootCauseDetail.GPU_SDC,
-                     machine_ids=[machines[4]], effect=JobEffect.NAN,
-                     reproduce_prob=0.9)
-    if symptom is FaultSymptom.GPU_UNAVAILABLE:
-        return Fault(symptom=symptom, root_cause=RootCause.INFRASTRUCTURE,
-                     detail=RootCauseDetail.GPU_LOST,
-                     machine_ids=[machines[1]],
-                     log_signature="CUDA error: device unavailable",
-                     exit_code=134)
-    raise ValueError(symptom)
-
-
-def measure_ours(symptom):
-    """Resolution time (localization -> restart) across seeds."""
-    times = []
-    for seed in SEEDS:
-        system = small_managed_system(seed=seed)
-        if symptom is FaultSymptom.CODE_DATA_ADJUSTMENT:
-            system.sim.schedule_at(
-                500, lambda s=system: s.controller.request_manual_update(
-                    CodeUpdate(version="vX",
-                               profile=CodeVersionProfile("vX", 0.4),
-                               critical=True)))
-        else:
-            system.sim.schedule_at(
-                500, lambda s=system, sym=symptom: s.injector.inject(
-                    _fault_for(sym, s)))
-        system.run_until(6 * 3600)
-        resolved = [i for i in system.incident_log.resolved()
-                    if i.resolution_seconds is not None]
-        assert resolved, f"{symptom}: never resolved (seed {seed})"
-        times.append(resolved[0].resolution_seconds)
-    return times
-
-
 SYMPTOMS = [
-    FaultSymptom.CUDA_ERROR,
-    FaultSymptom.INFINIBAND_ERROR,
-    FaultSymptom.HDFS_ERROR,
-    FaultSymptom.OS_KERNEL_PANIC,
-    FaultSymptom.GPU_MEMORY_ERROR,
-    FaultSymptom.NAN_VALUE,
-    FaultSymptom.GPU_UNAVAILABLE,
-    FaultSymptom.CODE_DATA_ADJUSTMENT,
+    "cuda_error",
+    "infiniband_error",
+    "hdfs_error",
+    "os_kernel_panic",
+    "gpu_memory_error",
+    "nan_value",
+    "gpu_unavailable",
+    "code_data_adjustment",
 ]
 
 
 def measure_all():
-    return {symptom: measure_ours(symptom) for symptom in SYMPTOMS}
+    result = run_sweep(SweepSpec(
+        "resolution-cost",
+        grid={"symptom": SYMPTOMS, "seed": list(SEEDS)}))
+    out = {symptom: {"times": [], "selective": None}
+           for symptom in SYMPTOMS}
+    for res in result.results:
+        entry = out[res.cell.params["symptom"]]
+        entry["times"].append(res.report["resolution_s"])
+        entry["selective"] = res.report["selective_s"]
+    return out
 
 
 def test_table6_resolution_cost(benchmark):
     measured = benchmark.pedantic(measure_all, rounds=1, iterations=1)
-    baseline = SelectiveStressTesting()
     rows = []
     for symptom in SYMPTOMS:
-        times = measured[symptom]
+        times = measured[symptom]["times"]
+        assert len(times) == len(SEEDS)
         ours_mean, ours_max = sum(times) / len(times), max(times)
-        root = (RootCause.NONE
-                if symptom is FaultSymptom.CODE_DATA_ADJUSTMENT
-                else RootCause.INFRASTRUCTURE)
-        selective = baseline.resolution_seconds(symptom, root)
-        sel_str = "INF" if math.isinf(selective) else f"{selective:.0f}"
-        rows.append((symptom.value, f"{ours_mean:.0f}", f"{ours_max:.0f}",
+        # the payload stores None where the baseline diverges (INF)
+        selective = measured[symptom]["selective"]
+        sel_str = "INF" if selective is None else f"{selective:.0f}"
+        rows.append((symptom, f"{ours_mean:.0f}", f"{ours_max:.0f}",
                      sel_str))
-        if math.isfinite(selective):
+        if selective is not None and math.isfinite(selective):
             # shape: ByteRobust resolves at least as fast as selective
             # stress testing on every hardware-rooted symptom
             assert ours_mean <= selective * 1.5
@@ -135,7 +65,7 @@ def test_table6_resolution_cost(benchmark):
         ["symptom", "ours mean", "ours max", "selective"], rows)
 
     # the human-mistake rows are where the baseline fails outright
-    assert math.isinf(baseline.resolution_seconds(
-        FaultSymptom.CODE_DATA_ADJUSTMENT, RootCause.NONE))
-    hu_mean = sum(measured[FaultSymptom.CODE_DATA_ADJUSTMENT]) / len(SEEDS)
+    assert measured["code_data_adjustment"]["selective"] is None
+    hu_times = measured["code_data_adjustment"]["times"]
+    hu_mean = sum(hu_times) / len(hu_times)
     assert hu_mean < 300     # hot update handles it in about a minute

@@ -4,12 +4,13 @@ across four training scales, averaged over five code-update events.
 Paper numbers: requeue 454/545/635/768 s vs hot update 46/51/54/65 s at
 128/256/512/1024 machines — roughly an 11x gap that *grows* with scale
 because requeue pays metadata clearing and quota reallocation while the
-hot update only pays a stop-patch-resume barrier.
+hot update only pays a stop-patch-resume barrier.  The driver grids
+the analytic ``scheduling-cost`` scenario over the four scales.
 """
 
-from conftest import print_table
+from conftest import print_table, reports_by, run_sweep
 
-from repro.cluster.pool import ProvisioningTimes
+from repro.experiments import SweepSpec
 
 SCALES = [128, 256, 512, 1024]
 PAPER_REQUEUE = {128: 454, 256: 545, 512: 635, 1024: 768}
@@ -18,22 +19,19 @@ UPDATE_EVENTS = 5
 
 
 def measure():
-    times = ProvisioningTimes()
-    out = {}
-    for n in SCALES:
-        requeue = sum(times.requeue_time(n)
-                      for _ in range(UPDATE_EVENTS)) / UPDATE_EVENTS
-        hot = sum(times.hot_update_time(n)
-                  for _ in range(UPDATE_EVENTS)) / UPDATE_EVENTS
-        out[n] = (requeue, hot)
-    return out
+    result = run_sweep(SweepSpec(
+        "scheduling-cost",
+        params={"update_events": UPDATE_EVENTS},
+        grid={"machines": SCALES}))
+    return reports_by(result, "machines")
 
 
 def test_table7_hot_update_vs_requeue(benchmark):
     measured = benchmark.pedantic(measure, rounds=1, iterations=1)
     rows = []
     for n in SCALES:
-        requeue, hot = measured[n]
+        requeue = measured[n]["requeue_s"]
+        hot = measured[n]["hot_s"]
         rows.append((f"{n}x16", PAPER_REQUEUE[n], f"{requeue:.0f}",
                      PAPER_HOT[n], f"{hot:.0f}",
                      f"{requeue / hot:.1f}x"))
@@ -46,6 +44,7 @@ def test_table7_hot_update_vs_requeue(benchmark):
          "measured hot", "speedup"], rows)
 
     # the headline: ~11x at the largest scale, growing with scale
-    speedups = [measured[n][0] / measured[n][1] for n in SCALES]
+    speedups = [measured[n]["requeue_s"] / measured[n]["hot_s"]
+                for n in SCALES]
     assert 8 <= speedups[-1] <= 14
     assert speedups[-1] >= speedups[0] * 0.9   # does not shrink with scale

@@ -4,20 +4,14 @@ for Megatron save, Memory save (Gemini), and ByteRobust save.
 Shapes from the paper: ByteRobust save blocks for 0.01–0.04 s per step
 (≥ 99% relative MFU, < 1% overhead at every scale); Memory save blocks
 for the D2H snapshot; Megatron save blocks for the full remote write
-(~40% relative MFU).  Checkpointing frequency is every step.
+(~40% relative MFU).  Checkpointing frequency is every step.  Each
+(model, parallelism) point is one ``checkpoint-efficiency`` sweep
+cell; the four paper configs run as four specs in one sweep.
 """
 
-from conftest import print_table
+from conftest import print_table, run_sweep
 
-from repro.checkpoint import (
-    ByteRobustSave,
-    CheckpointContext,
-    MegatronSave,
-    MemorySave,
-    StorageTiers,
-)
-from repro.cluster.components import MachineSpec
-from repro.parallelism import zero_shard_sizes
+from repro.experiments import SweepSpec
 
 #: (label, params, parallelism, healthy step seconds) — the L20
 #: evaluation fleet: 1024 machines x 16 GPUs, PCIe 30 GB/s.
@@ -46,23 +40,19 @@ PAPER = {
 
 
 def measure():
-    # remote_fs_bandwidth here models the *checkpoint* write path the
-    # Megatron-save baseline used (a parallel distributed FS), not the
-    # low-bandwidth frontend link of the default MachineSpec
-    spec = MachineSpec(gpus_per_machine=16, gpu_peak_tflops=119.0,
-                       pcie_bandwidth_gbps=30.0,
-                       remote_fs_bandwidth_gbps=8.0)
-    strategies = [MegatronSave(), MemorySave(), ByteRobustSave()]
+    # one spec per paper config (they are specific points, not a
+    # cartesian grid); remote_fs_gbps models the *checkpoint* write
+    # path the Megatron-save baseline used (a parallel distributed
+    # FS), not the low-bandwidth frontend link of the default spec
+    result = run_sweep(*[
+        SweepSpec("checkpoint-efficiency",
+                  params=dict(model_params=params, step_s=step_s, **par))
+        for _label, params, par, step_s in CONFIGS])
     out = {}
-    for label, params, par, step_s in CONFIGS:
-        sizes = zero_shard_sizes(params, zero_stage=1, **par)
-        ctx = CheckpointContext(shard_sizes=sizes,
-                                tiers=StorageTiers(machine_spec=spec),
-                                base_step_s=step_s)
-        for strategy in strategies:
-            out[(label, strategy.name)] = (
-                strategy.blocking_seconds(ctx),
-                100.0 * strategy.relative_mfu(ctx))
+    for (label, *_rest), res in zip(CONFIGS, result.results):
+        for name, row in res.report["strategies"].items():
+            out[(label, name)] = (row["blocking_s"],
+                                  row["relative_mfu_pct"])
     return out
 
 

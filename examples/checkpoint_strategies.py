@@ -4,8 +4,10 @@ over-eviction-aware backup placement (Fig. 9).
 
 Part 1 evaluates Megatron save (blocking, remote FS), Memory save
 (Gemini-style CPU snapshot), and ByteRobust save (dual-buffer async,
-scheduled backup traffic) on the paper's two MoE shapes, printing
-per-step blocking time and relative MFU.
+scheduled backup traffic) on the paper's two MoE shapes — run through
+the registered ``checkpoint-efficiency`` scenario and rendered with
+the shared report layer (:class:`repro.experiments.Table`), the same
+path ``repro report`` and the benchmarks use.
 
 Part 2 builds the cross-parallel-group backup plan for the Fig. 9
 topology and demonstrates that evicting an entire PP group loses no
@@ -14,49 +16,32 @@ checkpoint state.
 Run:  python examples/checkpoint_strategies.py
 """
 
-from repro.checkpoint import (
-    ByteRobustSave,
-    CheckpointContext,
-    MegatronSave,
-    MemorySave,
-    StorageTiers,
-    plan_cross_group_backup,
-)
-from repro.cluster.components import MachineSpec
-from repro.parallelism import (
-    ParallelismConfig,
-    RankTopology,
-    zero_shard_sizes,
-)
+from repro.checkpoint import plan_cross_group_backup
+from repro.experiments import SweepRunner, SweepSpec, Table
+from repro.parallelism import ParallelismConfig, RankTopology
 
 
 def part1_strategies() -> None:
-    print("=== Table 8: checkpoint strategy comparison ===")
     # the paper's L20 evaluation fleet: 16 GPUs/machine, PCIe 30 GB/s
-    spec = MachineSpec(gpus_per_machine=16, gpu_peak_tflops=119.0,
-                       pcie_bandwidth_gbps=30.0)
-    rows = [
+    shapes = [
         ("70B MoE", 70_000_000_000, dict(tp=8, pp=8, dp=32), 4.5),
         ("256B MoE", 256_000_000_000, dict(tp=8, pp=16, dp=64), 9.8),
     ]
-    strategies = [MegatronSave(), MemorySave(), ByteRobustSave()]
-    header = f"{'model':<10} {'strategy':<18} {'blocking (s)':>12} " \
-             f"{'relative MFU':>13}"
-    print(header)
-    print("-" * len(header))
-    for name, params, par, step_s in rows:
-        sizes = zero_shard_sizes(params, zero_stage=1, **par)
-        ctx = CheckpointContext(
-            shard_sizes=sizes, tiers=StorageTiers(machine_spec=spec),
-            base_step_s=step_s)
-        print(f"  (per-rank checkpoint shard: "
-              f"{sizes.checkpoint_bytes / 1e9:.2f} GB)")
-        for strategy in strategies:
-            blocking = strategy.blocking_seconds(ctx)
-            mfu = strategy.relative_mfu(ctx)
-            print(f"{name:<10} {strategy.name:<18} {blocking:>12.3f} "
-                  f"{mfu:>12.1%}")
-        print()
+    result = SweepRunner().run([
+        SweepSpec("checkpoint-efficiency",
+                  params=dict(model_params=params, step_s=step_s, **par))
+        for _name, params, par, step_s in shapes])
+    rows = []
+    for (name, *_rest), report in zip(shapes, result.reports()):
+        for strategy, row in report["strategies"].items():
+            rows.append([name, strategy, f"{row['blocking_s']:.3f}",
+                         f"{row['relative_mfu_pct']:.1f}%"])
+    print(Table(headers=["model", "strategy", "blocking (s)",
+                         "relative MFU"],
+                rows=rows,
+                title="Table 8: checkpoint strategy comparison"
+                ).to_text())
+    print()
 
 
 def part2_backup_plan() -> None:

@@ -4,13 +4,14 @@ jobs) across fault-rate regimes.
 
 Drives the scenario-sweep subsystem (:mod:`repro.experiments`): the
 dense and MoE production scenarios each expand over a small
-``mtbf_scale`` grid, the cells fan out across worker processes with
-deterministic per-cell seeds, and the aggregator reduces everything to
-one comparison table (Fig. 10 / Fig. 11 shape).  Re-running the same
-grid against the result cache is then served entirely from disk (the
-demo uses a temporary cache directory; point ``ResultCache`` at a
-persistent path — e.g. ``.repro-sweep-cache`` — to carry results
-across invocations).
+``mtbf_scale`` grid, the cells *stream* out of a worker pool with
+deterministic per-cell seeds (a live progress callback shows each
+arrival), and the aggregator reduces everything to one comparison
+table (Fig. 10 / Fig. 11 shape) rendered through the shared report
+layer.  Re-running the same grid against the result cache is then
+served entirely from disk (the demo uses a temporary cache directory;
+point ``ResultCache`` at a persistent path — e.g.
+``.repro-sweep-cache`` — to carry results across invocations).
 
 Run:  python examples/production_pretrain.py
 """
@@ -56,10 +57,15 @@ def main() -> None:
     ]
     with tempfile.TemporaryDirectory() as cache_dir:
         runner = SweepRunner(workers=2, cache=ResultCache(cache_dir))
-        result = runner.run(specs)
+        result = runner.run(specs, progress=lambda ev: print(
+            f"  [{ev.done}/{ev.total}] {ev.result.cell.scenario} "
+            f"mtbf_scale={ev.result.cell.params['mtbf_scale']} "
+            f"{'(cache)' if ev.result.cached else '(streamed)'} "
+            f"after {ev.elapsed_s:.1f}s"))
+        print()
 
-        print(summarize(result).table(
-            "dense vs MoE across fault-rate regimes"))
+        print(summarize(result).render(
+            "text", title="dense vs MoE across fault-rate regimes"))
         print()
 
         # the production-cadence cells in detail (Table 4 shape)

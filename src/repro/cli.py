@@ -20,12 +20,26 @@ Commands
     cell through :class:`~repro.experiments.sweep.SweepRunner` —
     optionally across a worker pool (``--workers``) and backed by an
     on-disk result cache (``--cache-dir``) that skips
-    already-simulated cells.  Cell seeds derive deterministically from
-    ``(--base-seed, cell index)``, so the same grid yields
-    byte-identical results at any worker count.  Example::
+    already-simulated cells.  Results *stream*: each cell lands in the
+    cache (and on the live progress line) the moment its worker
+    finishes, so a killed sweep resumes from the partial cache.  Cell
+    seeds derive deterministically from ``(--base-seed, cell index)``,
+    so the same grid yields byte-identical results at any worker
+    count.  Example::
 
         python -m repro sweep --scenario dense \\
             --grid mtbf_scale=0.5,1.0,2.0 --workers 4
+
+``report``
+    Render a saved sweep (the JSON written by ``sweep --output``) as a
+    paper-style table — plain text, markdown, or CSV::
+
+        python -m repro report sweep.json --format markdown
+
+``cache``
+    Inspect or maintain a sweep result cache: entry counts per
+    scenario, payload bytes, lifetime hit/miss/write counters, plus
+    ``--prune <scenario>`` and ``--clear``.
 
 ``perf``
     Run the simulation-core benchmark suite (:mod:`repro.perf`) —
@@ -99,8 +113,13 @@ def _parse_assignments(pairs: Sequence[str], split_values: bool
 
 
 def _cmd_list_scenarios(args: argparse.Namespace) -> int:
-    from repro.experiments import iter_scenarios
+    from repro.experiments import iter_scenarios, scenario_catalog_markdown
 
+    if args.markdown:
+        # the README "Scenario catalog" section is this exact output;
+        # tests/test_scenario_catalog.py pins the two together
+        print(scenario_catalog_markdown())
+        return 0
     for spec in iter_scenarios():
         tags = f"  [{', '.join(spec.tags)}]" if spec.tags else ""
         print(f"{spec.name}{tags}")
@@ -110,6 +129,31 @@ def _cmd_list_scenarios(args: argparse.Namespace) -> int:
             print(f"    {p.name:<24} {p.type:<6} "
                   f"default={p.default!r}  {p.help}")
     return 0
+
+
+def _progress_printer():
+    """A live progress-line callback for streaming sweeps.
+
+    On a TTY the line rewrites in place (``\\r``); piped/captured
+    output gets one line per completed cell, so CI logs still show the
+    arrival order and per-cell cache/simulate provenance.
+    """
+    is_tty = sys.stderr.isatty()
+
+    def on_progress(event) -> None:
+        cell = event.result.cell
+        source = "cache" if event.result.cached else "sim"
+        line = (f"[{event.done}/{event.total}] "
+                f"{cell.scenario} #{cell.index} ({source}) "
+                f"{event.elapsed_s:.1f}s")
+        if is_tty:
+            end = "\n" if event.done == event.total else ""
+            print(f"\r\x1b[2K{line}", end=end, file=sys.stderr,
+                  flush=True)
+        else:
+            print(line, file=sys.stderr, flush=True)
+
+    return on_progress
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
@@ -127,10 +171,15 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     spec = SweepSpec(scenario=args.scenario, params=fixed, grid=grid,
                      base_seed=args.base_seed)
     cache = None if args.no_cache else ResultCache(args.cache_dir)
+    progress = None if args.quiet else _progress_printer()
     try:
         runner = SweepRunner(workers=args.workers, cache=cache)
-        result = runner.run(spec)
+        result = runner.run(spec, progress=progress)
     except (ScenarioError, SweepError, ValueError) as exc:
+        if progress is not None and sys.stderr.isatty():
+            # terminate the \r-rewritten progress line so the error
+            # does not render appended to stale progress text
+            print(file=sys.stderr)
         print(f"error: {exc}", file=sys.stderr)
         return 2
     summary = summarize(result)
@@ -138,10 +187,10 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     cells = len(result.results)
     grid_desc = ", ".join(f"{k}={','.join(map(str, v))}"
                           for k, v in sorted(grid.items())) or "(single cell)"
-    print(summary.table(
-        f"sweep: {args.scenario} over {grid_desc}"))
+    print(summary.render(args.format,
+                         title=f"sweep: {args.scenario} over {grid_desc}"))
     print(f"\n{cells} cells, {result.cache_hits} served from cache, "
-          f"{cells - result.cache_hits} simulated "
+          f"{result.simulated} streamed from workers "
           f"({args.workers} worker{'s' if args.workers != 1 else ''})")
     if cache is not None:
         stats = cache.stats()
@@ -153,6 +202,62 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             json.dump({"summary": summary.to_dict(),
                        "sweep": result.to_dict()}, fh, indent=2)
         print(f"full sweep written to {args.output}")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.experiments.summary import SweepSummary
+
+    try:
+        with open(args.sweep_json, "r", encoding="utf-8") as fh:
+            payload = json.load(fh)
+    except (OSError, ValueError) as exc:
+        print(f"error: cannot read {args.sweep_json}: {exc}",
+              file=sys.stderr)
+        return 2
+    summary_dict = (payload.get("summary", payload)
+                    if isinstance(payload, dict) else {})
+    if not isinstance(summary_dict, dict) \
+            or "rows" not in summary_dict or "varied" not in summary_dict:
+        print(f"error: {args.sweep_json} does not look like "
+              f"`repro sweep --output` JSON (no summary rows)",
+              file=sys.stderr)
+        return 2
+    summary = SweepSummary(rows=summary_dict["rows"],
+                           varied=summary_dict["varied"])
+    rendered = summary.render(args.format, title=args.title)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as fh:
+            fh.write(rendered + "\n")
+        print(f"report written to {args.output}")
+    else:
+        print(rendered)
+    return 0
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    from repro.experiments import ResultCache
+
+    cache = ResultCache(args.cache_dir)
+    if args.clear:
+        removed = cache.clear()
+        print(f"cleared {args.cache_dir}: {removed} entries removed")
+        return 0
+    if args.prune:
+        removed = cache.prune(args.prune)
+        print(f"pruned scenario {args.prune!r}: "
+              f"{removed} entries removed")
+        return 0
+    by_scenario = cache.entries_by_scenario()
+    total = sum(by_scenario.values())
+    stats = cache.lifetime_stats()
+    print(f"cache: {args.cache_dir}")
+    print(f"entries:  {total} ({cache.total_bytes()} bytes)")
+    for scenario in sorted(by_scenario):
+        label = scenario or "(unscoped)"
+        print(f"  {label:<24} {by_scenario[scenario]:>6}")
+    print(f"lifetime: {stats['hits']} hits, {stats['misses']} misses, "
+          f"{stats['writes']} writes")
     return 0
 
 
@@ -283,6 +388,9 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("list-scenarios",
                        help="list registered scenarios and their "
                             "parameters")
+    p.add_argument("--markdown", action="store_true",
+                   help="emit the scenario catalog as a markdown table "
+                        "(the README section is generated from this)")
     p.set_defaults(func=_cmd_list_scenarios)
 
     p = sub.add_parser("sweep",
@@ -306,9 +414,43 @@ def build_parser() -> argparse.ArgumentParser:
                    help="on-disk result cache directory")
     p.add_argument("--no-cache", action="store_true",
                    help="always re-simulate, never read/write the cache")
+    p.add_argument("--format", choices=("text", "markdown", "csv"),
+                   default="text",
+                   help="summary table format (default: text)")
+    p.add_argument("--quiet", action="store_true",
+                   help="suppress the live per-cell progress line")
     p.add_argument("--output", type=str, default=None,
                    help="write the summary + all cell reports as JSON")
     p.set_defaults(func=_cmd_sweep)
+
+    p = sub.add_parser("report",
+                       help="render a saved sweep (sweep --output "
+                            "JSON) as a text/markdown/CSV table")
+    p.add_argument("sweep_json", type=str,
+                   help="JSON file written by `repro sweep --output`")
+    p.add_argument("--format", choices=("text", "markdown", "csv"),
+                   default="text",
+                   help="output format (default: text)")
+    p.add_argument("--title", type=str, default=None,
+                   help="table title")
+    p.add_argument("--output", type=str, default=None,
+                   help="write the rendered table here instead of "
+                        "stdout")
+    p.set_defaults(func=_cmd_report)
+
+    p = sub.add_parser("cache",
+                       help="inspect or maintain a sweep result cache")
+    p.add_argument("--cache-dir", type=str,
+                   default=".repro-sweep-cache",
+                   help="cache directory (default: .repro-sweep-cache)")
+    p.add_argument("--clear", action="store_true",
+                   help="remove every cache entry (only cache-shaped "
+                        "files; also reclaims entries orphaned by "
+                        "package/schema upgrades)")
+    p.add_argument("--prune", type=str, default=None,
+                   metavar="SCENARIO",
+                   help="remove one scenario's cache entries")
+    p.set_defaults(func=_cmd_cache)
 
     p = sub.add_parser("perf",
                        help="simulation-core benchmarks "
@@ -350,7 +492,17 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # stdout consumer (e.g. `| head`) went away mid-print; exit
+        # quietly instead of dumping a traceback.  Detach stdout so
+        # interpreter shutdown doesn't re-raise on flush.
+        try:
+            sys.stdout.close()
+        except BrokenPipeError:
+            pass
+        return 0
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -135,6 +135,7 @@ class RunReport:
             },
             "unproductive_breakdown": self.breakdown.as_dict(),
             "mechanism_distribution": self.mechanism_distribution,
+            "mfu_series": [[t, m] for t, m in self.mfu_series],
             "wasted_step_seconds": self.wasted_step_seconds,
             "standby_idle_machine_seconds":
                 self.standby_idle_machine_seconds,
@@ -152,6 +153,7 @@ class RunReport:
                     "detection_s": inc.detection_seconds,
                     "localization_s": inc.localization_seconds,
                     "failover_s": inc.failover_seconds,
+                    "resolution_s": inc.resolution_seconds,
                     "evicted_machines": list(inc.evicted_machines),
                     "actions": list(inc.actions),
                     "detail": inc.detail,

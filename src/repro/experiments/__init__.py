@@ -8,13 +8,22 @@
 * :mod:`repro.experiments.cache` — content-hash-keyed on-disk result
   cache, so repeated sweeps never re-simulate;
 * :mod:`repro.experiments.summary` — reduce a sweep into the paper's
-  comparison tables (ETTR, MFU, unproductive-time breakdown).
+  comparison tables (ETTR, MFU, unproductive-time breakdown);
+* :mod:`repro.experiments.report` — render summaries (or any
+  headers+rows) as text/markdown/CSV tables, plus the generated
+  scenario catalog.
 """
 
 from repro.experiments.cache import (
     CACHE_SCHEMA_VERSION,
     ResultCache,
     cell_key,
+)
+from repro.experiments.report import (
+    Table,
+    render_summary,
+    scenario_catalog_markdown,
+    table_from_summary,
 )
 from repro.experiments.registry import (
     ParamSpec,
@@ -34,6 +43,7 @@ from repro.experiments.sweep import (
     CellResult,
     SweepCell,
     SweepError,
+    SweepProgress,
     SweepResult,
     SweepRunner,
     SweepSpec,
@@ -51,10 +61,12 @@ __all__ = [
     "ScenarioSpec",
     "SweepCell",
     "SweepError",
+    "SweepProgress",
     "SweepResult",
     "SweepRunner",
     "SweepSpec",
     "SweepSummary",
+    "Table",
     "cell_key",
     "derive_cell_seed",
     "expand_cells",
@@ -64,5 +76,8 @@ __all__ = [
     "iter_scenarios",
     "list_scenarios",
     "register_scenario",
+    "render_summary",
+    "scenario_catalog_markdown",
     "summarize",
+    "table_from_summary",
 ]

@@ -7,11 +7,23 @@ format changes.  Cache entries are single JSON files named by that
 hash, written atomically (tmp + rename) so concurrent workers sharing
 one cache directory never observe torn files.
 
+Entries are grouped into one subdirectory per scenario
+(``<dir>/<scenario>/<cell_key>.json``) so maintenance commands can
+enumerate or prune a scenario's cells without parsing payloads; the
+legacy flat layout (``<dir>/<cell_key>.json``) is still used when no
+scenario is given, which keeps ad-hoc ``put``/``get`` callers working.
+
 The key is **configuration-addressed, not code-addressed**: the
 package version covers releases, but uncommitted edits to the
 simulator change results without changing keys.  When hacking on
 simulation code, pass ``--no-cache`` (or clear the cache directory)
 to avoid being served stale numbers.
+
+Because keys embed the package/schema versions, entries written under
+an older version can never hit again; they still show up in
+``repro cache`` entry counts and bytes until removed.  Run
+``repro cache --clear`` after upgrading to reclaim the space (the
+next sweep re-simulates and repopulates).
 """
 
 from __future__ import annotations
@@ -19,13 +31,20 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import shutil
 import tempfile
 from typing import Any, Dict, Optional
 
 from repro import __version__
 
 #: Bump when RunReport.to_dict() or cell payload layout changes.
-CACHE_SCHEMA_VERSION = 1
+#: 2: reports carry ``mfu_series`` + per-incident ``resolution_s``;
+#:    entries live in per-scenario subdirectories.
+CACHE_SCHEMA_VERSION = 2
+
+#: Sidecar file holding lifetime traffic counters (hits/misses/writes
+#: accumulated across sweeps via :meth:`ResultCache.persist_stats`).
+STATS_FILENAME = "_stats.json"
 
 
 def cell_key(scenario: str, params: Dict[str, Any], seed: int) -> str:
@@ -38,12 +57,14 @@ def cell_key(scenario: str, params: Dict[str, Any], seed: int) -> str:
 
 
 class ResultCache:
-    """A directory of ``<cell_key>.json`` payloads.
+    """A directory of ``<scenario>/<cell_key>.json`` payloads.
 
     The instance counts its own traffic (:attr:`hits`, :attr:`misses`,
     :attr:`writes`) so sweep drivers can report cache effectiveness —
     a silent cache that never hits is indistinguishable from no cache
     in wall-clock terms, but not in a CI log that prints the counters.
+    :meth:`persist_stats` folds the instance counters into an on-disk
+    sidecar, giving ``repro cache`` lifetime numbers across processes.
     """
 
     def __init__(self, directory: str):
@@ -51,8 +72,11 @@ class ResultCache:
         self.hits = 0
         self.misses = 0
         self.writes = 0
+        self._persisted = {"hits": 0, "misses": 0, "writes": 0}
 
-    def _path(self, key: str) -> str:
+    def _path(self, key: str, scenario: Optional[str] = None) -> str:
+        if scenario:
+            return os.path.join(self.directory, scenario, f"{key}.json")
         return os.path.join(self.directory, f"{key}.json")
 
     def stats(self) -> Dict[str, int]:
@@ -60,10 +84,12 @@ class ResultCache:
         return {"hits": self.hits, "misses": self.misses,
                 "writes": self.writes}
 
-    def get(self, key: str) -> Optional[Dict[str, Any]]:
+    def get(self, key: str,
+            scenario: Optional[str] = None) -> Optional[Dict[str, Any]]:
         """The cached payload, or None on miss / unreadable entry."""
         try:
-            with open(self._path(key), "r", encoding="utf-8") as fh:
+            with open(self._path(key, scenario), "r",
+                      encoding="utf-8") as fh:
                 payload = json.load(fh)
         except (OSError, ValueError):
             self.misses += 1
@@ -71,14 +97,17 @@ class ResultCache:
         self.hits += 1
         return payload
 
-    def put(self, key: str, payload: Dict[str, Any]) -> None:
+    def put(self, key: str, payload: Dict[str, Any],
+            scenario: Optional[str] = None) -> None:
         self.writes += 1
-        os.makedirs(self.directory, exist_ok=True)
-        fd, tmp = tempfile.mkstemp(dir=self.directory, suffix=".tmp")
+        target = self._path(key, scenario)
+        parent = os.path.dirname(target)
+        os.makedirs(parent, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=parent, suffix=".tmp")
         try:
             with os.fdopen(fd, "w", encoding="utf-8") as fh:
                 json.dump(payload, fh, sort_keys=True)
-            os.replace(tmp, self._path(key))
+            os.replace(tmp, target)
         except BaseException:
             try:
                 os.unlink(tmp)
@@ -86,9 +115,129 @@ class ResultCache:
                 pass
             raise
 
-    def __len__(self) -> int:
+    # -- maintenance (the `repro cache` subcommand) --------------------
+
+    def _iter_entries(self):
+        """Yield ``(scenario_or_None, path)`` for every cache entry."""
         try:
-            return sum(1 for n in os.listdir(self.directory)
-                       if n.endswith(".json"))
+            names = sorted(os.listdir(self.directory))
         except OSError:
-            return 0
+            return
+        for name in names:
+            path = os.path.join(self.directory, name)
+            if os.path.isdir(path):
+                try:
+                    children = sorted(os.listdir(path))
+                except OSError:
+                    continue
+                for child in children:
+                    if child.endswith(".json"):
+                        yield name, os.path.join(path, child)
+            elif name.endswith(".json") and name != STATS_FILENAME:
+                yield None, path
+
+    def entries_by_scenario(self) -> Dict[str, int]:
+        """Entry counts keyed by scenario (flat entries under ``""``)."""
+        counts: Dict[str, int] = {}
+        for scenario, _path in self._iter_entries():
+            label = scenario or ""
+            counts[label] = counts.get(label, 0) + 1
+        return counts
+
+    def total_bytes(self) -> int:
+        """Bytes of payload currently on disk."""
+        total = 0
+        for _scenario, path in self._iter_entries():
+            try:
+                total += os.path.getsize(path)
+            except OSError:
+                pass
+        return total
+
+    def prune(self, scenario: str) -> int:
+        """Remove every entry of one scenario; returns entries removed.
+
+        Only names that actually appear as scenario subdirectories are
+        eligible — anything else (including path fragments like ``..``
+        or absolute paths) is a no-op, never an rmtree outside the
+        cache directory.
+        """
+        removed = sum(1 for s, _ in self._iter_entries() if s == scenario)
+        if removed:
+            shutil.rmtree(os.path.join(self.directory, scenario),
+                          ignore_errors=True)
+        return removed
+
+    def clear(self) -> int:
+        """Remove every entry (and the stats sidecar).
+
+        Deletes only cache-shaped content — ``*.json`` entries, the
+        scenario subdirectories that held them, and the stats sidecar.
+        A mistyped ``--cache-dir`` pointed at a real directory loses
+        no unrelated files, and the directory itself is left in place.
+        """
+        removed = 0
+        scenario_dirs = set()
+        for scenario, path in list(self._iter_entries()):
+            try:
+                os.unlink(path)
+                removed += 1
+            except OSError:
+                pass
+            if scenario:
+                scenario_dirs.add(os.path.join(self.directory, scenario))
+        for subdir in scenario_dirs:
+            try:
+                os.rmdir(subdir)       # only if nothing else lives there
+            except OSError:
+                pass
+        try:
+            os.unlink(self._stats_path())
+        except OSError:
+            pass
+        return removed
+
+    # -- lifetime counters ---------------------------------------------
+
+    def _stats_path(self) -> str:
+        return os.path.join(self.directory, STATS_FILENAME)
+
+    def lifetime_stats(self) -> Dict[str, int]:
+        """Counters accumulated across sweeps (on-disk sidecar + this
+        instance's not-yet-persisted traffic)."""
+        stats = {"hits": 0, "misses": 0, "writes": 0}
+        try:
+            with open(self._stats_path(), "r", encoding="utf-8") as fh:
+                on_disk = json.load(fh)
+            for k in stats:
+                stats[k] = int(on_disk.get(k, 0))
+        except (OSError, ValueError):
+            pass
+        for k in stats:
+            stats[k] += getattr(self, k) - self._persisted[k]
+        return stats
+
+    def persist_stats(self) -> None:
+        """Fold this instance's traffic into the on-disk sidecar.
+
+        Last-writer-wins under concurrency — acceptable for advisory
+        counters; the entries themselves stay atomic regardless.
+        """
+        merged = self.lifetime_stats()
+        os.makedirs(self.directory, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=self.directory, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                json.dump(merged, fh)
+            os.replace(tmp, self._stats_path())
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        self._persisted = {"hits": self.hits, "misses": self.misses,
+                           "writes": self.writes}
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self._iter_entries())

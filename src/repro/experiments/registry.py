@@ -21,6 +21,7 @@ import it first).
 
 from __future__ import annotations
 
+import difflib
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence
 
@@ -34,6 +35,15 @@ _COERCERS: Dict[str, Callable[[str], Any]] = {
 
 class ScenarioError(ValueError):
     """Unknown scenario, unknown parameter, or bad parameter value."""
+
+
+def _suggest(name: str, candidates: Sequence[str]) -> str:
+    """A "did you mean ...?" fragment for typo'd registry lookups."""
+    close = difflib.get_close_matches(name, list(candidates), n=3,
+                                      cutoff=0.5)
+    if not close:
+        return ""
+    return f" — did you mean {' or '.join(repr(c) for c in close)}?"
 
 
 @dataclass(frozen=True)
@@ -90,7 +100,8 @@ class ScenarioSpec:
         for key, value in (overrides or {}).items():
             if key not in self.params:
                 raise ScenarioError(
-                    f"scenario {self.name!r} has no parameter {key!r} "
+                    f"scenario {self.name!r} has no parameter {key!r}"
+                    f"{_suggest(key, sorted(self.params))} "
                     f"(available: {', '.join(sorted(self.params))})")
             resolved[key] = self.params[key].coerce(value)
         return resolved
@@ -129,6 +140,7 @@ def register_scenario(name: str, params: Sequence[ParamSpec],
 def ensure_builtin_scenarios() -> None:
     """Import the built-in scenario modules (idempotent)."""
     import repro.workloads.scenarios  # noqa: F401  (registers on import)
+    import repro.workloads.paper  # noqa: F401  (figure/table scenarios)
 
 
 def get_scenario(name: str) -> ScenarioSpec:
@@ -137,7 +149,7 @@ def get_scenario(name: str) -> ScenarioSpec:
         return _REGISTRY[name]
     except KeyError:
         raise ScenarioError(
-            f"unknown scenario {name!r} "
+            f"unknown scenario {name!r}{_suggest(name, _REGISTRY)} "
             f"(available: {', '.join(list_scenarios())})") from None
 
 

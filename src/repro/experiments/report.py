@@ -1,0 +1,123 @@
+"""Rendering layer: turn sweep summaries (or any headers+rows) into
+paper-style tables.
+
+One :class:`Table` value renders to three formats:
+
+* ``text`` — the aligned plain-text layout the benchmarks have always
+  printed (``pytest -s`` friendly);
+* ``markdown`` — GitHub-flavoured pipe tables for CI artifacts and the
+  README scenario catalog;
+* ``csv`` — for spreadsheets and downstream plotting.
+
+:func:`table_from_summary` adapts a
+:class:`~repro.experiments.summary.SweepSummary`;
+:func:`scenario_catalog_markdown` renders the scenario registry itself
+(the README "Scenario catalog" section is generated from it, and a test
+pins the two together so the docs cannot rot).
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from dataclasses import dataclass
+from typing import Any, List, Optional
+
+from repro.experiments.registry import iter_scenarios
+from repro.experiments.summary import SweepSummary, format_table
+
+_FORMATS = ("text", "markdown", "csv")
+
+
+def _fmt_cell(cell: Any) -> str:
+    if isinstance(cell, bool):
+        return str(cell)
+    if isinstance(cell, float):
+        return f"{cell:.4f}"
+    if cell is None:
+        return ""
+    return str(cell)
+
+
+@dataclass
+class Table:
+    """A titled grid of cells, renderable to text/markdown/CSV."""
+
+    headers: List[str]
+    rows: List[List[Any]]
+    title: Optional[str] = None
+
+    def to_text(self) -> str:
+        body = format_table(self.headers, self.rows)
+        if self.title:
+            return f"=== {self.title} ===\n{body}"
+        return body
+
+    def to_markdown(self) -> str:
+        cells = [[_fmt_cell(c).replace("|", "\\|") for c in row]
+                 for row in self.rows]
+        lines = []
+        if self.title:
+            lines.append(f"### {self.title}")
+            lines.append("")
+        lines.append("| " + " | ".join(self.headers) + " |")
+        lines.append("|" + "|".join("---" for _ in self.headers) + "|")
+        for row in cells:
+            lines.append("| " + " | ".join(row) + " |")
+        return "\n".join(lines)
+
+    def to_csv(self) -> str:
+        buf = io.StringIO()
+        writer = csv.writer(buf, lineterminator="\n")
+        writer.writerow(self.headers)
+        for row in self.rows:
+            writer.writerow([_fmt_cell(c) for c in row])
+        return buf.getvalue()
+
+    def render(self, fmt: str = "text") -> str:
+        if fmt not in _FORMATS:
+            raise ValueError(
+                f"unknown table format {fmt!r} (one of {_FORMATS})")
+        return {"text": self.to_text, "markdown": self.to_markdown,
+                "csv": self.to_csv}[fmt]()
+
+
+def table_from_summary(summary: SweepSummary,
+                       title: Optional[str] = None) -> Table:
+    """One row per sweep cell: scenario, varied params, metrics."""
+    headers = (["scenario"] + list(summary.varied)
+               + summary.metric_columns())
+    rows = [[row.get(h, "") for h in headers] for row in summary.rows]
+    return Table(headers=headers, rows=rows, title=title)
+
+
+def render_summary(summary: SweepSummary, fmt: str = "text",
+                   title: Optional[str] = None) -> str:
+    """Render a sweep summary in one step (the ``repro report`` core)."""
+    return table_from_summary(summary, title=title).render(fmt)
+
+
+def scenario_catalog_table() -> Table:
+    """The scenario registry as a table (name, tags, params, blurb)."""
+    rows = []
+    for spec in iter_scenarios():
+        rows.append([
+            f"`{spec.name}`",
+            ", ".join(spec.tags),
+            ", ".join(f"{p.name}={p.default!r}"
+                      for p in spec.params.values()),
+            spec.description,
+        ])
+    return Table(headers=["scenario", "tags", "parameters (defaults)",
+                          "description"],
+                 rows=rows)
+
+
+def scenario_catalog_markdown() -> str:
+    """The README "Scenario catalog" section body.
+
+    ``python -m repro list-scenarios --markdown`` prints exactly this,
+    and ``tests/test_scenario_catalog.py`` asserts the README section
+    matches it byte for byte.
+    """
+    return scenario_catalog_table().to_markdown()

@@ -56,12 +56,13 @@ class SweepSummary:
         return ordered + extra
 
     def table(self, title: Optional[str] = None) -> str:
-        headers = ["scenario"] + list(self.varied) \
-            + self.metric_columns()
-        body = format_table(
-            headers,
-            [[row.get(h, "") for h in headers] for row in self.rows])
-        return f"=== {title} ===\n{body}" if title else body
+        return self.render("text", title=title)
+
+    def render(self, fmt: str = "text",
+               title: Optional[str] = None) -> str:
+        """Render via the report layer (``text``/``markdown``/``csv``)."""
+        from repro.experiments.report import render_summary
+        return render_summary(self, fmt=fmt, title=title)
 
     def best(self, metric: str = "cumulative_ettr",
              maximize: bool = True) -> Dict[str, Any]:

@@ -1,4 +1,5 @@
-"""Parallel scenario sweeps: grid expansion, fan-out, collection.
+"""Parallel scenario sweeps: grid expansion, streaming fan-out,
+deterministic collection.
 
 A sweep takes one or more :class:`SweepSpec`s — a registered scenario
 name, fixed parameter overrides, and a grid of per-parameter value
@@ -6,15 +7,26 @@ lists — expands the grid into :class:`SweepCell`s (cartesian product in
 sorted-key order, so cell indices are stable), and runs every cell
 either inline (``workers=1``) or across a :mod:`multiprocessing` pool.
 
+Execution is **streaming**: cells are handed to the pool once and
+results come back through ``imap_unordered`` the moment each worker
+finishes — cached cells first, then simulated cells in completion
+order.  Every completed cell is written to the
+:class:`~repro.experiments.cache.ResultCache` *immediately*, so a sweep
+killed mid-run resumes from the partial cache and re-simulates only the
+unfinished cells.  :meth:`SweepRunner.stream` exposes the raw arrival
+order (with an optional progress callback);
+:meth:`SweepRunner.run` drains the stream and materializes the final
+:class:`SweepResult` in cell-index order.
+
 Determinism is a contract, not an accident:
 
-* cell order is fixed by the expansion, and results are collected in
-  cell order regardless of which worker finishes first;
+* cell order is fixed by the expansion, and the collected result is
+  sorted into cell order regardless of which worker finishes first;
 * each cell's RNG seed is either the explicit ``seed`` parameter or
   derived from ``(base_seed, cell_index)`` via a stable hash, so the
   same grid produces the same reports no matter the worker count;
-* cells already present in the :class:`~repro.experiments.cache.ResultCache`
-  are served from disk and never re-simulated.
+* cells already present in the cache are served from disk and never
+  re-simulated.
 """
 
 from __future__ import annotations
@@ -22,16 +34,41 @@ from __future__ import annotations
 import hashlib
 import itertools
 import multiprocessing
+import time
 import traceback
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 from repro.experiments.cache import ResultCache, cell_key
 from repro.experiments.registry import get_scenario
 
 
 class SweepError(RuntimeError):
-    """A sweep cell failed; carries the failing cell's identity."""
+    """A sweep cell failed.
+
+    Carries the failing cell's full identity so parallel failures are
+    diagnosable without re-running inline: :attr:`cell` (the
+    :class:`SweepCell`), :attr:`params` (its fully-resolved
+    parameters), and :attr:`traceback_text` (the worker-side traceback,
+    captured in the worker process and shipped back verbatim).
+    """
+
+    def __init__(self, message: str, cell: "SweepCell" = None,
+                 traceback_text: str = ""):
+        super().__init__(message)
+        self.cell = cell
+        self.params = dict(cell.params) if cell is not None else {}
+        self.traceback_text = traceback_text
 
 
 @dataclass(frozen=True)
@@ -70,6 +107,22 @@ class CellResult:
     cached: bool
 
 
+@dataclass(frozen=True)
+class SweepProgress:
+    """One completed cell, as seen by a live progress callback."""
+
+    done: int
+    total: int
+    result: CellResult
+    #: wall-clock seconds since the sweep started streaming
+    elapsed_s: float
+
+
+#: Progress callbacks receive one event per completed cell, in
+#: completion order (cached cells first).
+ProgressCallback = Callable[[SweepProgress], None]
+
+
 @dataclass
 class SweepResult:
     """All cell results, in cell-index order."""
@@ -79,6 +132,15 @@ class SweepResult:
     @property
     def cache_hits(self) -> int:
         return sum(1 for r in self.results if r.cached)
+
+    @property
+    def simulated(self) -> int:
+        """Cells that actually streamed out of the executor this run."""
+        return sum(1 for r in self.results if not r.cached)
+
+    def stats(self) -> Dict[str, int]:
+        return {"cells": len(self.results), "cache_hits": self.cache_hits,
+                "simulated": self.simulated}
 
     def reports(self) -> List[Dict[str, Any]]:
         return [r.report for r in self.results]
@@ -154,23 +216,24 @@ def expand_cells(specs: Sequence[SweepSpec]) -> List[SweepCell]:
     return cells
 
 
-def _run_cell(args: Tuple[str, Dict[str, Any]]
-              ) -> Tuple[str, Union[Dict[str, Any], str]]:
+def _run_cell(args: Tuple[int, str, Dict[str, Any]]
+              ) -> Tuple[int, str, Union[Dict[str, Any], str]]:
     """Pool worker: build + run one cell, return a JSON-safe payload.
 
     Must stay a module-level function (pickled by multiprocessing).
-    Exceptions are returned as strings — raising inside a pool worker
-    would lose the cell identity in the parent.
+    The leading index survives ``imap_unordered`` reordering, and
+    exceptions are returned as traceback strings — raising inside a
+    pool worker would lose the cell identity in the parent.
     """
-    scenario_name, params = args
+    index, scenario_name, params = args
     try:
         scenario = get_scenario(scenario_name).build(**params)
         outcome = scenario.run()
         report = (outcome.to_dict() if hasattr(outcome, "to_dict")
                   else dict(outcome))
-        return ("ok", report)
+        return (index, "ok", report)
     except Exception:
-        return ("error", traceback.format_exc())
+        return (index, "error", traceback.format_exc())
 
 
 class SweepRunner:
@@ -179,6 +242,9 @@ class SweepRunner:
     ``workers=1`` runs cells inline (no pool, easiest to debug and to
     measure coverage on); ``workers>1`` uses a process pool, forking
     where the platform allows it and falling back to spawn elsewhere.
+    Either way results *stream*: each cell lands in the cache (and hits
+    the progress callback) the moment it completes, not when the whole
+    batch does.
     """
 
     def __init__(self, workers: int = 1,
@@ -188,51 +254,92 @@ class SweepRunner:
         self.workers = workers
         self.cache = cache
 
-    def run(self, specs: Union[SweepSpec, Sequence[SweepSpec]]
-            ) -> SweepResult:
+    def run(self, specs: Union[SweepSpec, Sequence[SweepSpec]],
+            progress: Optional[ProgressCallback] = None) -> SweepResult:
+        """Drain the stream and return results in cell-index order.
+
+        The collector is deterministic at any worker count: whatever
+        order cells *complete* in, the materialized result is sorted
+        by cell index and therefore byte-identical run to run.
+        """
+        results = sorted(self.stream(specs, progress=progress),
+                         key=lambda r: r.cell.index)
+        if self.cache is not None:
+            self.cache.persist_stats()
+        return SweepResult(results=results)
+
+    def stream(self, specs: Union[SweepSpec, Sequence[SweepSpec]],
+               progress: Optional[ProgressCallback] = None
+               ) -> Iterator[CellResult]:
+        """Yield :class:`CellResult`s as they complete.
+
+        Cached cells are served (and yielded) first; the rest arrive
+        in completion order.  Each simulated cell is written to the
+        cache *before* it is yielded, so an interrupted consumer loses
+        at most the in-flight cells — a restart re-simulates only what
+        never finished.
+        """
         if isinstance(specs, SweepSpec):
             specs = [specs]
         cells = expand_cells(specs)
+        total = len(cells)
+        started = time.monotonic()
+        done = 0
 
-        results: Dict[int, CellResult] = {}
         to_run: List[SweepCell] = []
         for cell in cells:
-            payload = (self.cache.get(cell.key)
+            payload = (self.cache.get(cell.key, cell.scenario)
                        if self.cache is not None else None)
-            if payload is not None:
-                results[cell.index] = CellResult(
-                    cell=cell, report=payload, cached=True)
-            else:
+            if payload is None:
                 to_run.append(cell)
+                continue
+            done += 1
+            result = CellResult(cell=cell, report=payload, cached=True)
+            if progress is not None:
+                progress(SweepProgress(
+                    done=done, total=total, result=result,
+                    elapsed_s=time.monotonic() - started))
+            yield result
 
-        for cell, (status, payload) in zip(
-                to_run, self._execute(to_run)):
+        for cell, status, payload in self._execute(to_run):
             if status != "ok":
                 raise SweepError(
                     f"cell #{cell.index} ({cell.scenario} "
-                    f"{cell.params}) failed:\n{payload}")
+                    f"{cell.params}) failed:\n{payload}",
+                    cell=cell, traceback_text=str(payload))
             if self.cache is not None:
-                self.cache.put(cell.key, payload)
-            results[cell.index] = CellResult(
-                cell=cell, report=payload, cached=False)
-
-        return SweepResult(
-            results=[results[c.index] for c in cells])
+                self.cache.put(cell.key, payload, cell.scenario)
+            done += 1
+            result = CellResult(cell=cell, report=payload, cached=False)
+            if progress is not None:
+                progress(SweepProgress(
+                    done=done, total=total, result=result,
+                    elapsed_s=time.monotonic() - started))
+            yield result
 
     # ------------------------------------------------------------------
     def _execute(self, cells: Sequence[SweepCell]
-                 ) -> List[Tuple[str, Union[Dict[str, Any], str]]]:
-        jobs = [(c.scenario, c.params) for c in cells]
-        if not jobs:
-            return []
+                 ) -> Iterator[Tuple[SweepCell, str,
+                                     Union[Dict[str, Any], str]]]:
+        """Yield ``(cell, status, payload)`` in completion order."""
+        if not cells:
+            return
+        jobs = [(i, c.scenario, c.params) for i, c in enumerate(cells)]
         if self.workers == 1 or len(jobs) == 1:
-            return [_run_cell(job) for job in jobs]
+            for job in jobs:
+                i, status, payload = _run_cell(job)
+                yield cells[i], status, payload
+            return
         methods = multiprocessing.get_all_start_methods()
         ctx = multiprocessing.get_context(
             "fork" if "fork" in methods else "spawn")
         workers = min(self.workers, len(jobs))
         with ctx.Pool(processes=workers) as pool:
-            # map() preserves input order — completion order never
-            # leaks into the result, which keeps sweeps deterministic
-            # across worker counts
-            return pool.map(_run_cell, jobs, chunksize=1)
+            # imap_unordered surfaces each result the moment its
+            # worker finishes; the run() collector re-sorts by cell
+            # index, so completion order never leaks into the final
+            # SweepResult and sweeps stay deterministic across worker
+            # counts
+            for i, status, payload in pool.imap_unordered(
+                    _run_cell, jobs, chunksize=1):
+                yield cells[i], status, payload

@@ -1,7 +1,9 @@
 """Tests for the scenario-sweep subsystem (:mod:`repro.experiments`):
 registry typing, grid expansion, deterministic seeding, worker-count
-invariance, the on-disk result cache, the aggregator, and the O(1)
-pending-event counter the sweeps lean on."""
+invariance, the streaming executor (progress callbacks, mid-run
+resume), the on-disk result cache and its maintenance surface, the
+aggregator/report layers, and the O(1) pending-event counter the
+sweeps lean on."""
 
 import json
 import os
@@ -12,8 +14,10 @@ from repro.experiments import (
     ParamSpec,
     ResultCache,
     ScenarioError,
+    SweepError,
     SweepRunner,
     SweepSpec,
+    Table,
     cell_key,
     derive_cell_seed,
     expand_cells,
@@ -21,6 +25,7 @@ from repro.experiments import (
     get_scenario,
     list_scenarios,
     summarize,
+    table_from_summary,
 )
 from repro.cli import main
 from repro.sim import Simulator
@@ -145,6 +150,222 @@ class TestSweepDeterminism:
             SweepRunner(workers=0)
 
 
+#: A fast four-cell analytic sweep for streaming/caching tests.
+ANALYTIC_SPEC = SweepSpec(
+    "standby-sizing",
+    params={"gpus_per_machine": 16},
+    grid={"machines": [128, 256, 512, 1024]})
+
+
+class TestStreaming:
+    def test_progress_callback_sees_every_cell(self):
+        events = []
+        result = SweepRunner(workers=1).run(ANALYTIC_SPEC,
+                                            progress=events.append)
+        assert [e.done for e in events] == [1, 2, 3, 4]
+        assert all(e.total == 4 for e in events)
+        assert [e.result.cell.index for e in events] == [0, 1, 2, 3]
+        assert not any(e.result.cached for e in events)
+        assert all(e.elapsed_s >= 0 for e in events)
+        assert len(result.results) == 4
+
+    def test_progress_distinguishes_cached_cells(self, tmp_path):
+        cache = ResultCache(str(tmp_path / "c"))
+        SweepRunner(workers=1, cache=cache).run(ANALYTIC_SPEC)
+        events = []
+        SweepRunner(workers=1, cache=cache).run(ANALYTIC_SPEC,
+                                                progress=events.append)
+        assert [e.result.cached for e in events] == [True] * 4
+
+    def test_stream_yields_incrementally(self):
+        stream = SweepRunner(workers=1).stream(ANALYTIC_SPEC)
+        first = next(stream)
+        assert first.cell.index == 0
+        rest = list(stream)
+        assert [r.cell.index for r in rest] == [1, 2, 3]
+
+    def test_stream_caches_each_cell_as_it_completes(self, tmp_path):
+        cache = ResultCache(str(tmp_path / "c"))
+        stream = SweepRunner(workers=1, cache=cache).stream(
+            ANALYTIC_SPEC)
+        next(stream)
+        next(stream)
+        assert len(cache) == 2          # on disk before the sweep ends
+        list(stream)
+        assert len(cache) == 4
+
+    def test_killed_sweep_resumes_from_partial_cache(self, tmp_path):
+        cache = ResultCache(str(tmp_path / "c"))
+        stream = SweepRunner(workers=1, cache=cache).stream(
+            ANALYTIC_SPEC)
+        next(stream)
+        next(stream)
+        stream.close()                  # "kill" the sweep mid-run
+
+        resumed_cache = ResultCache(str(tmp_path / "c"))
+        result = SweepRunner(workers=1, cache=resumed_cache).run(
+            ANALYTIC_SPEC)
+        # only the two unfinished cells re-simulate
+        assert result.cache_hits == 2
+        assert result.simulated == 2
+        assert [r.cached for r in result.results] == [
+            True, True, False, False]
+
+    def test_streaming_pool_matches_inline(self, tmp_path):
+        inline = SweepRunner(workers=1).run(ANALYTIC_SPEC)
+        pooled = SweepRunner(workers=3).run(ANALYTIC_SPEC)
+        assert canonical(inline) == canonical(pooled)
+
+    def test_result_stats(self, tmp_path):
+        cache = ResultCache(str(tmp_path / "c"))
+        first = SweepRunner(workers=1, cache=cache).run(ANALYTIC_SPEC)
+        assert first.stats() == {"cells": 4, "cache_hits": 0,
+                                 "simulated": 4}
+        second = SweepRunner(workers=1, cache=cache).run(ANALYTIC_SPEC)
+        assert second.stats() == {"cells": 4, "cache_hits": 4,
+                                  "simulated": 0}
+
+
+class TestSweepErrorPayload:
+    def test_error_carries_cell_params_and_traceback(self, tmp_path):
+        cache = ResultCache(str(tmp_path / "c"))
+        bad = SweepSpec("dense-small",
+                        params={"seed": 3},
+                        grid={"duration_s": [1800.0, -1.0]})
+        with pytest.raises(SweepError) as excinfo:
+            SweepRunner(workers=1, cache=cache).run(bad)
+        err = excinfo.value
+        assert err.cell is not None
+        assert err.cell.index == 1
+        assert err.params["duration_s"] == -1.0
+        assert err.params["seed"] == 3
+        assert "Traceback" in err.traceback_text
+        # the healthy cell completed (and was cached) before the
+        # failure — the partial sweep is resumable
+        assert len(cache) == 1
+        rerun = SweepRunner(workers=1, cache=ResultCache(
+            str(tmp_path / "c"))).run(SweepSpec(
+                "dense-small", params={"seed": 3,
+                                       "duration_s": 1800.0}))
+        assert rerun.cache_hits == 1
+
+
+class TestRegistrySuggestions:
+    def test_unknown_scenario_suggests_nearest(self):
+        with pytest.raises(ScenarioError,
+                           match="did you mean 'dense-small'"):
+            get_scenario("dense-smal")
+
+    def test_unknown_param_suggests_nearest(self):
+        with pytest.raises(ScenarioError,
+                           match="did you mean 'mtbf_scale'"):
+            get_scenario("dense").resolve({"mtbf_scal": 1.0})
+
+    def test_no_suggestion_for_nonsense(self):
+        with pytest.raises(ScenarioError) as excinfo:
+            get_scenario("xqzw")
+        assert "did you mean" not in str(excinfo.value)
+
+
+class TestCacheMaintenance:
+    def test_entries_grouped_by_scenario(self, tmp_path):
+        cache = ResultCache(str(tmp_path / "c"))
+        SweepRunner(workers=1, cache=cache).run(ANALYTIC_SPEC)
+        cache.put("flatkey", {"x": 1})
+        counts = cache.entries_by_scenario()
+        assert counts == {"standby-sizing": 4, "": 1}
+        assert len(cache) == 5
+        assert cache.total_bytes() > 0
+
+    def test_prune_one_scenario(self, tmp_path):
+        cache = ResultCache(str(tmp_path / "c"))
+        SweepRunner(workers=1, cache=cache).run(ANALYTIC_SPEC)
+        SweepRunner(workers=1, cache=cache).run(SweepSpec(
+            "scheduling-cost", grid={"machines": [128, 256]}))
+        assert cache.prune("standby-sizing") == 4
+        assert cache.entries_by_scenario() == {"scheduling-cost": 2}
+        # pruned cells re-simulate; the survivor still hits
+        result = SweepRunner(workers=1, cache=cache).run(ANALYTIC_SPEC)
+        assert result.cache_hits == 0
+
+    def test_prune_rejects_path_fragments(self, tmp_path):
+        outside = tmp_path / "outside"
+        outside.mkdir()
+        (outside / "keep.json").write_text("{}")
+        cache = ResultCache(str(tmp_path / "c"))
+        SweepRunner(workers=1, cache=cache).run(ANALYTIC_SPEC)
+        # traversal fragments never match a scenario subdirectory —
+        # they remove nothing and touch nothing outside the cache
+        assert cache.prune("..") == 0
+        assert cache.prune("../outside") == 0
+        assert cache.prune(str(outside)) == 0
+        assert (outside / "keep.json").exists()
+        assert len(cache) == 4
+
+    def test_clear_removes_everything(self, tmp_path):
+        cache = ResultCache(str(tmp_path / "c"))
+        SweepRunner(workers=1, cache=cache).run(ANALYTIC_SPEC)
+        assert cache.clear() == 4
+        assert len(cache) == 0
+        assert cache.total_bytes() == 0
+
+    def test_clear_spares_unrelated_files(self, tmp_path):
+        # a mistyped --cache-dir pointed at a real directory must not
+        # destroy anything that is not a cache entry
+        (tmp_path / "notes.txt").write_text("keep me")
+        (tmp_path / "data").mkdir()
+        (tmp_path / "data" / "model.bin").write_text("keep me too")
+        cache = ResultCache(str(tmp_path))
+        cache.put("deadbeef", {"x": 1}, scenario="dense")
+        assert cache.clear() == 1
+        assert (tmp_path / "notes.txt").exists()
+        assert (tmp_path / "data" / "model.bin").exists()
+        assert tmp_path.exists()
+
+    def test_lifetime_stats_survive_instances(self, tmp_path):
+        cache = ResultCache(str(tmp_path / "c"))
+        SweepRunner(workers=1, cache=cache).run(ANALYTIC_SPEC)
+        fresh = ResultCache(str(tmp_path / "c"))
+        assert fresh.lifetime_stats() == {"hits": 0, "misses": 4,
+                                          "writes": 4}
+        SweepRunner(workers=1, cache=fresh).run(ANALYTIC_SPEC)
+        again = ResultCache(str(tmp_path / "c"))
+        assert again.lifetime_stats() == {"hits": 4, "misses": 4,
+                                          "writes": 4}
+
+
+class TestReportLayer:
+    def test_table_renders_three_formats(self):
+        table = Table(headers=["a", "b"], rows=[[1, 2.5], ["x", None]],
+                      title="t")
+        text = table.to_text()
+        assert text.startswith("=== t ===")
+        md = table.to_markdown()
+        assert "| a | b |" in md and "|---|---|" in md
+        assert "| 1 | 2.5000 |" in md
+        csv_text = table.to_csv()
+        assert csv_text.splitlines()[0] == "a,b"
+        with pytest.raises(ValueError, match="unknown table format"):
+            table.render("pdf")
+
+    def test_summary_renders_markdown_and_csv(self):
+        result = SweepRunner(workers=1).run(ANALYTIC_SPEC)
+        summary = summarize(result)
+        md = summary.render("markdown", title="sizes")
+        assert md.startswith("### sizes")
+        assert "| standby-sizing |" in md
+        csv_text = summary.render("csv")
+        assert csv_text.splitlines()[0].startswith(
+            "scenario,machines")
+        table = table_from_summary(summary)
+        assert table.headers[0] == "scenario"
+        assert len(table.rows) == 4
+
+    def test_markdown_escapes_pipes(self):
+        md = Table(headers=["h"], rows=[["a|b"]]).to_markdown()
+        assert "a\\|b" in md
+
+
 class TestResultCache:
     def test_round_trip_and_miss(self, tmp_path):
         cache = ResultCache(str(tmp_path / "c"))
@@ -249,6 +470,96 @@ class TestSweepCli:
         # the CLI surfaces cache traffic so CI logs show effectiveness
         assert "2 hits, 0 misses, 0 writes this sweep" in second
         assert "2 misses, 2 writes this sweep" in first
+
+    def test_sweep_streams_progress_to_stderr(self, tmp_path, capsys):
+        assert main(["sweep", "--scenario", "standby-sizing",
+                     "--grid", "machines=128,256",
+                     "--cache-dir", str(tmp_path / "c")]) == 0
+        captured = capsys.readouterr()
+        lines = captured.err.strip().splitlines()
+        assert lines[0].startswith("[1/2] standby-sizing")
+        assert lines[1].startswith("[2/2] standby-sizing")
+        assert "(sim)" in lines[0]
+        # a cached re-run reports its provenance on the same line
+        assert main(["sweep", "--scenario", "standby-sizing",
+                     "--grid", "machines=128,256",
+                     "--cache-dir", str(tmp_path / "c")]) == 0
+        rerun = capsys.readouterr()
+        assert "(cache)" in rerun.err
+        assert "2 served from cache" in rerun.out
+
+    def test_sweep_quiet_suppresses_progress(self, tmp_path, capsys):
+        assert main(["sweep", "--scenario", "standby-sizing",
+                     "--grid", "machines=128,256", "--quiet",
+                     "--no-cache"]) == 0
+        assert capsys.readouterr().err == ""
+
+    def test_sweep_markdown_format(self, capsys):
+        assert main(["sweep", "--scenario", "standby-sizing",
+                     "--no-cache", "--quiet",
+                     "--format", "markdown"]) == 0
+        out = capsys.readouterr().out
+        assert "| standby-sizing |" in out
+
+    def test_report_command_round_trip(self, tmp_path, capsys):
+        out_file = tmp_path / "sweep.json"
+        assert main(["sweep", "--scenario", "standby-sizing",
+                     "--grid", "machines=128,1024", "--quiet",
+                     "--cache-dir", str(tmp_path / "c"),
+                     "--output", str(out_file)]) == 0
+        capsys.readouterr()
+        assert main(["report", str(out_file),
+                     "--format", "markdown", "--title", "t5"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("### t5")
+        assert "| standby-sizing | 128 |" in out
+
+        md_file = tmp_path / "t.md"
+        assert main(["report", str(out_file), "--format", "csv",
+                     "--output", str(md_file)]) == 0
+        assert md_file.read_text().startswith("scenario,machines")
+
+    def test_report_rejects_bad_input(self, tmp_path, capsys):
+        assert main(["report", str(tmp_path / "missing.json")]) == 2
+        assert "cannot read" in capsys.readouterr().err
+        bad = tmp_path / "bad.json"
+        bad.write_text("{}")
+        assert main(["report", str(bad)]) == 2
+        assert "does not look like" in capsys.readouterr().err
+        # a non-object top level must get the same clean error
+        bad.write_text("[1, 2, 3]")
+        assert main(["report", str(bad)]) == 2
+        assert "does not look like" in capsys.readouterr().err
+
+    def test_cache_command_stats_prune_clear(self, tmp_path, capsys):
+        cache_dir = str(tmp_path / "c")
+        assert main(["sweep", "--scenario", "standby-sizing",
+                     "--grid", "machines=128,256", "--quiet",
+                     "--cache-dir", cache_dir]) == 0
+        capsys.readouterr()
+
+        assert main(["cache", "--cache-dir", cache_dir]) == 0
+        out = capsys.readouterr().out
+        assert "entries:  2" in out
+        assert "standby-sizing" in out
+        assert "0 hits, 2 misses, 2 writes" in out
+
+        assert main(["cache", "--cache-dir", cache_dir,
+                     "--prune", "standby-sizing"]) == 0
+        assert "2 entries removed" in capsys.readouterr().out
+
+        assert main(["cache", "--cache-dir", cache_dir,
+                     "--clear"]) == 0
+        assert "cleared" in capsys.readouterr().out
+        assert main(["cache", "--cache-dir", cache_dir]) == 0
+        assert "entries:  0" in capsys.readouterr().out
+
+    def test_list_scenarios_markdown_matches_catalog(self, capsys):
+        from repro.experiments import scenario_catalog_markdown
+
+        assert main(["list-scenarios", "--markdown"]) == 0
+        out = capsys.readouterr().out
+        assert out.rstrip("\n") == scenario_catalog_markdown()
 
     def test_sweep_rejects_bad_grid_syntax(self):
         with pytest.raises(SystemExit):
