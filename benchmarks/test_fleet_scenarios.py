@@ -1,0 +1,116 @@
+"""Fleet control plane: job churn, standby contention, priority mix.
+
+No single paper table carries these numbers — the fleet dimension is
+Table 1's frame (778,135 jobs over three months sharing machines and
+one warm-standby reserve) — so the assertions here pin the *shape* the
+paper's design arguments rest on:
+
+* more frequent faults drain the shared standby pool and depress
+  fleet ETTR (the contention the P99 sizing is for);
+* higher-priority jobs wait less than lower-priority ones under
+  queueing pressure, while backfill keeps utilization up;
+* the fleet keeps completing jobs and returning machines — churn
+  never wedges the scheduler.
+
+All cells run through registered ``fleet-*`` scenarios + ``SweepSpec``
+via the shared cached sweep runner, like every other driver.
+"""
+
+from conftest import print_table, reports_by, run_sweep
+
+from repro.experiments import SweepSpec
+
+#: Compressed windows so the suite stays in benchmark-smoke budget.
+DAY_S = 86400.0
+
+
+def test_fleet_standby_contention(benchmark):
+    """Fault pressure vs fleet health on a tight shared pool."""
+    mtbf_grid = [1200.0, 4800.0, 19200.0]
+    result = benchmark.pedantic(
+        lambda: run_sweep(SweepSpec(
+            "fleet-standby-contention",
+            params={"duration_s": DAY_S, "seed": 1},
+            grid={"fault_mtbf_s": mtbf_grid})),
+        rounds=1, iterations=1)
+    by_mtbf = reports_by(result, "fault_mtbf_s")
+    rows = []
+    for mtbf in mtbf_grid:
+        r = by_mtbf[mtbf]
+        rows.append((f"{mtbf:.0f}s", r["total_incidents"],
+                     f"{r['fleet_ettr']:.3f}",
+                     f"{r['machine_utilization']:.3f}",
+                     r["jobs_completed"], r["jobs_queued"]))
+    print_table(
+        "Fleet standby contention: fault MTBF vs fleet health",
+        ["fault MTBF", "incidents", "fleet ETTR", "utilization",
+         "completed", "queued"], rows)
+    calm, stormy = by_mtbf[mtbf_grid[-1]], by_mtbf[mtbf_grid[0]]
+    assert stormy["total_incidents"] > calm["total_incidents"]
+    assert stormy["fleet_ettr"] < calm["fleet_ettr"]
+    for r in by_mtbf.values():
+        assert r["standby"]["shortfall"] >= 0
+        assert r["jobs_completed"] > 0
+
+
+def test_fleet_priority_separation(benchmark):
+    """Strict priority queueing separates the classes; backfill trades
+    some of that separation for throughput (small jobs slip past a
+    blocked queue head — the classic EASY-backfill effect)."""
+    result = benchmark.pedantic(
+        lambda: run_sweep(SweepSpec(
+            "fleet-priority-mix",
+            params={"duration_s": 2 * DAY_S, "seed": 1},
+            grid={"backfill": [False, True]})),
+        rounds=1, iterations=1)
+    by_backfill = reports_by(result, "backfill")
+    rows = []
+    for backfill in (False, True):
+        r = by_backfill[backfill]
+        waits = r["censored_wait_by_priority"]
+        rows.append(("on" if backfill else "off",
+                     f"{waits.get('10', 0.0):.0f}s",
+                     f"{waits.get('0', 0.0):.0f}s",
+                     r["scheduler"]["backfilled"],
+                     r["jobs_completed"]))
+    print_table(
+        "Fleet priority mix: censored queue waits and backfill "
+        "throughput",
+        ["backfill", "wait (prio 10)", "wait (prio 0)", "backfilled",
+         "completed"], rows)
+    strict = by_backfill[False]["censored_wait_by_priority"]
+    assert "0" in strict and "10" in strict, (
+        "expected jobs in both priority classes")
+    assert strict["10"] < strict["0"], (
+        "under strict priority queueing, high-priority jobs should "
+        "wait less than low-priority ones")
+    assert by_backfill[True]["scheduler"]["backfilled"] > 0
+    assert by_backfill[True]["jobs_completed"] \
+        >= by_backfill[False]["jobs_completed"]
+
+
+def test_fleet_week_churn(benchmark):
+    """A week of ordinary churn: everything completes, books balance."""
+    result = benchmark.pedantic(
+        lambda: run_sweep(SweepSpec(
+            "fleet-week", params={"duration_s": 3 * DAY_S, "seed": 0})),
+        rounds=1, iterations=1)
+    report = result.reports()[0]
+    sched = report["scheduler"]
+    print_table(
+        "Fleet week (compressed): churn totals",
+        ["submitted", "completed", "queued", "backfilled",
+         "fleet ETTR", "utilization"],
+        [(report["jobs_submitted"], report["jobs_completed"],
+          report["jobs_queued"], sched["backfilled"],
+          f"{report['fleet_ettr']:.3f}",
+          f"{report['machine_utilization']:.3f}")])
+    assert sched["submitted"] == sched["started"] \
+        + len([None] * report["jobs_queued"])
+    assert report["jobs_completed"] > 0
+    assert 0.0 < report["fleet_ettr"] <= 1.0
+    # pool books balance: every machine is in exactly one state
+    pool = report["pool"]
+    accounted = (pool["active"] + pool["standby"] + pool["provisioning"]
+                 + pool["evicted"] + pool["free"])
+    assert accounted >= 24  # blacklisted overlaps evicted

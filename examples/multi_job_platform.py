@@ -1,12 +1,14 @@
 #!/usr/bin/env python3
-"""A shared GPU platform running several managed jobs at once.
+"""A shared GPU platform with dynamic job churn.
 
 ByteRobust manages an entire fleet (the paper's census covers 778,135
-jobs over three months), so robustness machinery is per-job but machine
-resources — including the warm-standby reserve — are shared.  This
-example runs three jobs of different sizes on one cluster, breaks two
-of them, and shows that (a) each controller heals only its own job,
-and (b) both evictions draw replacements from the same standby pool.
+jobs over three months): jobs arrive at any time, queue when the
+cluster is full, complete and hand their machines to whoever waits —
+and every job carries its own management stack while sharing one
+machine pool and one warm-standby reserve.  This example runs three
+jobs, breaks two of them, then submits two more mid-simulation: a
+high-priority job that jumps the queue the moment capacity frees, and
+a small job that backfills into the gap.
 
 Run:  python examples/multi_job_platform.py
 """
@@ -21,7 +23,7 @@ from repro.cluster.faults import (
 from repro.core.platform import TrainingPlatform
 from repro.parallelism import ParallelismConfig
 from repro.training import TrainingJobConfig
-from repro.training.model import ModelSpec, dense_llama_like
+from repro.training.model import ModelSpec
 
 
 def job_config(name, machines, params):
@@ -35,9 +37,11 @@ def job_config(name, machines, params):
 
 def main() -> None:
     platform = TrainingPlatform(total_machines=32)
-    alpha = platform.add_job("alpha-7b", job_config("alpha", 8, 7e9))
+    # alpha completes after 1.5 h and returns its 8 machines
+    alpha = platform.submit("alpha-7b", job_config("alpha", 8, 7e9),
+                            duration_s=1.5 * 3600)
     beta = platform.add_job("beta-13b", job_config("beta", 8, 13e9))
-    gamma = platform.add_job("gamma-3b", job_config("gamma", 4, 3e9))
+    platform.add_job("gamma-3b", job_config("gamma", 4, 3e9))
     platform.start()
     print(f"fleet: {len(platform.cluster.machines)} machines; jobs: "
           + ", ".join(f"{m.name} ({m.job.num_machines} machines)"
@@ -58,15 +62,26 @@ def main() -> None:
               machine_ids=[beta.job.machines[5]],
               effect=JobEffect.HANG)))
 
-    platform.run_until(4 * 3600)
+    # mid-simulation arrivals: delta needs more than is free, so the
+    # scheduler reserves alpha's machines for it (EASY backfill);
+    # epsilon finishes before that reservation and may slip past
+    platform.sim.schedule_at(3600, lambda: platform.submit(
+        "delta-30b", job_config("delta", 16, 30e9), priority=5))
+    platform.sim.schedule_at(4000, lambda: platform.submit(
+        "epsilon-1b", job_config("epsilon", 4, 1e9),
+        duration_s=1200))
+
+    platform.run_until(8 * 3600)
     report = platform.fleet_report()
 
     print("\n=== per-job outcomes ===")
     for name, stats in report["jobs"].items():
-        print(f"  {name:<10} state={stats['state']:<8} "
+        wait = (f" wait={stats['wait_s']:.0f}s"
+                if stats["wait_s"] else "")
+        print(f"  {name:<10} {stats['lifecycle']:<9} "
               f"step={stats['final_step']:>5} "
               f"ETTR={stats['cumulative_ettr']:.4f} "
-              f"incidents={stats['incidents']}")
+              f"incidents={stats['incidents']}{wait}")
     print("\n=== incident detail ===")
     for managed in platform.jobs.values():
         for inc in managed.incident_log.resolved():
@@ -74,11 +89,17 @@ def main() -> None:
                   f"{inc.mechanism}, evicted {inc.evicted_machines}, "
                   f"unproductive "
                   f"{inc.total_unproductive_seconds:.0f}s")
-    print(f"\npool after recovery: {report['pool']}")
-    print(f"standby idle machine-seconds: "
-          f"{report['standby_idle_machine_seconds']:.0f}")
-    print("\ngamma (never faulted) ran untouched — per-job isolation "
-          "with shared spare capacity.")
+    sched = report["scheduler"]
+    print(f"\nscheduler: {sched['started']} started, "
+          f"{sched['completed']} completed, "
+          f"{sched['backfilled']} backfilled")
+    print(f"pool after churn: {report['pool']}")
+    print(f"standby: target {report['standby']['target']}, "
+          f"shortfall {report['standby']['shortfall']}")
+    print("\ndelta held a reservation on alpha's machines and started "
+          "the moment they came\nback; epsilon backfilled past it "
+          "because it finished before that reservation —\ndynamic "
+          "churn with per-job isolation and shared spare capacity.")
 
 
 if __name__ == "__main__":

@@ -36,16 +36,24 @@ from repro.cluster.healthcheck import (
     default_check_battery,
 )
 from repro.cluster.pool import MachinePool, ProvisioningTimes
+from repro.cluster.scheduler import (
+    AdmissionError,
+    FleetScheduler,
+    JobRequest,
+)
 
 __all__ = [
+    "AdmissionError",
     "CheckItem",
     "Cluster",
     "ClusterSpec",
     "Fault",
     "FaultInjector",
     "FaultSymptom",
+    "FleetScheduler",
     "Gpu",
     "HostState",
+    "JobRequest",
     "Machine",
     "MachinePool",
     "MachineState",

@@ -197,6 +197,20 @@ class MachinePool:
     def standby_count(self) -> int:
         return len(self.standby)
 
+    def release(self, machine_ids: List[int]) -> None:
+        """Return healthy ACTIVE machines to FREE (job completed).
+
+        Unlike :meth:`evict` there is no repair detour: the machines
+        did nothing wrong — the job holding them simply finished, so
+        they are immediately reusable by the scheduler.
+        """
+        for mid in machine_ids:
+            if mid not in self.active:
+                raise ValueError(f"machine {mid} is not active")
+            self.active.discard(mid)
+            self._set_state(mid, MachineState.FREE)
+            self.free.add(mid)
+
     # ------------------------------------------------------------------
     # eviction & repair
     # ------------------------------------------------------------------

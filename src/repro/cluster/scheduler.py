@@ -1,0 +1,232 @@
+"""Fleet scheduler: job queue, admission, priority dispatch, backfill.
+
+The paper's platform is not N jobs frozen at t=0 — 778k jobs over
+three months (Table 1) arrive, run, finish, and return their machines
+to a shared pool.  :class:`FleetScheduler` is the mechanism layer for
+that churn:
+
+* **admission** — a request larger than the whole cluster can never be
+  placed and is rejected immediately (:class:`AdmissionError`);
+* **dispatch** — queued requests start in priority order (higher
+  first, FIFO within a priority) whenever enough non-blacklisted FREE
+  machines exist;
+* **backfill** — when the head of the queue does not fit, later
+  smaller requests may start in the gap, EASY-style: the head gets a
+  *reservation* at the earliest time the planned completions of
+  running jobs free enough machines, and a backfill candidate starts
+  only if it cannot delay that reservation (it finishes before the
+  reserved start, or it fits in the capacity the head will leave
+  spare).  Requests without a planned duration cannot be reasoned
+  about, so when the reservation is uncomputable the scheduler falls
+  back to aggressive (reservation-less) backfill;
+* **retry** — a dispatch that finds no capacity re-arms itself, so
+  machines freed asynchronously (job completion, repair finishing) are
+  picked up without the platform polling forever while the queue is
+  empty.
+
+The scheduler owns *when* a job starts and *which* machines it gets;
+what a "job" is stays the owner's business — the platform hands in a
+``start`` callback and calls :meth:`complete` when a job ends.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.cluster.pool import MachinePool
+from repro.sim import Simulator
+
+
+class AdmissionError(ValueError):
+    """The request can never be satisfied by this cluster."""
+
+
+@dataclass
+class JobRequest:
+    """One queued ask: ``num_machines`` for ``name`` at ``priority``."""
+
+    name: str
+    num_machines: int
+    priority: int = 0
+    submitted_at: float = 0.0
+    #: Planned runtime, when the owner knows it (drives EASY
+    #: backfill reservations); None = open-ended.
+    duration_s: Optional[float] = None
+    #: Monotonic tiebreak inside one priority class (FIFO).
+    seq: int = 0
+    started_at: Optional[float] = None
+
+    @property
+    def planned_end(self) -> Optional[float]:
+        if self.started_at is None or self.duration_s is None:
+            return None
+        return self.started_at + self.duration_s
+
+    @property
+    def wait_seconds(self) -> Optional[float]:
+        if self.started_at is None:
+            return None
+        return self.started_at - self.submitted_at
+
+
+class FleetScheduler:
+    """Priority/backfill dispatch of job requests over a MachinePool."""
+
+    def __init__(self, sim: Simulator, pool: MachinePool,
+                 start: Callable[[JobRequest, List[int]], None],
+                 backfill: bool = True,
+                 retry_interval_s: float = 60.0):
+        self.sim = sim
+        self.pool = pool
+        self.start = start
+        self.backfill = backfill
+        self.retry_interval_s = retry_interval_s
+        self.queue: List[JobRequest] = []
+        self.running: Dict[str, JobRequest] = {}
+        self.finished: List[JobRequest] = []
+        self._seq = 0
+        self._retry_armed = False
+        #: dispatch bookkeeping for fleet reports
+        self.stats = {"submitted": 0, "started": 0, "completed": 0,
+                      "backfilled": 0, "rejected": 0}
+
+    # ------------------------------------------------------------------
+    def check_admission(self, name: str, num_machines: int) -> None:
+        """Reject (and count) requests this cluster can never place."""
+        if num_machines < 1:
+            self.stats["rejected"] += 1
+            raise AdmissionError(f"job {name!r} asks for {num_machines} "
+                                 f"machines")
+        if num_machines > len(self.pool.cluster.machines):
+            self.stats["rejected"] += 1
+            raise AdmissionError(
+                f"job {name!r} needs {num_machines} machines, the "
+                f"cluster only has {len(self.pool.cluster.machines)}")
+
+    def enqueue(self, name: str, num_machines: int, priority: int = 0,
+                duration_s: Optional[float] = None) -> JobRequest:
+        """Admit and queue a request without dispatching yet.
+
+        Batch submitters (the platform's ``start()``) enqueue a whole
+        set and then run one :meth:`dispatch`, so priority order holds
+        across the batch instead of first-enqueued-first-served.
+        """
+        self.check_admission(name, num_machines)
+        request = JobRequest(name=name, num_machines=num_machines,
+                             priority=priority, duration_s=duration_s,
+                             submitted_at=self.sim.now, seq=self._seq)
+        self._seq += 1
+        self.stats["submitted"] += 1
+        self.queue.append(request)
+        return request
+
+    def submit(self, name: str, num_machines: int, priority: int = 0,
+               duration_s: Optional[float] = None) -> JobRequest:
+        """Queue a request; dispatch immediately if capacity allows."""
+        request = self.enqueue(name, num_machines, priority=priority,
+                               duration_s=duration_s)
+        self.dispatch()
+        return request
+
+    def complete(self, name: str) -> None:
+        """A running job finished: returning its machines to the pool
+        is the owner's job; here we release the scheduling slot and
+        re-dispatch the queue."""
+        request = self.running.pop(name, None)
+        if request is None:
+            raise KeyError(f"no running job {name!r}")
+        self.stats["completed"] += 1
+        self.finished.append(request)
+        self.dispatch()
+
+    # ------------------------------------------------------------------
+    def available_machines(self) -> int:
+        return len(self.pool.free - self.pool.blacklist)
+
+    def _head_reservation(self, head_need: int
+                          ) -> Tuple[Optional[float], int]:
+        """EASY reservation for a blocked head: ``(start_time, spare)``.
+
+        Walks the planned completions of running jobs until the
+        accumulated releases (plus what is free now) cover the head;
+        ``spare`` is the capacity left over at that instant, which
+        long-running backfills may occupy without delaying the head.
+        ``(None, 0)`` means the reservation is uncomputable from
+        planned durations (open-ended jobs, or releases that only
+        repairs will provide).
+        """
+        acc = self.available_machines()
+        releases = sorted(
+            (r.planned_end, r.num_machines)
+            for r in self.running.values() if r.planned_end is not None)
+        for t, n in releases:
+            acc += n
+            if acc >= head_need:
+                return t, acc - head_need
+        return None, 0
+
+    def dispatch(self) -> int:
+        """Start every queued request that may start right now.
+
+        Requests are considered in (-priority, submit order).  The
+        first request that does not fit becomes the *head*: it gets a
+        reservation (see :meth:`_head_reservation`), and later
+        requests may start past it only if they cannot delay it —
+        they finish before the reserved start, or they fit in the
+        head's spare capacity.  With an uncomputable reservation the
+        backfill is aggressive (any fitting request starts), and with
+        ``backfill=False`` nothing passes a blocked head at all.
+        Returns the number of jobs started.
+        """
+        started = 0
+        reservation: Optional[Tuple[Optional[float], int]] = None
+        for request in sorted(self.queue,
+                              key=lambda r: (-r.priority, r.seq)):
+            if self.available_machines() < request.num_machines:
+                if not self.backfill:
+                    break
+                if reservation is None:
+                    reservation = self._head_reservation(
+                        request.num_machines)
+                continue
+            if reservation is not None:
+                reserved_at, spare = reservation
+                if reserved_at is not None:
+                    ends_in_time = (
+                        request.duration_s is not None
+                        and self.sim.now + request.duration_s
+                        <= reserved_at)
+                    if ends_in_time:
+                        pass      # machines come back before the head starts
+                    elif request.num_machines <= spare:
+                        # runs past the reserved start, but in capacity
+                        # the head leaves unused
+                        reservation = (reserved_at,
+                                       spare - request.num_machines)
+                    else:
+                        continue  # would delay the head: stay queued
+                self.stats["backfilled"] += 1
+            self.queue.remove(request)
+            machines = self.pool.allocate_active(request.num_machines)
+            request.started_at = self.sim.now
+            self.running[request.name] = request
+            self.stats["started"] += 1
+            started += 1
+            self.start(request, machines)
+        if self.queue and not self._retry_armed:
+            # capacity frees asynchronously (repair completions) —
+            # re-arm a single retry timer while anything is waiting
+            self._retry_armed = True
+            self.sim.schedule(self.retry_interval_s, self._retry)
+        return started
+
+    def _retry(self) -> None:
+        self._retry_armed = False
+        if self.queue:
+            self.dispatch()
+
+    # ------------------------------------------------------------------
+    def queued_names(self) -> List[str]:
+        return [r.name for r in sorted(self.queue,
+                                       key=lambda r: (-r.priority, r.seq))]

@@ -11,7 +11,11 @@
 * :mod:`repro.controller.controller` — the orchestrator: consumes
   inspection and anomaly events, drives stop-time checks / aggregation
   analysis / dual-phase replay, executes evictions and restarts, and
-  records every incident's timeline.
+  records every incident's timeline;
+* :mod:`repro.controller.stack` — the single construction path for a
+  job's full management entourage (collector, detector, inspections,
+  tracer, diagnoser, replay, analyzer, hot-update, checkpointing,
+  controller), shared by the single-job system and the platform.
 """
 
 from repro.controller.hotupdate import CodeUpdate, HotUpdateManager
@@ -30,6 +34,11 @@ from repro.controller.controller import (
     IncidentMechanism,
     RobustController,
 )
+from repro.controller.stack import (
+    ManagementStack,
+    StackConfig,
+    build_management_stack,
+)
 
 __all__ = [
     "CodeUpdate",
@@ -37,10 +46,13 @@ __all__ = [
     "EscalationLevel",
     "HotUpdateManager",
     "IncidentMechanism",
+    "ManagementStack",
     "PolicyAction",
     "RecoveryPolicy",
     "RobustController",
+    "StackConfig",
     "StandbyPolicy",
     "binomial_p99",
+    "build_management_stack",
     "simultaneous_failure_pmf",
 ]

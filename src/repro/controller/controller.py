@@ -121,7 +121,6 @@ class RobustController:
         self.ckpt_manager = ckpt_manager
         self.detector = detector
         self.policy = policy or RecoveryPolicy()
-        # explicit None check: an empty IncidentLog is falsy (__len__)
         self.log = incident_log if incident_log is not None else IncidentLog()
         self.config = config or ControllerConfig()
         self.escalation = EscalationLevel.FRESH
@@ -139,6 +138,20 @@ class RobustController:
             Callable[[List[CodeUpdate]], None]] = None
         hotupdate.on_update_required = self._on_update_required
         self.suppressed_events = 0
+        #: set by :meth:`retire` when the job is torn down for good —
+        #: in-flight recovery callbacks become no-ops instead of
+        #: restarting a job whose machines were already released
+        self.retired = False
+        #: machines acquired for an in-flight recovery but not yet
+        #: bound into the job (the restart delay hasn't elapsed);
+        #: platforms must not treat them as anyone else's to release
+        self.pending_replacements: set = set()
+
+    def retire(self) -> None:
+        """Permanently stop recovering this job (it completed or was
+        torn down by its platform).  Pending scheduled recovery steps
+        will return any machines they acquired and do nothing else."""
+        self.retired = True
 
     # ==================================================================
     # event entrypoints
@@ -261,7 +274,7 @@ class RobustController:
     # incident bookkeeping helpers
     # ==================================================================
     def _busy(self) -> bool:
-        return self._handling is not None
+        return self.retired or self._handling is not None
 
     def _open(self, symptom: FaultSymptom, detail: str = "",
               occurred_at: float = -1.0) -> Incident:
@@ -481,6 +494,8 @@ class RobustController:
     def _evict_and_restart(self, incident: Incident,
                            machines: Sequence[int],
                            mechanism: str) -> None:
+        if self.retired:
+            return
         incident.localized_at = self.sim.now
         incident.phase = IncidentPhase.RECOVERING
         incident.mechanism = mechanism
@@ -503,6 +518,11 @@ class RobustController:
         replenishment and retry — the paper's "training restarts when
         all needed machines finish their pod environment initialization".
         """
+        if self.retired:
+            self.pool.release([m for m in acquired
+                               if m in self.pool.active])
+            self.pending_replacements.difference_update(acquired)
+            return
         needed = len(evicted) - len(acquired)
         acquired.extend(self.pool.take_standbys(needed))
         needed = len(evicted) - len(acquired)
@@ -514,6 +534,7 @@ class RobustController:
                 acquired.extend(self.pool.allocate_active(take))
                 from_free = take
                 needed -= take
+        self.pending_replacements.update(acquired)
         if needed > 0:
             incident.actions.append(f"waiting_for_{needed}_machines")
             self.sim.schedule(60.0, lambda: self._acquire_replacements(
@@ -539,6 +560,13 @@ class RobustController:
         total = scheduling_delay + decision.load_seconds
 
         def do_restart() -> None:
+            self.pending_replacements.difference_update(
+                replacements.values())
+            if self.retired:
+                self.pool.release([m for m in replacements.values()
+                                   if m in self.pool.active])
+                self._handling = None
+                return
             self._apply_pending_updates()
             self.job.restart(decision.restart_step,
                              replacements=replacements or None)
@@ -550,6 +578,9 @@ class RobustController:
 
     def _restart_in_place(self, incident: Incident, delay: float) -> None:
         def do_restart() -> None:
+            if self.retired:
+                self._handling = None
+                return
             self._apply_pending_updates()
             self.job.restart(self._inplace_restart_step())
             if self.ckpt_manager is not None:

@@ -1,0 +1,164 @@
+"""One per-job management stack, one way to build it.
+
+Every managed training job — whether it is the single job inside a
+:class:`~repro.core.byterobust.ByteRobustSystem` or one of many on a
+:class:`~repro.core.platform.TrainingPlatform` — carries the same
+data-plane/control-plane entourage from Fig. 4: metrics collector,
+anomaly detector, inspection engine, on-demand tracer, diagnoser,
+dual-phase replay, runtime analyzer, hot-update manager, optional
+checkpoint engine, incident log, and the robust controller that ties
+the event streams together.  :func:`build_management_stack` is the
+single construction path for that wiring; entry points differ only in
+the knobs they pass, never in the plumbing.
+
+Construction order is part of the contract: components are created and
+listeners attached in a fixed sequence so simulator/RNG state evolves
+identically however the stack is reached (the sim-equivalence suite
+pins this for the single-job path).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.agent.tracer import OnDemandTracer
+from repro.analyzer.aggregation import AggregationConfig, RuntimeAnalyzer
+from repro.checkpoint.manager import CheckpointManager
+from repro.checkpoint.storage import StorageTiers
+from repro.checkpoint.strategies import ByteRobustSave, SaveStrategy
+from repro.cluster.faults import FaultInjector
+from repro.cluster.pool import MachinePool
+from repro.cluster.topology import Cluster
+from repro.controller.controller import ControllerConfig, RobustController
+from repro.controller.hotupdate import HotUpdateManager
+from repro.controller.policy import RecoveryPolicy
+from repro.controller.standby import StandbyPolicy
+from repro.core.incidents import IncidentLog
+from repro.diagnosis.diagnoser import Diagnoser
+from repro.diagnosis.replay import DualPhaseReplay
+from repro.monitor.collectors import CollectorConfig, MetricsCollector
+from repro.monitor.detectors import AnomalyDetector, DetectorConfig
+from repro.monitor.inspections import InspectionConfig, InspectionEngine
+from repro.sim import RngStreams, Simulator
+from repro.training.job import TrainingJob, TrainingJobConfig
+from repro.training.metrics import CodeVersionProfile, MfuModel
+
+
+@dataclass
+class StackConfig:
+    """Knobs for one job's management stack (entry-point agnostic)."""
+
+    collector: CollectorConfig = field(default_factory=CollectorConfig)
+    detector: DetectorConfig = field(default_factory=DetectorConfig)
+    inspections: InspectionConfig = field(default_factory=InspectionConfig)
+    aggregation: AggregationConfig = field(default_factory=AggregationConfig)
+    standby: StandbyPolicy = field(default_factory=StandbyPolicy)
+    policy: RecoveryPolicy = field(default_factory=RecoveryPolicy)
+    controller: ControllerConfig = field(default_factory=ControllerConfig)
+    initial_code_profile: CodeVersionProfile = field(
+        default_factory=lambda: CodeVersionProfile("v0", 0.30))
+    use_real_minigpt: bool = False
+    #: Enable the checkpoint engine (None strategy = ByteRobust save).
+    checkpointing: bool = False
+    checkpoint_strategy: Optional[SaveStrategy] = None
+    remote_checkpoint_every_steps: int = 100
+    zero_stage: int = 1
+
+
+@dataclass
+class ManagementStack:
+    """One job plus its fully wired management entourage."""
+
+    job: TrainingJob
+    collector: MetricsCollector
+    detector: AnomalyDetector
+    inspections: InspectionEngine
+    diagnoser: Diagnoser
+    replay: DualPhaseReplay
+    analyzer: RuntimeAnalyzer
+    tracer: OnDemandTracer
+    hotupdate: HotUpdateManager
+    ckpt_manager: Optional[CheckpointManager]
+    incident_log: IncidentLog
+    controller: RobustController
+
+    def launch(self, machine_ids: List[int]) -> None:
+        """Bind machines and start monitor + job (standbys are the
+        owner's concern — pools are shared on the platform)."""
+        self.job.bind_machines(machine_ids)
+        self.collector.start()
+        self.inspections.start()
+        self.job.start()
+
+    def shutdown(self) -> None:
+        """Stop the job for good: retire the controller (in-flight
+        recovery callbacks become no-ops), kill the training
+        processes, and silence the periodic monitor tasks."""
+        self.controller.retire()
+        self.job.suspend()
+        self.collector.stop()
+        self.inspections.stop()
+
+
+def build_management_stack(sim: Simulator, cluster: Cluster,
+                           pool: MachinePool, injector: FaultInjector,
+                           job_config: TrainingJobConfig,
+                           diag_rng: RngStreams,
+                           replay_rng: Optional[RngStreams] = None,
+                           config: Optional[StackConfig] = None
+                           ) -> ManagementStack:
+    """Construct the full per-job management stack (the Fig. 4 wiring).
+
+    ``diag_rng``/``replay_rng`` are the RNG streams handed to the
+    diagnoser and the dual-phase replay; the single-job system passes
+    one shared stream for both (its historical behaviour), while the
+    platform forks a named stream per job so jobs stay decorrelated.
+    """
+    config = config or StackConfig()
+    if replay_rng is None:
+        replay_rng = diag_rng
+    job = TrainingJob(
+        sim, job_config, injector=injector,
+        mfu_model=MfuModel(config.initial_code_profile))
+    collector = MetricsCollector(sim, job, config.collector)
+    detector = AnomalyDetector(sim, collector, config.detector)
+    inspections = InspectionEngine(
+        sim, cluster, lambda: job.machines, config.inspections)
+    diagnoser = Diagnoser(cluster, diag_rng,
+                          use_real_minigpt=config.use_real_minigpt)
+    replay = DualPhaseReplay(cluster, replay_rng)
+    analyzer = RuntimeAnalyzer(job.topology, config.aggregation)
+    tracer = OnDemandTracer(sim, job)
+    hotupdate = HotUpdateManager(
+        sim, initial_profile=config.initial_code_profile)
+    ckpt_manager: Optional[CheckpointManager] = None
+    if config.checkpointing:
+        from repro.parallelism import zero_shard_sizes
+
+        shard_sizes = zero_shard_sizes(
+            job_config.model.num_params,
+            tp=job_config.parallelism.tp,
+            pp=job_config.parallelism.pp,
+            dp=job_config.parallelism.dp,
+            zero_stage=config.zero_stage)
+        tiers = StorageTiers(machine_spec=cluster.spec.machine_spec)
+        ckpt_manager = CheckpointManager(
+            sim, job, shard_sizes, tiers,
+            strategy=config.checkpoint_strategy or ByteRobustSave(),
+            remote_every_steps=config.remote_checkpoint_every_steps)
+    incident_log = IncidentLog()
+    controller = RobustController(
+        sim, job, pool, injector, diagnoser, replay, analyzer, tracer,
+        hotupdate, standby_policy=config.standby,
+        ckpt_manager=ckpt_manager, detector=detector,
+        policy=config.policy, incident_log=incident_log,
+        config=config.controller)
+    detector.add_listener(controller.on_anomaly)
+    inspections.add_listener(controller.on_inspection_event)
+    return ManagementStack(
+        job=job, collector=collector, detector=detector,
+        inspections=inspections, diagnoser=diagnoser, replay=replay,
+        analyzer=analyzer, tracer=tracer, hotupdate=hotupdate,
+        ckpt_manager=ckpt_manager, incident_log=incident_log,
+        controller=controller)

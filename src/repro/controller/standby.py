@@ -74,6 +74,10 @@ class StandbyPolicy:
     min_standbys: int = 1
 
     def standby_count(self, num_active_machines: int) -> int:
+        if num_active_machines <= 0:
+            # an empty active fleet (dynamic platforms between jobs)
+            # still keeps the configured floor warm
+            return self.min_standbys
         k = binomial_quantile(num_active_machines, self.daily_failure_prob,
                               self.quantile)
         return max(self.min_standbys, k)

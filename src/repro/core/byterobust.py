@@ -18,33 +18,24 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
-from repro.agent.tracer import OnDemandTracer
-from repro.analyzer.aggregation import AggregationConfig, RuntimeAnalyzer
-from repro.checkpoint.manager import CheckpointManager
-from repro.checkpoint.storage import StorageTiers
-from repro.checkpoint.strategies import ByteRobustSave, SaveStrategy
+from repro.analyzer.aggregation import AggregationConfig
+from repro.checkpoint.strategies import SaveStrategy
 from repro.cluster.components import MachineSpec
 from repro.cluster.faults import FaultInjector
 from repro.cluster.pool import MachinePool, ProvisioningTimes
 from repro.cluster.topology import Cluster, ClusterSpec
-from repro.controller.controller import (
-    ControllerConfig,
-    RobustController,
-)
-from repro.controller.hotupdate import HotUpdateManager
+from repro.controller.controller import ControllerConfig
 from repro.controller.policy import RecoveryPolicy
+from repro.controller.stack import StackConfig, build_management_stack
 from repro.controller.standby import StandbyPolicy
 from repro.core.ettr import EttrSeries, EttrTracker, UnproductiveBreakdown
 from repro.core.incidents import IncidentLog
-from repro.diagnosis.diagnoser import Diagnoser
-from repro.diagnosis.replay import DualPhaseReplay
-from repro.monitor.collectors import CollectorConfig, MetricsCollector
-from repro.monitor.detectors import AnomalyDetector, DetectorConfig
-from repro.monitor.inspections import InspectionConfig, InspectionEngine
-from repro.parallelism import zero_shard_sizes
+from repro.monitor.collectors import CollectorConfig
+from repro.monitor.detectors import DetectorConfig
+from repro.monitor.inspections import InspectionConfig
 from repro.sim import RngStreams, Simulator
-from repro.training.job import TrainingJob, TrainingJobConfig
-from repro.training.metrics import CodeVersionProfile, MfuModel
+from repro.training.job import TrainingJobConfig
+from repro.training.metrics import CodeVersionProfile
 
 
 @dataclass
@@ -196,46 +187,36 @@ class ByteRobustSystem:
         self.injector = FaultInjector(self.sim, self.cluster)
         self.pool = MachinePool(self.sim, self.cluster,
                                 times=config.provisioning)
-        self.job = TrainingJob(
-            self.sim, config.job, injector=self.injector,
-            mfu_model=MfuModel(config.initial_code_profile))
-        self.collector = MetricsCollector(self.sim, self.job,
-                                          config.collector)
-        self.detector = AnomalyDetector(self.sim, self.collector,
-                                        config.detector)
-        self.inspections = InspectionEngine(
-            self.sim, self.cluster, lambda: self.job.machines,
-            config.inspections)
-        self.diagnoser = Diagnoser(self.cluster, self.rng,
-                                   use_real_minigpt=config.use_real_minigpt)
-        self.replay = DualPhaseReplay(self.cluster, self.rng)
-        self.analyzer = RuntimeAnalyzer(self.job.topology,
-                                        config.aggregation)
-        self.tracer = OnDemandTracer(self.sim, self.job)
-        self.hotupdate = HotUpdateManager(
-            self.sim, initial_profile=config.initial_code_profile)
-        self.ckpt_manager: Optional[CheckpointManager] = None
-        if config.checkpointing:
-            shard_sizes = zero_shard_sizes(
-                config.job.model.num_params,
-                tp=config.job.parallelism.tp,
-                pp=config.job.parallelism.pp,
-                dp=config.job.parallelism.dp,
-                zero_stage=config.zero_stage)
-            tiers = StorageTiers(machine_spec=config.machine_spec)
-            self.ckpt_manager = CheckpointManager(
-                self.sim, self.job, shard_sizes, tiers,
-                strategy=config.checkpoint_strategy or ByteRobustSave(),
-                remote_every_steps=config.remote_checkpoint_every_steps)
-        self.incident_log = IncidentLog()
-        self.controller = RobustController(
-            self.sim, self.job, self.pool, self.injector, self.diagnoser,
-            self.replay, self.analyzer, self.tracer, self.hotupdate,
-            standby_policy=config.standby, ckpt_manager=self.ckpt_manager,
-            detector=self.detector, policy=config.policy,
-            incident_log=self.incident_log, config=config.controller)
-        self.detector.add_listener(self.controller.on_anomaly)
-        self.inspections.add_listener(self.controller.on_inspection_event)
+        self.stack = build_management_stack(
+            self.sim, self.cluster, self.pool, self.injector, config.job,
+            diag_rng=self.rng,
+            config=StackConfig(
+                collector=config.collector,
+                detector=config.detector,
+                inspections=config.inspections,
+                aggregation=config.aggregation,
+                standby=config.standby,
+                policy=config.policy,
+                controller=config.controller,
+                initial_code_profile=config.initial_code_profile,
+                use_real_minigpt=config.use_real_minigpt,
+                checkpointing=config.checkpointing,
+                checkpoint_strategy=config.checkpoint_strategy,
+                remote_checkpoint_every_steps=(
+                    config.remote_checkpoint_every_steps),
+                zero_stage=config.zero_stage))
+        self.job = self.stack.job
+        self.collector = self.stack.collector
+        self.detector = self.stack.detector
+        self.inspections = self.stack.inspections
+        self.diagnoser = self.stack.diagnoser
+        self.replay = self.stack.replay
+        self.analyzer = self.stack.analyzer
+        self.tracer = self.stack.tracer
+        self.hotupdate = self.stack.hotupdate
+        self.ckpt_manager = self.stack.ckpt_manager
+        self.incident_log = self.stack.incident_log
+        self.controller = self.stack.controller
         self._started = False
         self._mfu_samples: List[tuple] = []
         self.collector.on_step(

@@ -130,3 +130,12 @@ class IncidentLog:
 
     def __len__(self) -> int:
         return len(self.incidents)
+
+    def __bool__(self) -> bool:
+        """Always truthy: an empty log is still a log.
+
+        Without this, ``__len__`` makes a fresh log falsy, and every
+        ``incident_log or IncidentLog()``-style call site silently
+        swaps in a new log and loses the caller's history.
+        """
+        return True

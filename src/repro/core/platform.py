@@ -1,12 +1,19 @@
-"""Multi-job platform: several managed training jobs on one fleet.
+"""Multi-job platform: a fleet-scale control plane over one cluster.
 
 ByteRobust manages an entire GPU platform (778,135 jobs over three
 months, Table 1), not a single run.  The :class:`TrainingPlatform`
-stands up N independently-managed jobs — each with its own monitor,
-controller, analyzer, and checkpoint engine — sharing one cluster, one
-machine pool, and one warm-standby reserve.  Evictions from any job
-compete for the same standbys, which is exactly the contention the P99
-pool sizing is meant to absorb.
+runs many independently-managed jobs — each with its own monitor,
+controller, analyzer and incident log, all built through the shared
+:func:`~repro.controller.stack.build_management_stack` — on one
+cluster, one machine pool, and one warm-standby reserve.
+
+Jobs are *dynamic*: :meth:`submit` is legal at any simulated time, a
+:class:`~repro.cluster.scheduler.FleetScheduler` queues requests that
+do not fit and starts them (priority order, optional backfill) when
+capacity frees, and jobs with a planned ``duration_s`` complete on
+their own, returning their machines to the pool for whoever queues
+next.  Evictions from any job compete for the same standbys, which is
+exactly the contention the P99 pool sizing is meant to absorb.
 """
 
 from __future__ import annotations
@@ -15,39 +22,98 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from repro.agent.tracer import OnDemandTracer
-from repro.analyzer.aggregation import RuntimeAnalyzer
 from repro.cluster.components import MachineSpec
 from repro.cluster.faults import FaultInjector
 from repro.cluster.pool import MachinePool
+from repro.cluster.scheduler import FleetScheduler, JobRequest
 from repro.cluster.topology import Cluster, ClusterSpec
 from repro.controller.controller import ControllerConfig, RobustController
-from repro.controller.hotupdate import HotUpdateManager
 from repro.controller.policy import RecoveryPolicy
+from repro.controller.stack import (
+    ManagementStack,
+    StackConfig,
+    build_management_stack,
+)
 from repro.controller.standby import StandbyPolicy
 from repro.core.ettr import EttrTracker
 from repro.core.incidents import IncidentLog
-from repro.diagnosis.diagnoser import Diagnoser
-from repro.diagnosis.replay import DualPhaseReplay
 from repro.monitor.collectors import CollectorConfig, MetricsCollector
 from repro.monitor.detectors import AnomalyDetector, DetectorConfig
 from repro.monitor.inspections import InspectionConfig, InspectionEngine
 from repro.sim import RngStreams, Simulator
 from repro.training.job import TrainingJob, TrainingJobConfig
-from repro.training.metrics import CodeVersionProfile, MfuModel
+from repro.training.metrics import CodeVersionProfile
 
 
 @dataclass
 class ManagedJob:
-    """One job plus its dedicated management stack."""
+    """One job plus its dedicated management stack and lifecycle."""
 
     name: str
-    job: TrainingJob
-    collector: MetricsCollector
-    detector: AnomalyDetector
-    inspections: InspectionEngine
-    controller: RobustController
-    incident_log: IncidentLog
-    tracer: OnDemandTracer
+    stack: ManagementStack
+    priority: int = 0
+    #: planned runtime; None = runs until the simulation horizon
+    duration_s: Optional[float] = None
+    submitted_at: float = 0.0
+    started_at: Optional[float] = None
+    completed_at: Optional[float] = None
+    #: True for legacy :meth:`TrainingPlatform.add_job` registrations,
+    #: which must all be placeable at start() (strict co-scheduling)
+    static: bool = False
+
+    # -- convenience passthroughs (the pre-scheduler ManagedJob API) --
+    @property
+    def job(self) -> TrainingJob:
+        return self.stack.job
+
+    @property
+    def collector(self) -> MetricsCollector:
+        return self.stack.collector
+
+    @property
+    def detector(self) -> AnomalyDetector:
+        return self.stack.detector
+
+    @property
+    def inspections(self) -> InspectionEngine:
+        return self.stack.inspections
+
+    @property
+    def controller(self) -> RobustController:
+        return self.stack.controller
+
+    @property
+    def incident_log(self) -> IncidentLog:
+        return self.stack.incident_log
+
+    @property
+    def tracer(self) -> OnDemandTracer:
+        return self.stack.tracer
+
+    # -- lifecycle queries --------------------------------------------
+    @property
+    def queued(self) -> bool:
+        return self.started_at is None
+
+    @property
+    def running(self) -> bool:
+        return self.started_at is not None and self.completed_at is None
+
+    @property
+    def completed(self) -> bool:
+        return self.completed_at is not None
+
+    @property
+    def lifecycle(self) -> str:
+        if self.completed:
+            return "completed"
+        return "queued" if self.queued else "running"
+
+    @property
+    def wait_seconds(self) -> Optional[float]:
+        if self.started_at is None:
+            return None
+        return self.started_at - self.submitted_at
 
 
 @dataclass
@@ -58,15 +124,20 @@ class PlatformConfig:
     machine_spec: MachineSpec = field(default_factory=MachineSpec)
     machines_per_switch: int = 16
     standby: StandbyPolicy = field(default_factory=StandbyPolicy)
+    collector: CollectorConfig = field(default_factory=CollectorConfig)
     detector: DetectorConfig = field(
         default_factory=lambda: DetectorConfig(hang_zero_rdma_s=300.0))
     inspections: InspectionConfig = field(default_factory=InspectionConfig)
     policy: RecoveryPolicy = field(default_factory=RecoveryPolicy)
     controller: ControllerConfig = field(default_factory=ControllerConfig)
+    #: let smaller queued jobs start past a blocked head-of-queue job
+    backfill: bool = True
+    #: how often a blocked queue re-checks for freed capacity
+    scheduler_retry_s: float = 60.0
 
 
 class TrainingPlatform:
-    """N managed jobs sharing one cluster and one standby pool."""
+    """Dynamic managed jobs sharing one cluster and one standby pool."""
 
     def __init__(self, total_machines: int,
                  config: Optional[PlatformConfig] = None):
@@ -79,93 +150,214 @@ class TrainingPlatform:
             machines_per_switch=self.config.machines_per_switch))
         self.injector = FaultInjector(self.sim, self.cluster)
         self.pool = MachinePool(self.sim, self.cluster)
+        self.scheduler = FleetScheduler(
+            self.sim, self.pool, start=self._on_dispatch,
+            backfill=self.config.backfill,
+            retry_interval_s=self.config.scheduler_retry_s)
         self.jobs: Dict[str, ManagedJob] = {}
         self._started = False
+        #: standby provisioning outcome at start() (satellite: the
+        #: silent cap became a recorded shortfall)
+        self.standby_target = 0
+        self.standby_provisioned = 0
 
     # ------------------------------------------------------------------
-    def add_job(self, name: str, job_config: TrainingJobConfig,
-                initial_mfu: float = 0.30) -> ManagedJob:
-        """Register a job; machines are allocated at :meth:`start`."""
-        if self._started:
-            raise RuntimeError("platform already started")
+    # job intake
+    # ------------------------------------------------------------------
+    def _build_stack(self, name: str, job_config: TrainingJobConfig,
+                     initial_mfu: float) -> ManagementStack:
+        return build_management_stack(
+            self.sim, self.cluster, self.pool, self.injector, job_config,
+            diag_rng=self.rng.fork(f"diag:{name}"),
+            replay_rng=self.rng.fork(f"replay:{name}"),
+            config=StackConfig(
+                collector=self.config.collector,
+                detector=self.config.detector,
+                inspections=self.config.inspections,
+                standby=self.config.standby,
+                policy=self.config.policy,
+                controller=self.config.controller,
+                initial_code_profile=CodeVersionProfile(
+                    "v0", initial_mfu)))
+
+    def submit(self, name: str, job_config: TrainingJobConfig,
+               priority: int = 0, duration_s: Optional[float] = None,
+               initial_mfu: float = 0.30) -> ManagedJob:
+        """Submit a job at any simulated time.
+
+        Before :meth:`start` the request just queues; afterwards the
+        scheduler places it immediately if capacity allows, or parks it
+        until machines free up (higher ``priority`` jumps the queue;
+        smaller jobs may backfill).  ``duration_s`` gives the job a
+        planned runtime after which it completes and returns its
+        machines.  Raises
+        :class:`~repro.cluster.scheduler.AdmissionError` for requests
+        larger than the whole cluster.
+        """
         if name in self.jobs:
             raise ValueError(f"duplicate job name {name!r}")
-        job = TrainingJob(
-            self.sim, job_config, injector=self.injector,
-            mfu_model=MfuModel(CodeVersionProfile("v0", initial_mfu)))
-        collector = MetricsCollector(self.sim, job, CollectorConfig())
-        detector = AnomalyDetector(self.sim, collector,
-                                   self.config.detector)
-        inspections = InspectionEngine(
-            self.sim, self.cluster, lambda j=job: j.machines,
-            self.config.inspections)
-        tracer = OnDemandTracer(self.sim, job)
-        incident_log = IncidentLog()
-        controller = RobustController(
-            self.sim, job, self.pool, self.injector,
-            Diagnoser(self.cluster, self.rng.fork(f"diag:{name}")),
-            DualPhaseReplay(self.cluster, self.rng.fork(f"replay:{name}")),
-            RuntimeAnalyzer(job.topology), tracer,
-            HotUpdateManager(self.sim),
-            standby_policy=self.config.standby,
-            detector=detector, policy=self.config.policy,
-            incident_log=incident_log, config=self.config.controller)
-        detector.add_listener(controller.on_anomaly)
-        inspections.add_listener(controller.on_inspection_event)
-        managed = ManagedJob(
-            name=name, job=job, collector=collector, detector=detector,
-            inspections=inspections, controller=controller,
-            incident_log=incident_log, tracer=tracer)
+        needed = (job_config.parallelism.world_size
+                  // job_config.parallelism.gpus_per_machine)
+        self.scheduler.check_admission(name, needed)
+        stack = self._build_stack(name, job_config, initial_mfu)
+        managed = ManagedJob(name=name, stack=stack, priority=priority,
+                             duration_s=duration_s,
+                             submitted_at=self.sim.now)
         self.jobs[name] = managed
+        if self._started:
+            self.scheduler.submit(name, stack.job.num_machines,
+                                  priority=priority,
+                                  duration_s=duration_s)
         return managed
 
-    def start(self) -> None:
-        """Allocate machines to every job and launch everything."""
+    def add_job(self, name: str, job_config: TrainingJobConfig,
+                initial_mfu: float = 0.30) -> ManagedJob:
+        """Legacy strict registration: the job *must* run from t=0.
+
+        All ``add_job`` jobs are co-scheduled at :meth:`start`, which
+        raises if they cannot all be placed at once.  Use
+        :meth:`submit` for queue-tolerant, dynamic arrivals.
+        """
         if self._started:
             raise RuntimeError("platform already started")
-        self._started = True
-        total_needed = sum(m.job.num_machines for m in self.jobs.values())
-        if total_needed > len(self.cluster.machines):
+        managed = self.submit(name, job_config, initial_mfu=initial_mfu)
+        managed.static = True
+        return managed
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Dispatch every pre-submitted job and provision standbys."""
+        if self._started:
+            raise RuntimeError("platform already started")
+        static_needed = sum(m.job.num_machines
+                            for m in self.jobs.values() if m.static)
+        if static_needed > len(self.cluster.machines):
             raise ValueError(
-                f"jobs need {total_needed} machines, cluster has "
+                f"jobs need {static_needed} machines, cluster has "
                 f"{len(self.cluster.machines)}")
+        self._started = True
+        # enqueue the whole pre-start batch, then dispatch once, so
+        # priority order holds across it (per-job submit() would let
+        # an earlier low-priority job grab capacity first)
         for managed in self.jobs.values():
-            machines = self.pool.allocate_active(managed.job.num_machines)
-            managed.job.bind_machines(machines)
-            managed.collector.start()
-            managed.inspections.start()
-            managed.job.start()
-        # one shared standby reserve sized for the whole active fleet
-        target = self.config.standby.standby_count(len(self.pool.active))
+            self.scheduler.enqueue(managed.name,
+                                   managed.job.num_machines,
+                                   priority=managed.priority,
+                                   duration_s=managed.duration_s)
+        self.scheduler.dispatch()
+        unplaced = [m.name for m in self.jobs.values()
+                    if m.static and m.queued]
+        if unplaced:
+            # add_job's contract is strict co-scheduling from t=0; a
+            # dynamic pre-start submission (or a higher-priority job)
+            # holding the machines breaks it loudly, not silently
+            raise ValueError(
+                f"add_job jobs {unplaced} could not all be placed at "
+                f"start(); use submit() for queue-tolerant jobs")
+        # one shared standby reserve sized for the whole active fleet;
+        # a capacity-capped provisioning is recorded, not dropped
+        self.standby_target = self.config.standby.standby_count(
+            len(self.pool.active))
         available = len(self.pool.free - self.pool.blacklist)
-        if available > 0:
-            self.pool.provision_standbys(min(target, available))
+        self.standby_provisioned = min(self.standby_target, available)
+        if self.standby_provisioned > 0:
+            self.pool.provision_standbys(self.standby_provisioned)
+
+    def _on_dispatch(self, request: JobRequest,
+                     machines: List[int]) -> None:
+        managed = self.jobs[request.name]
+        managed.started_at = self.sim.now
+        managed.stack.launch(machines)
+        if managed.duration_s is not None:
+            self.sim.schedule(
+                managed.duration_s,
+                lambda m=managed: self._complete(m))
+
+    def _complete(self, managed: ManagedJob) -> None:
+        """Planned completion: tear the job down, return machines."""
+        if managed.completed:
+            return
+        managed.completed_at = self.sim.now
+        managed.stack.shutdown()
+        # release only machines this job still owns: evicted ones are
+        # in repair (not ACTIVE); a repaired machine re-allocated to a
+        # running job — or acquired by another job's in-flight
+        # recovery and not yet bound — must stay with its new owner
+        others = set()
+        for other in self.jobs.values():
+            if other is managed:
+                continue
+            others.update(other.controller.pending_replacements)
+            if other.running:
+                others.update(other.job.machines)
+        self.pool.release([m for m in managed.job.machines
+                           if m in self.pool.active and m not in others])
+        self.scheduler.complete(managed.name)
 
     def run_until(self, t: float) -> None:
         self.sim.run(until=t)
 
     # ------------------------------------------------------------------
     def fleet_report(self, run_end: Optional[float] = None) -> dict:
-        """Platform-wide rollup across all jobs."""
+        """Platform-wide rollup across all jobs (JSON-safe)."""
         end = run_end if run_end is not None else self.sim.now
         tracker = EttrTracker()
         jobs = {}
         total_incidents = 0
-        for name, managed in self.jobs.items():
-            ettr = tracker.cumulative_at(managed.job.step_records, end)
+        completed = 0
+        for name, managed in sorted(self.jobs.items()):
+            job_end = (managed.completed_at
+                       if managed.completed_at is not None else end)
+            # ETTR over the job's own runtime: a job that queued for a
+            # day and then trained cleanly is a scheduler story, not a
+            # robustness one
+            job_start = (managed.started_at
+                         if managed.started_at is not None else job_end)
+            ettr = tracker.cumulative_at(managed.job.step_records,
+                                         job_end, run_start=job_start)
             resolved = managed.incident_log.resolved()
             total_incidents += len(resolved)
+            completed += 1 if managed.completed else 0
             jobs[name] = {
-                "cumulative_ettr": ettr,
-                "final_step": managed.job.current_step,
+                "cumulative_ettr": float(ettr),
+                "final_step": int(managed.job.current_step),
                 "incidents": len(resolved),
                 "state": managed.job.state.value,
+                "lifecycle": managed.lifecycle,
+                "priority": int(managed.priority),
+                "num_machines": int(managed.job.num_machines),
+                "submitted_at": float(managed.submitted_at),
+                "started_at": (float(managed.started_at)
+                               if managed.started_at is not None
+                               else None),
+                "completed_at": (float(managed.completed_at)
+                                 if managed.completed_at is not None
+                                 else None),
+                "wait_s": (float(managed.wait_seconds)
+                           if managed.wait_seconds is not None
+                           else None),
             }
+        waits = [j["wait_s"] for j in jobs.values()
+                 if j["wait_s"] is not None]
         return {
-            "wall_time_s": end,
+            "wall_time_s": float(end),
             "jobs": jobs,
             "total_incidents": total_incidents,
+            "jobs_submitted": len(self.jobs),
+            "jobs_completed": completed,
+            "jobs_queued": len(self.scheduler.queue),
+            "mean_wait_s": (sum(waits) / len(waits)) if waits else 0.0,
+            "scheduler": {k: int(v)
+                          for k, v in sorted(self.scheduler.stats.items())},
             "pool": self.pool.counts(),
+            "standby": {
+                "target": int(self.standby_target),
+                "provisioned": int(self.standby_provisioned),
+                "shortfall": int(self.standby_target
+                                 - self.standby_provisioned),
+            },
             "standby_idle_machine_seconds":
-                self.pool.standby_idle_machine_seconds,
+                float(self.pool.standby_idle_machine_seconds),
         }

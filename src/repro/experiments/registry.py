@@ -141,6 +141,7 @@ def ensure_builtin_scenarios() -> None:
     """Import the built-in scenario modules (idempotent)."""
     import repro.workloads.scenarios  # noqa: F401  (registers on import)
     import repro.workloads.paper  # noqa: F401  (figure/table scenarios)
+    import repro.workloads.fleet  # noqa: F401  (fleet-churn scenarios)
 
 
 def get_scenario(name: str) -> ScenarioSpec:

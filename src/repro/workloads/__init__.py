@@ -7,7 +7,10 @@
   construction for every symptom;
 * :mod:`repro.workloads.scenarios` — ready-made production scenarios:
   the dense / MoE pretraining jobs of Sec. 8.1 with Poisson fault
-  arrivals and periodic code updates climbing the MFU ladder.
+  arrivals and periodic code updates climbing the MFU ladder;
+* :mod:`repro.workloads.fleet` — fleet-scale churn: Poisson job
+  arrivals from the Table 1 size/duration mix over the dynamic
+  multi-job platform, with a fleet-wide fault process.
 """
 
 from repro.workloads.failure_model import (
@@ -19,6 +22,17 @@ from repro.workloads.traces import (
     TABLE2_ROOT_CAUSES,
     IncidentTraceGenerator,
     TraceEvent,
+)
+from repro.workloads.fleet import (
+    FLEET_SIZE_MIX,
+    FleetJobSpec,
+    FleetReport,
+    FleetScenario,
+    FleetTraceGenerator,
+    fleet_job_config,
+    fleet_priority_mix_scenario,
+    fleet_standby_contention_scenario,
+    fleet_week_scenario,
 )
 from repro.workloads.scenarios import (
     AnalyticScenario,
@@ -34,6 +48,11 @@ from repro.workloads.scenarios import (
 
 __all__ = [
     "AnalyticScenario",
+    "FLEET_SIZE_MIX",
+    "FleetJobSpec",
+    "FleetReport",
+    "FleetScenario",
+    "FleetTraceGenerator",
     "IncidentTraceGenerator",
     "ProductionScenario",
     "TABLE1_COUNTS",
@@ -43,6 +62,10 @@ __all__ = [
     "daily_machine_failure_prob",
     "degraded_network_scenario",
     "dense_production_scenario",
+    "fleet_job_config",
+    "fleet_priority_mix_scenario",
+    "fleet_standby_contention_scenario",
+    "fleet_week_scenario",
     "large_fleet_scenario",
     "moe_production_scenario",
     "mtbf_seconds",

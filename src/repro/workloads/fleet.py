@@ -1,0 +1,421 @@
+"""Fleet-scale workloads: job churn over a shared platform.
+
+The paper's census is fleet-level — 778,135 jobs over three months
+(Table 1) sharing machines and one warm-standby reserve — and most of
+those jobs are small: the headline 9.6k-GPU pretrains coexist with a
+long tail of few-machine finetunes and ablations.
+:class:`FleetTraceGenerator` samples that mix (sizes from a weighted
+bucket mix, durations exponential with a size-dependent mean, Poisson
+arrivals) into a concrete submission schedule, and
+:class:`FleetScenario` drives it through the dynamic
+:class:`~repro.core.platform.TrainingPlatform`: jobs arrive at any
+simulated time, queue when the fleet is full, backfill/priority-jump
+through the :class:`~repro.cluster.scheduler.FleetScheduler`, complete
+and hand their machines to whoever waits — while a fleet-wide Poisson
+fault process (Table 1 symptom mix) keeps every job's controller busy
+and every eviction competing for the shared standbys.
+
+The resulting :class:`FleetReport` payload is a flat-at-the-top,
+JSON-round-trip-stable dict (string keys, native scalars, no enums)
+so fleet scenarios sweep, cache, resume, and render exactly like every
+other registered scenario.
+
+Registered scenarios: ``fleet-week`` (a compressed week of ordinary
+churn), ``fleet-standby-contention`` (fault storm on a tight fleet —
+the regime P99 standby sizing is for), ``fleet-priority-mix``
+(priority classes + backfill under queueing pressure).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.cluster.faults import FaultSymptom
+from repro.core.platform import PlatformConfig, TrainingPlatform
+from repro.experiments.registry import ParamSpec, register_scenario
+from repro.monitor.collectors import CollectorConfig
+from repro.monitor.detectors import DetectorConfig
+from repro.monitor.inspections import InspectionConfig
+from repro.parallelism import ParallelismConfig
+from repro.sim import RngStreams
+from repro.training.job import JobState, TrainingJobConfig
+from repro.training.model import ModelSpec
+from repro.workloads.traces import IncidentTraceGenerator
+
+#: Fleet job-size mix (machines, weight): a long tail of small jobs
+#: under a few large ones, the shape behind Table 1's 778k-job census.
+FLEET_SIZE_MIX: List[tuple] = [
+    (1, 0.50), (2, 0.24), (4, 0.15), (8, 0.08), (16, 0.03)]
+
+#: Mean job duration at 1 machine; larger jobs run longer (pretrains
+#: vs finetunes), scaling with a gentle power of the size.
+_BASE_DURATION_S = 6 * 3600.0
+_DURATION_SIZE_EXP = 0.5
+_MIN_DURATION_S = 1800.0
+
+
+@dataclass(frozen=True)
+class FleetJobSpec:
+    """One sampled job: when it arrives and what it asks for."""
+
+    name: str
+    submit_at: float
+    num_machines: int
+    duration_s: float
+    priority: int = 0
+
+
+def fleet_job_config(num_machines: int,
+                     params_per_machine: float = 14e9
+                     ) -> TrainingJobConfig:
+    """A fleet-churn job shape: tp=2, pp=1, dp = machine count at
+    2 GPUs/machine (valid from one machine up).
+
+    The model grows with the machine count — people size jobs to their
+    models — which keeps the simulated step time roughly constant
+    (~45 s) at every scale, so a week of fleet churn stays a tractable
+    event stream rather than an event storm of sub-second steps from
+    large jobs on a small model.
+    """
+    params = int(params_per_machine * num_machines)
+    return TrainingJobConfig(
+        model=ModelSpec(f"fleet-{num_machines}m", params, params, 16,
+                        seq_len=2048),
+        parallelism=ParallelismConfig(tp=2, pp=1, dp=num_machines,
+                                      gpus_per_machine=2),
+        global_batch_size=64, gpu_peak_tflops=400.0)
+
+
+class FleetTraceGenerator:
+    """Samples the fleet's job-size/duration mix into arrivals."""
+
+    def __init__(self, rng: RngStreams,
+                 size_mix: Optional[List[tuple]] = None):
+        self.size_mix = list(size_mix or FLEET_SIZE_MIX)
+        total = sum(w for _, w in self.size_mix)
+        self._sizes = [s for s, _ in self.size_mix]
+        self._weights = [w / total for _, w in self.size_mix]
+        self._rng = rng.get("fleet-trace")
+
+    def sample_size(self) -> int:
+        idx = self._rng.choice(len(self._sizes), p=self._weights)
+        return int(self._sizes[int(idx)])
+
+    def sample_duration(self, num_machines: int) -> float:
+        mean = _BASE_DURATION_S * (num_machines ** _DURATION_SIZE_EXP)
+        return max(_MIN_DURATION_S, float(self._rng.exponential(mean)))
+
+    def arrivals(self, duration_s: float, arrival_mean_s: float,
+                 max_machines: int,
+                 high_priority_frac: float = 0.0,
+                 high_priority: int = 10,
+                 initial_jobs: int = 0) -> List[FleetJobSpec]:
+        """A full submission schedule over ``[0, duration_s)``.
+
+        ``initial_jobs`` are submitted at t=0 (the fleet is never
+        empty at the start of the window); the rest arrive Poisson
+        with mean ``arrival_mean_s``.  Sizes are clipped to the
+        cluster so every request passes admission.
+        """
+        if arrival_mean_s <= 0 or duration_s <= 0:
+            raise ValueError("durations must be positive")
+        specs: List[FleetJobSpec] = []
+        t = 0.0
+        index = 0
+        while True:
+            if index < initial_jobs:
+                submit_at = 0.0
+            else:
+                t += float(self._rng.exponential(arrival_mean_s))
+                if t >= duration_s:
+                    break
+                submit_at = t
+            size = min(self.sample_size(), max_machines)
+            priority = (high_priority
+                        if float(self._rng.random()) < high_priority_frac
+                        else 0)
+            specs.append(FleetJobSpec(
+                name=f"job-{index:04d}", submit_at=submit_at,
+                num_machines=size,
+                duration_s=self.sample_duration(size),
+                priority=priority))
+            index += 1
+        return specs
+
+
+@dataclass
+class FleetReport:
+    """Fleet-level rollup, JSON-round-trip stable by construction."""
+
+    payload: Dict[str, Any]
+
+    def to_dict(self) -> Dict[str, Any]:
+        return self.payload
+
+    @property
+    def jobs_completed(self) -> int:
+        return int(self.payload["jobs_completed"])
+
+    @property
+    def fleet_ettr(self) -> float:
+        return float(self.payload["fleet_ettr"])
+
+    def summary(self) -> str:
+        p = self.payload
+        return (f"fleet: {p['jobs_submitted']} jobs submitted, "
+                f"{p['jobs_completed']} completed, "
+                f"{p['jobs_queued']} still queued\n"
+                f"fleet ETTR: {p['fleet_ettr']:.4f}   "
+                f"utilization: {p['machine_utilization']:.3f}\n"
+                f"incidents: {p['total_incidents']}   "
+                f"mean queue wait: {p['mean_wait_s']:.0f}s\n"
+                f"standby shortfall: {p['standby']['shortfall']} "
+                f"(target {p['standby']['target']})")
+
+
+@dataclass
+class FleetScenario:
+    """One platform + one submission schedule + one fault process."""
+
+    platform: TrainingPlatform
+    arrivals: List[FleetJobSpec]
+    duration_s: float
+    #: mean seconds between fleet-wide fault events (0 disables)
+    fault_mtbf_s: float = 0.0
+    seed: int = 0
+    _versions: Dict[str, int] = field(default_factory=dict)
+
+    def run(self) -> FleetReport:
+        platform = self.platform
+        sim = platform.sim
+        rng = RngStreams(self.seed).fork("fleet-faults")
+        self._fault_rng = rng.get("process")
+        self._trace_gen = IncidentTraceGenerator(rng)
+
+        for spec in self.arrivals:
+            if spec.submit_at <= 0.0:
+                self._submit(spec)
+            else:
+                sim.schedule_at(spec.submit_at,
+                                lambda s=spec: self._submit(s))
+        platform.start()
+        if self.fault_mtbf_s > 0:
+            self._schedule_next_fault()
+        platform.run_until(self.duration_s)
+        return self._report()
+
+    # ------------------------------------------------------------------
+    def _submit(self, spec: FleetJobSpec) -> None:
+        self.platform.submit(
+            spec.name, fleet_job_config(spec.num_machines),
+            priority=spec.priority, duration_s=spec.duration_s)
+
+    def _schedule_next_fault(self) -> None:
+        gap = float(self._fault_rng.exponential(self.fault_mtbf_s))
+        self.platform.sim.schedule(max(1.0, gap), self._fire_fault)
+
+    def _fire_fault(self) -> None:
+        self._schedule_next_fault()
+        running = [m for m in self.platform.jobs.values()
+                   if m.running and m.job.state is JobState.RUNNING]
+        if not running:
+            return
+        # victim jobs weighted by footprint: a 16-machine job absorbs
+        # 16x the hardware faults of a single-machine one
+        weights = [m.job.num_machines for m in running]
+        total = sum(weights)
+        pick = float(self._fault_rng.random()) * total
+        managed = running[-1]
+        for candidate, weight in zip(running, weights):
+            pick -= weight
+            if pick < 0:
+                managed = candidate
+                break
+        symptom = self._trace_gen.sample_symptom()
+        if symptom is FaultSymptom.CODE_DATA_ADJUSTMENT:
+            self._manual_update(managed)
+            return
+        fault = self._trace_gen.make_fault(symptom, managed.job.machines)
+        self.platform.injector.inject(fault)
+
+    def _manual_update(self, managed) -> None:
+        from repro.controller.hotupdate import CodeUpdate
+        from repro.training.metrics import CodeVersionProfile
+
+        version = self._versions.get(managed.name, 0) + 1
+        self._versions[managed.name] = version
+        profile = CodeVersionProfile(
+            f"{managed.name}-v{version}",
+            min(0.55, managed.job.mfu_model.profile.base_mfu
+                * float(self._fault_rng.uniform(1.0, 1.03))))
+        managed.controller.request_manual_update(CodeUpdate(
+            version=profile.version, profile=profile,
+            critical=bool(self._fault_rng.random() < 0.2)))
+
+    # ------------------------------------------------------------------
+    def _report(self) -> FleetReport:
+        payload = self.platform.fleet_report(run_end=self.duration_s)
+        jobs = payload["jobs"]
+        end = self.duration_s
+        total_machines = len(self.platform.cluster.machines)
+        busy = 0.0
+        ettr_weighted = 0.0
+        ettr_weight = 0.0
+        for stats in jobs.values():
+            started = stats["started_at"]
+            if started is None:
+                continue
+            stop = (stats["completed_at"]
+                    if stats["completed_at"] is not None else end)
+            span = max(0.0, stop - started)
+            busy += span * stats["num_machines"]
+            ettr_weighted += stats["cumulative_ettr"] * span \
+                * stats["num_machines"]
+            ettr_weight += span * stats["num_machines"]
+        payload["machine_utilization"] = (
+            busy / (total_machines * end) if end > 0 else 0.0)
+        payload["fleet_ettr"] = (
+            ettr_weighted / ettr_weight if ettr_weight > 0 else 0.0)
+        waits: Dict[str, List[float]] = {}
+        censored: Dict[str, List[float]] = {}
+        for stats in jobs.values():
+            prio = str(stats["priority"])
+            if stats["wait_s"] is not None:
+                waits.setdefault(prio, []).append(stats["wait_s"])
+                censored.setdefault(prio, []).append(stats["wait_s"])
+            else:
+                # still queued at the horizon: count the wait so far —
+                # means over started-only jobs are survivorship-biased
+                # (the low-priority jobs that never start vanish)
+                censored.setdefault(prio, []).append(
+                    end - stats["submitted_at"])
+        payload["wait_by_priority"] = {
+            prio: sum(values) / len(values)
+            for prio, values in sorted(waits.items())}
+        payload["censored_wait_by_priority"] = {
+            prio: sum(values) / len(values)
+            for prio, values in sorted(censored.items())}
+        return FleetReport(payload=payload)
+
+
+# ----------------------------------------------------------------------
+# registered scenarios
+# ----------------------------------------------------------------------
+
+def _fleet_scenario_params(total_machines: int, duration_s: float,
+                           seed: int, arrival_mean_s: float,
+                           fault_mtbf_s: float) -> List[ParamSpec]:
+    return [
+        ParamSpec("total_machines", "int", total_machines,
+                  "machines in the shared fleet"),
+        ParamSpec("duration_s", "float", duration_s,
+                  "simulated window in seconds"),
+        ParamSpec("seed", "int", seed, "RNG seed for trace + platform"),
+        ParamSpec("arrival_mean_s", "float", arrival_mean_s,
+                  "mean seconds between job submissions"),
+        ParamSpec("fault_mtbf_s", "float", fault_mtbf_s,
+                  "mean seconds between fleet-wide fault events"),
+        ParamSpec("initial_jobs", "int", 3,
+                  "jobs submitted at t=0 (fleet never starts empty)"),
+        ParamSpec("backfill", "bool", True,
+                  "let smaller jobs start past a blocked queue head"),
+    ]
+
+
+def _build_fleet(total_machines: int, duration_s: float, seed: int,
+                 arrival_mean_s: float, fault_mtbf_s: float,
+                 initial_jobs: int, backfill: bool,
+                 high_priority_frac: float = 0.0) -> FleetScenario:
+    platform = TrainingPlatform(
+        total_machines=total_machines,
+        config=PlatformConfig(
+            seed=seed, backfill=backfill,
+            # fleet-level studies relax the per-job monitor cadences:
+            # N concurrent stacks at single-job tick rates would spend
+            # the whole sim firing sweeps, and fleet metrics care
+            # about minutes, not seconds, of detection latency
+            collector=CollectorConfig(gauge_interval_s=30.0,
+                                      log_interval_s=60.0),
+            inspections=InspectionConfig(network_interval_s=120.0,
+                                         gpu_interval_s=120.0,
+                                         host_interval_s=60.0),
+            detector=DetectorConfig(hang_zero_rdma_s=300.0)))
+    gen = FleetTraceGenerator(RngStreams(seed).fork("fleet-arrivals"))
+    arrivals = gen.arrivals(
+        duration_s, arrival_mean_s,
+        max_machines=max(1, total_machines // 2),
+        high_priority_frac=high_priority_frac,
+        initial_jobs=initial_jobs)
+    return FleetScenario(platform=platform, arrivals=arrivals,
+                         duration_s=duration_s,
+                         fault_mtbf_s=fault_mtbf_s, seed=seed)
+
+
+@register_scenario(
+    "fleet-week",
+    params=_fleet_scenario_params(24, 7 * 86400.0, 0, 4 * 3600.0,
+                                  6 * 3600.0),
+    description="A week of fleet churn: Poisson job arrivals from the "
+                "Table 1 size mix, completions returning machines, "
+                "faults spread across whoever is running",
+    tags=("fleet", "production"))
+def fleet_week_scenario(total_machines: int = 24,
+                        duration_s: float = 7 * 86400.0,
+                        seed: int = 0,
+                        arrival_mean_s: float = 4 * 3600.0,
+                        fault_mtbf_s: float = 6 * 3600.0,
+                        initial_jobs: int = 3,
+                        backfill: bool = True) -> FleetScenario:
+    """Ordinary fleet life: arrivals, queueing, completions, faults."""
+    return _build_fleet(total_machines, duration_s, seed,
+                        arrival_mean_s, fault_mtbf_s, initial_jobs,
+                        backfill)
+
+
+@register_scenario(
+    "fleet-standby-contention",
+    params=_fleet_scenario_params(16, 2 * 86400.0, 1, 2 * 3600.0,
+                                  1200.0),
+    description="Fault storm on a tight fleet: concurrent evictions "
+                "from many jobs drain the shared warm-standby pool "
+                "(the P99-sizing contention regime)",
+    tags=("fleet", "standby"))
+def fleet_standby_contention_scenario(total_machines: int = 16,
+                                      duration_s: float = 2 * 86400.0,
+                                      seed: int = 1,
+                                      arrival_mean_s: float = 2 * 3600.0,
+                                      fault_mtbf_s: float = 1200.0,
+                                      initial_jobs: int = 3,
+                                      backfill: bool = True
+                                      ) -> FleetScenario:
+    """Standby contention under shared-pool pressure."""
+    return _build_fleet(total_machines, duration_s, seed,
+                        arrival_mean_s, fault_mtbf_s, initial_jobs,
+                        backfill)
+
+
+@register_scenario(
+    "fleet-priority-mix",
+    params=_fleet_scenario_params(16, 3 * 86400.0, 1, 5400.0,
+                                  4 * 3600.0)
+    + [ParamSpec("high_priority_frac", "float", 0.25,
+                 "fraction of jobs submitted at high priority")],
+    description="Priority classes at near-critical load: high-"
+                "priority jobs jump the queue while small jobs "
+                "backfill around blocked heads",
+    tags=("fleet", "scheduler"))
+def fleet_priority_mix_scenario(total_machines: int = 16,
+                                duration_s: float = 3 * 86400.0,
+                                seed: int = 1,
+                                arrival_mean_s: float = 5400.0,
+                                fault_mtbf_s: float = 4 * 3600.0,
+                                initial_jobs: int = 3,
+                                backfill: bool = True,
+                                high_priority_frac: float = 0.25
+                                ) -> FleetScenario:
+    """Queue-wait separation between priority classes."""
+    return _build_fleet(total_machines, duration_s, seed,
+                        arrival_mean_s, fault_mtbf_s, initial_jobs,
+                        backfill,
+                        high_priority_frac=high_priority_frac)
