@@ -10,7 +10,12 @@ paper's design arguments rest on:
 * higher-priority jobs wait less than lower-priority ones under
   queueing pressure, while backfill keeps utilization up;
 * the fleet keeps completing jobs and returning machines — churn
-  never wedges the scheduler.
+  never wedges the scheduler;
+* packing a job into few leaf switches materially shrinks the number
+  of jobs one downed switch kills, vs spreading across many (the
+  blast radius behind Table 3's special-cased switch inspections);
+* elastic standby resizing keeps the warm pool tracking the active
+  fleet instead of the one-shot sizing at start.
 
 All cells run through registered ``fleet-*`` scenarios + ``SweepSpec``
 via the shared cached sweep runner, like every other driver.
@@ -114,3 +119,81 @@ def test_fleet_week_churn(benchmark):
     accounted = (pool["active"] + pool["standby"] + pool["provisioning"]
                  + pool["evicted"] + pool["free"])
     assert accounted >= 24  # blacklisted overlaps evicted
+
+
+def test_fleet_placement_blast_radius(benchmark):
+    """Pack vs spread vs any-free under a uniform leaf-switch outage
+    process: the arrival schedule and the fault process are identical
+    across cells, so every difference in jobs killed per downed
+    switch is the placement policy's doing."""
+    policies = ["any-free", "pack", "spread"]
+    result = benchmark.pedantic(
+        lambda: run_sweep(SweepSpec(
+            "fleet-placement-blast-radius",
+            # explicit seed: every cell replays the same arrivals and
+            # the same outage schedule, isolating the policy
+            params={"seed": 5},
+            grid={"placement": policies})),
+        rounds=1, iterations=1)
+    by_policy = reports_by(result, "placement")
+    rows = []
+    for policy in policies:
+        r = by_policy[policy]
+        sf = r["switch_faults"]
+        rows.append((policy, sf["events"], sf["jobs_hit"],
+                     f"{sf['mean_jobs_hit']:.2f}", sf["max_jobs_hit"],
+                     f"{r['mean_job_switch_span']:.2f}",
+                     f"{r['fleet_ettr']:.3f}"))
+    print_table(
+        "Fleet placement blast radius: jobs killed per switch fault",
+        ["placement", "switch faults", "jobs hit", "mean hit/fault",
+         "max hit", "mean job span", "fleet ETTR"], rows)
+    pack, spread = by_policy["pack"], by_policy["spread"]
+    # identical outage process across cells
+    events = {r["switch_faults"]["events"] for r in by_policy.values()}
+    assert len(events) == 1 and events.pop() > 10
+    # packing shrinks the per-job footprint a switch fault can reach...
+    assert pack["mean_job_switch_span"] < spread["mean_job_switch_span"]
+    # ...and materially shrinks how many jobs one downed switch kills
+    assert pack["switch_faults"]["jobs_hit"] * 1.25 \
+        <= spread["switch_faults"]["jobs_hit"]
+    for r in by_policy.values():
+        assert r["jobs_completed"] > 0
+
+
+def test_fleet_elastic_standby(benchmark):
+    """Static one-shot sizing vs elastic resizing under churn: the
+    elastic pool keeps provisioning as the active fleet moves (paying
+    standby idle machine-hours), the static pool never resizes."""
+    targets = [0.0, 0.15]
+    result = benchmark.pedantic(
+        lambda: run_sweep(SweepSpec(
+            "fleet-elastic-standby",
+            params={"seed": 3},   # same churn in both cells
+            grid={"standby_target": targets})),
+        rounds=1, iterations=1)
+    by_target = reports_by(result, "standby_target")
+    rows = []
+    for target in targets:
+        r = by_target[target]
+        resizer = r["standby"]["resizer"]
+        rows.append(("static" if target == 0.0 else f"ratio {target}",
+                     resizer.get("resizes", 0), resizer.get("grown", 0),
+                     resizer.get("last_target", 0),
+                     r["standby"]["current"],
+                     f"{r['standby_idle_machine_seconds'] / 3600.0:.0f}h",
+                     f"{r['fleet_ettr']:.3f}"))
+    print_table(
+        "Fleet elastic standby: resizer activity and warm-pool cost",
+        ["mode", "resizes", "grown", "last target", "standby now",
+         "idle machine-hours", "fleet ETTR"], rows)
+    static, elastic = by_target[0.0], by_target[0.15]
+    assert static["standby"]["resizer"] == {"enabled": False}
+    assert elastic["standby"]["resizer"]["enabled"] is True
+    assert elastic["standby"]["resizer"]["resizes"] > 0
+    assert elastic["standby"]["resizer"]["grown"] > 0
+    # the elastic pool pays for its readiness in idle machine-seconds
+    assert elastic["standby_idle_machine_seconds"] \
+        > static["standby_idle_machine_seconds"]
+    # ...and buys shorter eviction recoveries fleet-wide
+    assert elastic["fleet_ettr"] >= static["fleet_ettr"]

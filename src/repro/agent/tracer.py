@@ -12,7 +12,7 @@ dataloader).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 from repro.agent.process_tree import (
     ProcessNode,

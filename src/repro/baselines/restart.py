@@ -20,8 +20,7 @@ switch, e.g. 32 machines) pinned at 1% total probability.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, Optional
 
 from repro.cluster.pool import ProvisioningTimes
 from repro.controller.standby import (

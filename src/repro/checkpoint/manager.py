@@ -19,8 +19,8 @@ Runtime behaviour (Sec. 6.3 / Sec. 7 "High-Frequency Checkpointing"):
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence
 
 from repro.checkpoint.planner import BackupPlan, plan_cross_group_backup
 from repro.checkpoint.storage import StorageTiers

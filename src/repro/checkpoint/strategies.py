@@ -25,7 +25,6 @@ The three strategies:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
 
 from repro.checkpoint.storage import StorageTiers
 from repro.parallelism import ShardedStateSizes

@@ -12,7 +12,11 @@ ByteRobust's detection and recovery logic actually observes:
   descriptors, and the injector that mutates component state and
   schedules auto-recovery of transient faults;
 * :mod:`repro.cluster.pool` — the machine pool: active / warm-standby /
-  free machines, provisioning delays, eviction and blacklisting.
+  free machines, provisioning delays, eviction and blacklisting;
+* :mod:`repro.cluster.placement` — topology-aware placement policies
+  (pack / spread / any-free) scoring allocations by leaf-switch span;
+* :mod:`repro.cluster.scheduler` — fleet-level admission, priority
+  dispatch and EASY backfill over the pool.
 """
 
 from repro.cluster.components import (
@@ -35,6 +39,16 @@ from repro.cluster.healthcheck import (
     SelfCheckRunner,
     default_check_battery,
 )
+from repro.cluster.placement import (
+    AnyFreePolicy,
+    PackPolicy,
+    PlacementError,
+    PlacementPolicy,
+    SpreadPolicy,
+    make_placement_policy,
+    placement_policy_names,
+    switch_span,
+)
 from repro.cluster.pool import MachinePool, ProvisioningTimes
 from repro.cluster.scheduler import (
     AdmissionError,
@@ -44,6 +58,7 @@ from repro.cluster.scheduler import (
 
 __all__ = [
     "AdmissionError",
+    "AnyFreePolicy",
     "CheckItem",
     "Cluster",
     "ClusterSpec",
@@ -58,10 +73,17 @@ __all__ = [
     "MachinePool",
     "MachineState",
     "Nic",
+    "PackPolicy",
+    "PlacementError",
+    "PlacementPolicy",
     "ProvisioningTimes",
     "RootCause",
     "SelfCheckResult",
     "SelfCheckRunner",
+    "SpreadPolicy",
     "Switch",
     "default_check_battery",
+    "make_placement_policy",
+    "placement_policy_names",
+    "switch_span",
 ]

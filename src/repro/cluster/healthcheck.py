@@ -16,7 +16,7 @@ missing).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Tuple
+from typing import Callable, List, Optional
 
 from repro.cluster.components import Machine
 

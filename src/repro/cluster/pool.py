@@ -20,6 +20,7 @@ from dataclasses import dataclass
 from typing import Callable, List, Optional, Set
 
 from repro.cluster.components import MachineState
+from repro.cluster.placement import AnyFreePolicy, PlacementPolicy
 from repro.cluster.topology import Cluster
 from repro.sim import Simulator
 
@@ -105,11 +106,16 @@ class MachinePool:
 
     def __init__(self, sim: Simulator, cluster: Cluster,
                  times: Optional[ProvisioningTimes] = None,
-                 self_check: Optional["SelfCheckRunner"] = None):
+                 self_check: Optional["SelfCheckRunner"] = None,
+                 placement: Optional[PlacementPolicy] = None):
         from repro.cluster.healthcheck import SelfCheckRunner
         self.sim = sim
         self.cluster = cluster
         self.times = times or ProvisioningTimes()
+        #: Which free machines an allocation gets (see
+        #: :mod:`repro.cluster.placement`).  The default reproduces the
+        #: historical lowest-ids-first choice byte for byte.
+        self.placement = placement or AnyFreePolicy()
         self.self_check = self_check or SelfCheckRunner()
         self.self_check_results: List["SelfCheckResult"] = []
         self.active: Set[int] = set()
@@ -129,7 +135,13 @@ class MachinePool:
     # ------------------------------------------------------------------
     def allocate_active(self, count: int) -> List[int]:
         """Take ``count`` machines for the job (instant; job start cost
-        is accounted separately by the recovery model)."""
+        is accounted separately by the recovery model).
+
+        *Which* machines are taken is the placement policy's call:
+        every allocation — scheduler dispatch and standby provisioning
+        alike — routes through :meth:`_take_free`, which delegates the
+        choice to :attr:`placement`.
+        """
         chosen = self._take_free(count)
         for mid in chosen:
             self._set_state(mid, MachineState.ACTIVE)
@@ -141,7 +153,12 @@ class MachinePool:
         if len(usable) < count:
             raise InsufficientMachines(
                 f"need {count} machines, only {len(usable)} free")
-        chosen = usable[:count]
+        chosen = self.placement.select(self.cluster, usable, count)
+        if len(set(chosen)) != count or not set(chosen) <= set(usable):
+            from repro.cluster.placement import PlacementError
+            raise PlacementError(
+                f"placement policy {self.placement.name!r} returned an "
+                f"invalid selection ({len(chosen)} of {count} asked)")
         self.free.difference_update(chosen)
         return chosen
 
@@ -193,9 +210,36 @@ class MachinePool:
             self.active.add(mid)
         return chosen
 
+    def release_standbys(self, count: int) -> List[int]:
+        """Return up to ``count`` warm standbys to FREE (elastic
+        shrink).
+
+        The machines did nothing wrong — the resizer simply wants the
+        capacity back — so there is no repair detour; the built pod
+        environment is discarded.  Highest ids are released first so
+        the lowest-id standbys (the ones :meth:`take_standbys`
+        activates first) stay warm, keeping shrink and activation from
+        churning the same machines.  In-flight provisioning is never
+        cancelled: those machines finish building and a later shrink
+        tick reclaims them if still surplus.
+        """
+        chosen = sorted(self.standby, reverse=True)[:max(0, count)]
+        for mid in chosen:
+            self.standby.discard(mid)
+            idle = self.sim.now - self._standby_since.pop(mid, self.sim.now)
+            self.standby_idle_machine_seconds += idle
+            self._set_state(mid, MachineState.FREE)
+            self.free.add(mid)
+        return sorted(chosen)
+
     @property
     def standby_count(self) -> int:
         return len(self.standby)
+
+    @property
+    def standby_supply(self) -> int:
+        """Standbys ready or being built — what resizing targets."""
+        return len(self.standby) + len(self.provisioning)
 
     def release(self, machine_ids: List[int]) -> None:
         """Return healthy ACTIVE machines to FREE (job completed).

@@ -24,9 +24,13 @@ that churn:
   picked up without the platform polling forever while the queue is
   empty.
 
-The scheduler owns *when* a job starts and *which* machines it gets;
-what a "job" is stays the owner's business — the platform hands in a
-``start`` callback and calls :meth:`complete` when a job ends.
+The scheduler owns *when* a job starts; *which* machines it gets is
+delegated per-allocation to the pool's placement policy
+(:mod:`repro.cluster.placement`), so dispatch routes through
+``pool.allocate_active()`` and a pack/spread/any-free choice applies
+uniformly to queued starts, backfills and retries.  What a "job" is
+stays the owner's business — the platform hands in a ``start``
+callback and calls :meth:`complete` when a job ends.
 """
 
 from __future__ import annotations
@@ -157,6 +161,11 @@ class FleetScheduler:
         repairs will provide).
         """
         acc = self.available_machines()
+        if acc >= head_need:
+            # enough capacity right now: the "reservation" is
+            # immediate (dispatch only asks for blocked heads, but a
+            # standalone query must not report this as uncomputable)
+            return self.sim.now, acc - head_need
         releases = sorted(
             (r.planned_end, r.num_machines)
             for r in self.running.values() if r.planned_end is not None)

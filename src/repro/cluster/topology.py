@@ -98,6 +98,16 @@ class Cluster:
     def machines_on_switch(self, switch_id: int) -> List[Machine]:
         return [self.machines[i] for i in self.switches[switch_id].machine_ids]
 
+    def switches_of(self, machine_ids: Iterable[int]) -> List[int]:
+        """Distinct leaf-switch ids the machine set hangs off, sorted."""
+        return sorted({self.machine(mid).switch_id for mid in machine_ids})
+
+    def switch_span(self, machine_ids: Iterable[int]) -> int:
+        """How many leaf switches the machine set touches — the blast-
+        radius / traffic-locality score the placement policies optimize
+        (:mod:`repro.cluster.placement`)."""
+        return len(self.switches_of(machine_ids))
+
     def network_reachable(self, machine_id: int) -> bool:
         """Machine has a working network path (NICs up and switch up)."""
         machine = self.machine(machine_id)

@@ -15,7 +15,7 @@ incident timeline.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.agent.tracer import OnDemandTracer
@@ -31,7 +31,6 @@ from repro.cluster.pool import MachinePool
 from repro.controller.hotupdate import CodeUpdate, HotUpdateManager
 from repro.controller.policy import (
     EscalationLevel,
-    IncidentEntry,
     PolicyAction,
     RecoveryPolicy,
 )
@@ -42,7 +41,7 @@ from repro.diagnosis.replay import DualPhaseReplay
 from repro.monitor.detectors import AnomalyDetector, AnomalyEvent, AnomalyKind
 from repro.monitor.inspections import InspectionEvent, SignalConfidence
 from repro.sim import Simulator
-from repro.training.job import JobState, TrainingJob
+from repro.training.job import TrainingJob
 
 
 class IncidentMechanism:

@@ -17,7 +17,7 @@ current code state traceable and rollback well-defined.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, List, Optional
 
 from repro.sim import Simulator

@@ -18,7 +18,7 @@ A job surviving ``stable_window_s`` after recovery resets the ladder.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 
 class PolicyAction(enum.Enum):

@@ -1,4 +1,4 @@
-"""Warm-standby pool sizing (Sec. 6.2).
+"""Warm-standby pool sizing (Sec. 6.2) and elastic resizing.
 
 Failures at scale are overwhelmingly independent single-machine events,
 so the number of machines failing within one provisioning horizon is
@@ -7,13 +7,25 @@ probability p over the horizon (estimated from historical daily rates).
 ByteRobust provisions the P99 of that distribution as warm standbys —
 enough for 99% of eviction events to be absorbed with zero scheduling
 delay, without idling significant capacity.
+
+A fleet is not a fixed-size job, though: the active machine count
+moves with every arrival, completion and eviction, and a pool sized
+once at start drifts out of tune.  :class:`StandbyResizer` closes that
+loop — a periodic task that re-derives the target from the *current*
+active fleet (either the binomial P99 or a flat target ratio) and
+grows/shrinks the warm pool toward it, with a hysteresis deadband so
+ordinary churn does not thrash provisioning.
 """
 
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
-from typing import List
+from dataclasses import dataclass, field
+from typing import List, Optional, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.cluster.pool import MachinePool
+    from repro.sim import Simulator
 
 
 def simultaneous_failure_pmf(n: int, p: float, k_max: int = None) -> List[float]:
@@ -91,4 +103,109 @@ class StandbyPolicy:
             "gpus_per_machine": gpus_per_machine,
             "p99_standby_machines": count,
             "p99_standby_gpus": count * gpus_per_machine,
+        }
+
+
+@dataclass
+class StandbyResizeConfig:
+    """Knobs for elastic warm-pool resizing.
+
+    ``target_ratio`` > 0 targets ``ceil(ratio * active)`` standbys;
+    at 0 the target comes from the binomial :class:`StandbyPolicy`
+    (the P99 sizing, now re-evaluated continuously instead of once).
+    ``hysteresis`` is a deadband in machines: the resizer only acts
+    when supply is more than ``hysteresis`` away from the target, so a
+    single arrival or completion does not bounce a provisioning.
+    """
+
+    #: standbys per active machine (0 = use the binomial policy)
+    target_ratio: float = 0.0
+    #: seconds between resize evaluations
+    interval_s: float = 900.0
+    #: deadband in machines before any grow/shrink
+    hysteresis: int = 1
+    #: never shrink below this floor
+    min_standbys: int = 1
+    #: hard cap on the warm pool (None = uncapped)
+    max_standbys: Optional[int] = None
+
+
+@dataclass
+class StandbyResizer:
+    """Periodic elastic resizing of a shared warm-standby pool.
+
+    Runs on the simulator's coalesced tick path
+    (:meth:`~repro.sim.engine.Simulator.every_tick`), so fleets with
+    many periodic tasks at the same cadence pay one heap entry.
+    Supply counts in-flight provisioning, otherwise every tick during
+    a pod build would re-provision the same gap; shrink only touches
+    *ready* standbys (never cancels a build — a later tick reclaims
+    surplus once built).
+    """
+
+    sim: "Simulator"
+    pool: "MachinePool"
+    sizing: StandbyPolicy = field(default_factory=StandbyPolicy)
+    config: StandbyResizeConfig = field(
+        default_factory=StandbyResizeConfig)
+    stats: dict = field(default_factory=lambda: {
+        "ticks": 0, "resizes": 0, "grown": 0, "shrunk": 0,
+        "last_target": 0})
+    _task: object = None
+
+    def start(self) -> None:
+        if self._task is not None:
+            raise RuntimeError("resizer already started")
+        self._task = self.sim.every_tick(self.config.interval_s,
+                                         self.resize_once)
+
+    def stop(self) -> None:
+        if self._task is not None:
+            self._task.stop()
+            self._task = None
+
+    # ------------------------------------------------------------------
+    def target(self) -> int:
+        """Standby target for the *current* active fleet."""
+        active = len(self.pool.active)
+        if self.config.target_ratio > 0:
+            raw = math.ceil(self.config.target_ratio * active)
+        else:
+            raw = self.sizing.standby_count(active)
+        raw = max(self.config.min_standbys, raw)
+        if self.config.max_standbys is not None:
+            raw = min(self.config.max_standbys, raw)
+        return raw
+
+    def resize_once(self) -> int:
+        """One evaluation; returns the signed machine delta acted on."""
+        self.stats["ticks"] += 1
+        target = self.target()
+        self.stats["last_target"] = target
+        supply = self.pool.standby_supply
+        if abs(target - supply) <= self.config.hysteresis:
+            return 0
+        if target > supply:
+            free = len(self.pool.free - self.pool.blacklist)
+            grow = min(target - supply, free)
+            if grow > 0:
+                self.pool.provision_standbys(grow)
+                self.stats["resizes"] += 1
+                self.stats["grown"] += grow
+            return grow
+        shrink = min(supply - target, len(self.pool.standby))
+        released = self.pool.release_standbys(shrink)
+        if released:
+            self.stats["resizes"] += 1
+            self.stats["shrunk"] += len(released)
+        return -len(released)
+
+    def report(self) -> dict:
+        """JSON-safe resizer rollup for ``fleet_report()``."""
+        return {
+            "enabled": True,
+            "interval_s": float(self.config.interval_s),
+            "target_ratio": float(self.config.target_ratio),
+            "hysteresis": int(self.config.hysteresis),
+            **{k: int(v) for k, v in sorted(self.stats.items())},
         }

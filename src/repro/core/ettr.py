@@ -15,9 +15,8 @@ Two views:
 
 from __future__ import annotations
 
-from bisect import bisect_left
-from dataclasses import dataclass, field
-from typing import Iterable, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Iterable, List, Tuple
 
 from repro.training.job import StepRecord
 

@@ -24,6 +24,7 @@ from typing import Dict, List, Optional
 from repro.agent.tracer import OnDemandTracer
 from repro.cluster.components import MachineSpec
 from repro.cluster.faults import FaultInjector
+from repro.cluster.placement import make_placement_policy
 from repro.cluster.pool import MachinePool
 from repro.cluster.scheduler import FleetScheduler, JobRequest
 from repro.cluster.topology import Cluster, ClusterSpec
@@ -34,7 +35,11 @@ from repro.controller.stack import (
     StackConfig,
     build_management_stack,
 )
-from repro.controller.standby import StandbyPolicy
+from repro.controller.standby import (
+    StandbyPolicy,
+    StandbyResizeConfig,
+    StandbyResizer,
+)
 from repro.core.ettr import EttrTracker
 from repro.core.incidents import IncidentLog
 from repro.monitor.collectors import CollectorConfig, MetricsCollector
@@ -134,6 +139,18 @@ class PlatformConfig:
     backfill: bool = True
     #: how often a blocked queue re-checks for freed capacity
     scheduler_retry_s: float = 60.0
+    #: which free machines an allocation gets: "any-free" (baseline,
+    #: lowest ids first), "pack" (fewest leaf switches) or "spread"
+    #: (stripe across switches) — see :mod:`repro.cluster.placement`
+    placement: str = "any-free"
+    #: elastic standby resizing: target warm standbys per active
+    #: machine, re-evaluated periodically with hysteresis.  0 keeps
+    #: the historical one-shot sizing at :meth:`start`.
+    standby_target: float = 0.0
+    #: seconds between elastic resize evaluations
+    standby_resize_s: float = 900.0
+    #: resize deadband in machines (suppresses provisioning churn)
+    standby_hysteresis: int = 1
 
 
 class TrainingPlatform:
@@ -149,7 +166,9 @@ class TrainingPlatform:
             machine_spec=self.config.machine_spec,
             machines_per_switch=self.config.machines_per_switch))
         self.injector = FaultInjector(self.sim, self.cluster)
-        self.pool = MachinePool(self.sim, self.cluster)
+        self.pool = MachinePool(
+            self.sim, self.cluster,
+            placement=make_placement_policy(self.config.placement))
         self.scheduler = FleetScheduler(
             self.sim, self.pool, start=self._on_dispatch,
             backfill=self.config.backfill,
@@ -160,6 +179,9 @@ class TrainingPlatform:
         #: silent cap became a recorded shortfall)
         self.standby_target = 0
         self.standby_provisioned = 0
+        #: shared elastic resizer (one pool, one resizer) — built at
+        #: :meth:`start` when ``config.standby_target`` > 0
+        self.resizer: Optional[StandbyResizer] = None
 
     # ------------------------------------------------------------------
     # job intake
@@ -264,6 +286,17 @@ class TrainingPlatform:
         self.standby_provisioned = min(self.standby_target, available)
         if self.standby_provisioned > 0:
             self.pool.provision_standbys(self.standby_provisioned)
+        if self.config.standby_target > 0:
+            # elastic mode: a shared periodic resizer keeps the warm
+            # pool matched to the *current* active fleet from here on
+            self.resizer = StandbyResizer(
+                self.sim, self.pool, sizing=self.config.standby,
+                config=StandbyResizeConfig(
+                    target_ratio=self.config.standby_target,
+                    interval_s=self.config.standby_resize_s,
+                    hysteresis=self.config.standby_hysteresis,
+                    min_standbys=self.config.standby.min_standbys))
+            self.resizer.start()
 
     def _on_dispatch(self, request: JobRequest,
                      machines: List[int]) -> None:
@@ -320,7 +353,13 @@ class TrainingPlatform:
             resolved = managed.incident_log.resolved()
             total_incidents += len(resolved)
             completed += 1 if managed.completed else 0
+            # blast-radius shape of the (last) placement: how many
+            # leaf switches the job's machines hang off
+            span = (self.cluster.switch_span(managed.job.machines)
+                    if managed.started_at is not None
+                    and managed.job.machines else None)
             jobs[name] = {
+                "switch_span": (int(span) if span is not None else None),
                 "cumulative_ettr": float(ettr),
                 "final_step": int(managed.job.current_step),
                 "incidents": len(resolved),
@@ -352,11 +391,16 @@ class TrainingPlatform:
             "scheduler": {k: int(v)
                           for k, v in sorted(self.scheduler.stats.items())},
             "pool": self.pool.counts(),
+            "placement": str(self.pool.placement.name),
             "standby": {
                 "target": int(self.standby_target),
                 "provisioned": int(self.standby_provisioned),
                 "shortfall": int(self.standby_target
                                  - self.standby_provisioned),
+                "current": int(self.pool.standby_count),
+                "resizer": (self.resizer.report()
+                            if self.resizer is not None
+                            else {"enabled": False}),
             },
             "standby_idle_machine_seconds":
                 float(self.pool.standby_idle_machine_seconds),

@@ -11,7 +11,7 @@ all-gather).  NaN incidents append the bit-wise alignment suite
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from typing import List, Sequence
 
 from repro.cluster.topology import Cluster
 from repro.diagnosis.suites import (

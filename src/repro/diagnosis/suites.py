@@ -11,9 +11,8 @@ only ~70% of it, and every tool has some false-positive floor.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from typing import List, Sequence
 
-import numpy as np
 
 from repro.cluster.topology import Cluster
 from repro.sim import RngStreams

@@ -22,7 +22,7 @@ import it first).
 from __future__ import annotations
 
 import difflib
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Sequence
 
 _COERCERS: Dict[str, Callable[[str], Any]] = {

@@ -9,7 +9,7 @@ metrics), and tails its log events.  Detectors consume these streams.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, List, Optional
 
 from repro.sim import Simulator

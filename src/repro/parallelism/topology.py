@@ -9,8 +9,8 @@ parallel replicas).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Sequence
 
 DIM_NAMES = ("tp", "pp", "dp")
 

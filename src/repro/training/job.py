@@ -23,7 +23,6 @@ checkpoint engine and monitor subscribe to step completions.
 from __future__ import annotations
 
 import enum
-import math
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence
 

@@ -14,7 +14,7 @@ raise it across hot updates, Fig. 11) and transient degradation factors
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Optional
 
 import numpy as np

@@ -23,7 +23,11 @@ other registered scenario.
 Registered scenarios: ``fleet-week`` (a compressed week of ordinary
 churn), ``fleet-standby-contention`` (fault storm on a tight fleet —
 the regime P99 standby sizing is for), ``fleet-priority-mix``
-(priority classes + backfill under queueing pressure).
+(priority classes + backfill under queueing pressure),
+``fleet-placement-blast-radius`` (leaf-switch faults vs pack/spread
+placement — how many jobs one downed switch kills) and
+``fleet-elastic-standby`` (periodic warm-pool resizing tracking the
+active fleet instead of the one-shot sizing at start).
 """
 
 from __future__ import annotations
@@ -31,7 +35,13 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
 
-from repro.cluster.faults import FaultSymptom
+from repro.cluster.faults import (
+    Fault,
+    FaultSymptom,
+    JobEffect,
+    RootCause,
+    RootCauseDetail,
+)
 from repro.core.platform import PlatformConfig, TrainingPlatform
 from repro.experiments.registry import ParamSpec, register_scenario
 from repro.monitor.collectors import CollectorConfig
@@ -47,6 +57,13 @@ from repro.workloads.traces import IncidentTraceGenerator
 #: under a few large ones, the shape behind Table 1's 778k-job census.
 FLEET_SIZE_MIX: List[tuple] = [
     (1, 0.50), (2, 0.24), (4, 0.15), (8, 0.08), (16, 0.03)]
+
+#: Mid-size-heavy mix for placement studies: 1-machine jobs span one
+#: switch under any policy, so the blast-radius scenario samples the
+#: multi-switch-capable part of the census where pack vs spread can
+#: actually differ.
+PLACEMENT_STUDY_SIZE_MIX: List[tuple] = [
+    (2, 0.25), (4, 0.35), (8, 0.25), (16, 0.15)]
 
 #: Mean job duration at 1 machine; larger jobs run longer (pretrains
 #: vs finetunes), scaling with a gentle power of the size.
@@ -183,6 +200,9 @@ class FleetScenario:
     duration_s: float
     #: mean seconds between fleet-wide fault events (0 disables)
     fault_mtbf_s: float = 0.0
+    #: mean seconds between leaf-switch outages (0 disables) — the
+    #: blast-radius process placement policies are judged against
+    switch_mtbf_s: float = 0.0
     seed: int = 0
     _versions: Dict[str, int] = field(default_factory=dict)
 
@@ -192,6 +212,9 @@ class FleetScenario:
         rng = RngStreams(self.seed).fork("fleet-faults")
         self._fault_rng = rng.get("process")
         self._trace_gen = IncidentTraceGenerator(rng)
+        self._switch_rng = rng.get("switch-process")
+        self._switch_stats = {"events": 0, "jobs_hit": 0,
+                              "max_jobs_hit": 0, "machines_hit": 0}
 
         for spec in self.arrivals:
             if spec.submit_at <= 0.0:
@@ -202,6 +225,8 @@ class FleetScenario:
         platform.start()
         if self.fault_mtbf_s > 0:
             self._schedule_next_fault()
+        if self.switch_mtbf_s > 0:
+            self._schedule_next_switch_fault()
         platform.run_until(self.duration_s)
         return self._report()
 
@@ -238,6 +263,51 @@ class FleetScenario:
             return
         fault = self._trace_gen.make_fault(symptom, managed.job.machines)
         self.platform.injector.inject(fault)
+
+    def _schedule_next_switch_fault(self) -> None:
+        gap = float(self._switch_rng.exponential(self.switch_mtbf_s))
+        self.platform.sim.schedule(max(1.0, gap),
+                                   self._fire_switch_fault)
+
+    def _fire_switch_fault(self) -> None:
+        """Take down one random leaf switch (transient, Table 3 row).
+
+        Every attached machine drops off the network at once, so every
+        *running* job with at least one machine on the switch takes
+        the hit — the jobs-hit count per event is exactly the blast
+        radius the pack/spread placement policies trade against each
+        other.  The switch is drawn uniformly from the whole fabric:
+        which switches carry many jobs is the placement's doing, and
+        sampling uniformly keeps the fault process identical across
+        policies.
+        """
+        self._schedule_next_switch_fault()
+        cluster = self.platform.cluster
+        sw = int(self._switch_rng.integers(len(cluster.switches)))
+        if not cluster.switches[sw].up:
+            return  # already down: no new blast
+        on_switch = {m.id for m in cluster.machines_on_switch(sw)}
+        hit_jobs = [m for m in self.platform.jobs.values()
+                    if m.running and m.job.state is JobState.RUNNING
+                    and any(mid in on_switch for mid in m.job.machines)]
+        machines_hit = sum(
+            sum(1 for mid in m.job.machines if mid in on_switch)
+            for m in hit_jobs)
+        self._switch_stats["events"] += 1
+        self._switch_stats["jobs_hit"] += len(hit_jobs)
+        self._switch_stats["max_jobs_hit"] = max(
+            self._switch_stats["max_jobs_hit"], len(hit_jobs))
+        self._switch_stats["machines_hit"] += machines_hit
+        self.platform.injector.inject(Fault(
+            symptom=FaultSymptom.INFINIBAND_ERROR,
+            root_cause=RootCause.INFRASTRUCTURE,
+            detail=RootCauseDetail.SWITCH_DOWN,
+            machine_ids=[], switch_id=sw, effect=JobEffect.CRASH,
+            transient=True,
+            auto_recover_after=float(
+                self._switch_rng.uniform(120.0, 600.0)),
+            log_signature="NCCL WARN Net: ib_send failed",
+            exit_code=1))
 
     def _manual_update(self, managed) -> None:
         from repro.controller.hotupdate import CodeUpdate
@@ -277,6 +347,19 @@ class FleetScenario:
             busy / (total_machines * end) if end > 0 else 0.0)
         payload["fleet_ettr"] = (
             ettr_weighted / ettr_weight if ettr_weight > 0 else 0.0)
+        spans = [stats["switch_span"] for stats in jobs.values()
+                 if stats["switch_span"] is not None]
+        payload["mean_job_switch_span"] = (
+            sum(spans) / len(spans) if spans else 0.0)
+        sw_stats = self._switch_stats
+        payload["switch_faults"] = {
+            "events": int(sw_stats["events"]),
+            "jobs_hit": int(sw_stats["jobs_hit"]),
+            "mean_jobs_hit": (sw_stats["jobs_hit"] / sw_stats["events"]
+                              if sw_stats["events"] else 0.0),
+            "max_jobs_hit": int(sw_stats["max_jobs_hit"]),
+            "machines_hit": int(sw_stats["machines_hit"]),
+        }
         waits: Dict[str, List[float]] = {}
         censored: Dict[str, List[float]] = {}
         for stats in jobs.values():
@@ -305,7 +388,11 @@ class FleetScenario:
 
 def _fleet_scenario_params(total_machines: int, duration_s: float,
                            seed: int, arrival_mean_s: float,
-                           fault_mtbf_s: float) -> List[ParamSpec]:
+                           fault_mtbf_s: float,
+                           machines_per_switch: int = 16,
+                           placement: str = "any-free",
+                           standby_target: float = 0.0
+                           ) -> List[ParamSpec]:
     return [
         ParamSpec("total_machines", "int", total_machines,
                   "machines in the shared fleet"),
@@ -320,17 +407,34 @@ def _fleet_scenario_params(total_machines: int, duration_s: float,
                   "jobs submitted at t=0 (fleet never starts empty)"),
         ParamSpec("backfill", "bool", True,
                   "let smaller jobs start past a blocked queue head"),
+        ParamSpec("machines_per_switch", "int", machines_per_switch,
+                  "machines cabled to one leaf switch"),
+        ParamSpec("placement", "str", placement,
+                  "machine placement: any-free | pack | spread"),
+        ParamSpec("standby_target", "float", standby_target,
+                  "elastic warm standbys per active machine "
+                  "(0 = one-shot sizing at start)"),
     ]
 
 
 def _build_fleet(total_machines: int, duration_s: float, seed: int,
                  arrival_mean_s: float, fault_mtbf_s: float,
                  initial_jobs: int, backfill: bool,
-                 high_priority_frac: float = 0.0) -> FleetScenario:
+                 high_priority_frac: float = 0.0,
+                 machines_per_switch: int = 16,
+                 placement: str = "any-free",
+                 standby_target: float = 0.0,
+                 standby_resize_s: float = 900.0,
+                 switch_mtbf_s: float = 0.0,
+                 size_mix: Optional[List[tuple]] = None) -> FleetScenario:
     platform = TrainingPlatform(
         total_machines=total_machines,
         config=PlatformConfig(
             seed=seed, backfill=backfill,
+            machines_per_switch=machines_per_switch,
+            placement=placement,
+            standby_target=standby_target,
+            standby_resize_s=standby_resize_s,
             # fleet-level studies relax the per-job monitor cadences:
             # N concurrent stacks at single-job tick rates would spend
             # the whole sim firing sweeps, and fleet metrics care
@@ -341,7 +445,8 @@ def _build_fleet(total_machines: int, duration_s: float, seed: int,
                                          gpu_interval_s=120.0,
                                          host_interval_s=60.0),
             detector=DetectorConfig(hang_zero_rdma_s=300.0)))
-    gen = FleetTraceGenerator(RngStreams(seed).fork("fleet-arrivals"))
+    gen = FleetTraceGenerator(RngStreams(seed).fork("fleet-arrivals"),
+                              size_mix=size_mix)
     arrivals = gen.arrivals(
         duration_s, arrival_mean_s,
         max_machines=max(1, total_machines // 2),
@@ -349,7 +454,8 @@ def _build_fleet(total_machines: int, duration_s: float, seed: int,
         initial_jobs=initial_jobs)
     return FleetScenario(platform=platform, arrivals=arrivals,
                          duration_s=duration_s,
-                         fault_mtbf_s=fault_mtbf_s, seed=seed)
+                         fault_mtbf_s=fault_mtbf_s,
+                         switch_mtbf_s=switch_mtbf_s, seed=seed)
 
 
 @register_scenario(
@@ -366,11 +472,17 @@ def fleet_week_scenario(total_machines: int = 24,
                         arrival_mean_s: float = 4 * 3600.0,
                         fault_mtbf_s: float = 6 * 3600.0,
                         initial_jobs: int = 3,
-                        backfill: bool = True) -> FleetScenario:
+                        backfill: bool = True,
+                        machines_per_switch: int = 16,
+                        placement: str = "any-free",
+                        standby_target: float = 0.0) -> FleetScenario:
     """Ordinary fleet life: arrivals, queueing, completions, faults."""
     return _build_fleet(total_machines, duration_s, seed,
                         arrival_mean_s, fault_mtbf_s, initial_jobs,
-                        backfill)
+                        backfill,
+                        machines_per_switch=machines_per_switch,
+                        placement=placement,
+                        standby_target=standby_target)
 
 
 @register_scenario(
@@ -387,12 +499,18 @@ def fleet_standby_contention_scenario(total_machines: int = 16,
                                       arrival_mean_s: float = 2 * 3600.0,
                                       fault_mtbf_s: float = 1200.0,
                                       initial_jobs: int = 3,
-                                      backfill: bool = True
+                                      backfill: bool = True,
+                                      machines_per_switch: int = 16,
+                                      placement: str = "any-free",
+                                      standby_target: float = 0.0
                                       ) -> FleetScenario:
     """Standby contention under shared-pool pressure."""
     return _build_fleet(total_machines, duration_s, seed,
                         arrival_mean_s, fault_mtbf_s, initial_jobs,
-                        backfill)
+                        backfill,
+                        machines_per_switch=machines_per_switch,
+                        placement=placement,
+                        standby_target=standby_target)
 
 
 @register_scenario(
@@ -412,10 +530,91 @@ def fleet_priority_mix_scenario(total_machines: int = 16,
                                 fault_mtbf_s: float = 4 * 3600.0,
                                 initial_jobs: int = 3,
                                 backfill: bool = True,
+                                machines_per_switch: int = 16,
+                                placement: str = "any-free",
+                                standby_target: float = 0.0,
                                 high_priority_frac: float = 0.25
                                 ) -> FleetScenario:
     """Queue-wait separation between priority classes."""
     return _build_fleet(total_machines, duration_s, seed,
                         arrival_mean_s, fault_mtbf_s, initial_jobs,
                         backfill,
-                        high_priority_frac=high_priority_frac)
+                        high_priority_frac=high_priority_frac,
+                        machines_per_switch=machines_per_switch,
+                        placement=placement,
+                        standby_target=standby_target)
+
+
+@register_scenario(
+    "fleet-placement-blast-radius",
+    params=_fleet_scenario_params(48, 2 * 86400.0, 5, 4800.0, 0.0,
+                                  machines_per_switch=4,
+                                  placement="pack")
+    + [ParamSpec("switch_mtbf_s", "float", 3600.0,
+                 "mean seconds between leaf-switch outages")],
+    description="Leaf-switch outages vs placement policy: how many "
+                "jobs one downed switch kills when jobs pack into "
+                "few switches vs spread across many (Table 3's "
+                "special-cased switch blast radius)",
+    tags=("fleet", "placement", "topology"))
+def fleet_placement_blast_radius_scenario(
+        total_machines: int = 48,
+        duration_s: float = 2 * 86400.0,
+        seed: int = 5,
+        arrival_mean_s: float = 4800.0,
+        fault_mtbf_s: float = 0.0,
+        initial_jobs: int = 3,
+        backfill: bool = True,
+        machines_per_switch: int = 4,
+        placement: str = "pack",
+        standby_target: float = 0.0,
+        switch_mtbf_s: float = 3600.0) -> FleetScenario:
+    """Switch-fault blast radius under pack/spread/any-free placement.
+
+    The generic fault process defaults to off (``fault_mtbf_s=0``) so
+    the only disturbance is the uniform leaf-switch outage process —
+    every difference in ``switch_faults["jobs_hit"]`` between cells is
+    the placement policy's doing.
+    """
+    return _build_fleet(total_machines, duration_s, seed,
+                        arrival_mean_s, fault_mtbf_s, initial_jobs,
+                        backfill,
+                        machines_per_switch=machines_per_switch,
+                        placement=placement,
+                        standby_target=standby_target,
+                        switch_mtbf_s=switch_mtbf_s,
+                        size_mix=PLACEMENT_STUDY_SIZE_MIX)
+
+
+@register_scenario(
+    "fleet-elastic-standby",
+    params=_fleet_scenario_params(24, 2 * 86400.0, 3, 2700.0,
+                                  4 * 3600.0,
+                                  standby_target=0.15)
+    + [ParamSpec("standby_resize_s", "float", 900.0,
+                 "seconds between elastic resize evaluations")],
+    description="Elastic warm-standby resizing: a periodic task "
+                "grows/shrinks the shared pool against a target "
+                "ratio of the active fleet (hysteresis damps churn), "
+                "vs the one-shot sizing at start",
+    tags=("fleet", "standby", "elastic"))
+def fleet_elastic_standby_scenario(total_machines: int = 24,
+                                   duration_s: float = 2 * 86400.0,
+                                   seed: int = 3,
+                                   arrival_mean_s: float = 2700.0,
+                                   fault_mtbf_s: float = 4 * 3600.0,
+                                   initial_jobs: int = 3,
+                                   backfill: bool = True,
+                                   machines_per_switch: int = 16,
+                                   placement: str = "any-free",
+                                   standby_target: float = 0.15,
+                                   standby_resize_s: float = 900.0
+                                   ) -> FleetScenario:
+    """Warm-pool tracking of a churning active fleet."""
+    return _build_fleet(total_machines, duration_s, seed,
+                        arrival_mean_s, fault_mtbf_s, initial_jobs,
+                        backfill,
+                        machines_per_switch=machines_per_switch,
+                        placement=placement,
+                        standby_target=standby_target,
+                        standby_resize_s=standby_resize_s)

@@ -26,7 +26,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional
 
-from repro.cluster.faults import Fault, FaultSymptom, JobEffect, RootCause, RootCauseDetail
+from repro.cluster.faults import FaultSymptom
 from repro.core.byterobust import ByteRobustSystem, RunReport, SystemConfig
 from repro.experiments.registry import ParamSpec, register_scenario
 from repro.monitor.collectors import CollectorConfig

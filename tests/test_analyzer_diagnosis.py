@@ -4,11 +4,7 @@ import pytest
 
 from repro.agent import OnDemandTracer, build_pod_process_tree
 from repro.agent.process_tree import training_processes
-from repro.analyzer import (
-    AggregationConfig,
-    FailSlowVoter,
-    RuntimeAnalyzer,
-)
+from repro.analyzer import FailSlowVoter, RuntimeAnalyzer
 from repro.cluster import Cluster, ClusterSpec, Fault, FaultInjector
 from repro.cluster.faults import (
     FaultSymptom,

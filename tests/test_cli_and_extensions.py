@@ -3,7 +3,6 @@ corroboration, JSON report export, and the staged-recipe scenario."""
 
 import json
 
-import pytest
 
 from repro.cli import main
 from repro.cluster.faults import (

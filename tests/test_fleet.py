@@ -145,6 +145,88 @@ class TestFleetScheduler:
             sched.complete("ghost")
 
 
+class TestHeadReservation:
+    """Edge cases of the EASY reservation itself (the dispatch tests
+    above only exercise it indirectly through backfill decisions)."""
+
+    def test_reservation_walks_planned_completions(self):
+        sim, pool, sched, started = make_scheduler(machines=8)
+        sched.submit("a", 6, duration_s=1000.0)
+        # head needs 8: 2 free now + 6 released at t=1000
+        assert sched._head_reservation(8) == (1000.0, 0)
+
+    def test_reservation_reports_spare_capacity(self):
+        sim, pool, sched, started = make_scheduler(machines=8)
+        sched.submit("a", 6, duration_s=1000.0)
+        # head of 6 is covered at t=1000 with 2 machines to spare
+        assert sched._head_reservation(6) == (1000.0, 2)
+
+    def test_immediate_reservation_when_capacity_already_there(self):
+        sim, pool, sched, started = make_scheduler(machines=8)
+        sched.submit("a", 4, duration_s=1000.0)
+        # a standalone query for a fitting need is an *immediate*
+        # reservation, not an uncomputable one
+        assert sched._head_reservation(3) == (0.0, 1)
+
+    def test_uncomputable_with_open_ended_running_jobs(self):
+        sim, pool, sched, started = make_scheduler(machines=8)
+        sched.submit("a", 6)                     # open-ended
+        assert sched._head_reservation(8) == (None, 0)
+
+    def test_uncomputable_when_planned_releases_fall_short(self):
+        sim, pool, sched, started = make_scheduler(machines=10)
+        sched.submit("a", 4, duration_s=1000.0)
+        sched.submit("b", 4)                     # open-ended
+        # only a's 4 machines have a planned release: 2 free + 4 < 10
+        assert sched._head_reservation(10) == (None, 0)
+
+    def test_zero_duration_running_job_reserves_at_now(self):
+        sim, pool, sched, started = make_scheduler(machines=8)
+        sched.submit("a", 6, duration_s=0.0)
+        # planned_end == started_at: the release is due immediately,
+        # and a zero duration must not be treated as "no duration"
+        assert sched._head_reservation(8) == (0.0, 0)
+
+    def test_zero_duration_backfill_candidate_passes_head(self):
+        sim, pool, sched, started = make_scheduler(machines=8)
+        sched.submit("a", 6, duration_s=1000.0)
+        sched.submit("head", 8, priority=9)      # reserved for t=1000
+        sched.submit("instant", 2, duration_s=0.0)
+        # duration 0 is falsy but known: it finishes before the
+        # reservation and must backfill, not be mistaken for
+        # open-ended (which could delay the head)
+        assert [n for n, _ in started] == ["a", "instant"]
+        assert sched.stats["backfilled"] == 1
+
+    def test_candidate_finishing_exactly_at_reservation_backfills(self):
+        sim, pool, sched, started = make_scheduler(machines=8)
+        sched.submit("a", 6, duration_s=1000.0)
+        sched.submit("head", 8, priority=9)      # reserved t=1000, 0 spare
+        sched.submit("exact", 2, duration_s=1000.0)
+        # now + 1000 <= reserved 1000: the boundary is inclusive
+        assert [n for n, _ in started] == ["a", "exact"]
+
+    def test_candidate_overrunning_reservation_stays_queued(self):
+        sim, pool, sched, started = make_scheduler(machines=8)
+        sched.submit("a", 6, duration_s=1000.0)
+        sched.submit("head", 8, priority=9)
+        sched.submit("late", 2, duration_s=1000.1)
+        assert [n for n, _ in started] == ["a"]
+        assert sched.queued_names() == ["head", "late"]
+
+    def test_aggressive_fallback_at_the_uncomputable_boundary(self):
+        # same shape as the reservation case, but one open-ended
+        # running job makes the reservation uncomputable: backfill
+        # falls back to aggressive and the long candidate starts
+        sim, pool, sched, started = make_scheduler(machines=10)
+        sched.submit("a", 4, duration_s=1000.0)
+        sched.submit("b", 4)                     # open-ended
+        sched.submit("head", 10, priority=9)
+        sched.submit("long", 2, duration_s=10_000.0)
+        assert [n for n, _ in started] == ["a", "b", "long"]
+        assert sched.stats["backfilled"] == 1
+
+
 class TestMachinePoolRelease:
     def test_release_returns_active_machines_to_free(self):
         sim = Simulator()

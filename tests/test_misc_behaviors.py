@@ -1,16 +1,13 @@
 """Assorted behaviour tests: timeline rendering, event suppression
 during recovery, replay reshard costs, and report consistency."""
 
-import pytest
 
 from repro.cluster.faults import (
     Fault,
     FaultSymptom,
-    JobEffect,
     RootCause,
     RootCauseDetail,
 )
-from repro.parallelism import ParallelismConfig
 from repro.training import JobState
 from tests.test_system_integration import inject_at, make_system
 

@@ -12,7 +12,6 @@ from repro.cluster.faults import (
 from repro.monitor import (
     AnomalyKind,
     AnomalyDetector,
-    InspectionConfig,
     InspectionEngine,
     MetricsCollector,
     SignalConfidence,
@@ -141,7 +140,11 @@ class TestInspectionEngine:
         sim, cluster, inj, _ = setup_env()
         machines = [0, 1]
         engine, events = self.make_engine(sim, cluster, machines=None)
-        engine._machine_ids = lambda: machines
+
+        def current_machines():
+            return machines
+
+        engine._machine_ids = current_machines
         inj.inject(Fault(symptom=FaultSymptom.DISK_FAULT,
                          root_cause=RootCause.INFRASTRUCTURE,
                          detail=RootCauseDetail.DISK_HW_FAULT,

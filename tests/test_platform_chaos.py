@@ -6,14 +6,13 @@ managed job, and afterwards the system must be live again, the books
 must balance, and blacklisted machines must never have been reused.
 """
 
-import math
 
 import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
 from repro.cluster.components import MachineState
-from repro.cluster.faults import FaultSymptom, JobEffect
+from repro.cluster.faults import FaultSymptom
 from repro.core.platform import TrainingPlatform
 from repro.parallelism import ParallelismConfig
 from repro.sim import RngStreams

@@ -13,7 +13,6 @@ from repro.cluster.faults import (
 )
 from repro.controller import CodeUpdate
 from repro.controller.controller import IncidentMechanism
-from repro.core.incidents import IncidentPhase
 from repro.monitor.detectors import DetectorConfig
 from repro.parallelism import ParallelismConfig
 from repro.training import JobState, TrainingJobConfig

@@ -15,7 +15,6 @@ from repro.baselines import (
 )
 from repro.baselines.restart import eviction_scenario_weights
 from repro.cluster.faults import (
-    FaultCategory,
     FaultSymptom,
     JobEffect,
     RootCause,
