@@ -1,0 +1,159 @@
+#!/usr/bin/env python
+"""End-to-end smoke test for the distributed sweep fabric (CI job
+``distributed-smoke``).
+
+Orchestrates real CLI subprocesses, exactly as a user would run them
+across hosts (here: loopback):
+
+1. ``repro cache-serve`` — one shared cache service;
+2. a reference ``repro sweep --backend process`` run (no cache);
+3. ``repro sweep --backend remote`` against the cache service, served
+   by two ``repro worker`` processes — one started with the hidden
+   ``--fail-after 0`` failure-injection flag so it dies on its first
+   assignment and its cell is re-queued to the survivor;
+4. a warm rerun through the cache service with no workers at all —
+   every cell must be a cache hit.
+
+Gates (exit 1 on any failure):
+
+* the remote sweep's ``"sweep"`` payload is byte-identical to the
+  process-backend reference;
+* the remote run survived the killed worker;
+* the warm rerun equals the reference and simulated nothing.
+"""
+
+import json
+import os
+import re
+import socket
+import subprocess
+import sys
+import tempfile
+import time
+
+GRID = ["--scenario", "fleet-week",
+        "--set", "duration_s=21600", "--set", "total_machines=48",
+        "--grid", "arrival_mean_s=1800,2700,3600"]
+READY_RE = re.compile(r"listening on ([\d.]+):(\d+)")
+TIMEOUT_S = 240
+
+
+def repro(*argv):
+    return [sys.executable, "-m", "repro", *argv]
+
+
+def free_port() -> int:
+    with socket.socket() as sock:
+        sock.bind(("127.0.0.1", 0))
+        return sock.getsockname()[1]
+
+
+def wait_ready(proc: subprocess.Popen) -> str:
+    """Parse the cache service's readiness line for its bound address."""
+    deadline = time.monotonic() + 30.0
+    while time.monotonic() < deadline:
+        line = proc.stdout.readline()
+        if not line:
+            break
+        sys.stderr.write(f"[cache-serve] {line}")
+        match = READY_RE.search(line)
+        if match:
+            return f"{match.group(1)}:{match.group(2)}"
+    raise RuntimeError("cache service never became ready")
+
+
+def sweep_payload(path: str) -> str:
+    with open(path) as fh:
+        return json.dumps(json.load(fh)["sweep"], sort_keys=True)
+
+
+def run_checked(argv, **kwargs) -> str:
+    result = subprocess.run(argv, stdout=subprocess.PIPE,
+                            stderr=subprocess.STDOUT, text=True,
+                            timeout=TIMEOUT_S, **kwargs)
+    sys.stderr.write(result.stdout)
+    if result.returncode != 0:
+        raise RuntimeError(f"{' '.join(argv[2:4])} exited "
+                           f"{result.returncode}")
+    return result.stdout
+
+
+def main() -> int:
+    tmp = tempfile.mkdtemp(prefix="distributed-smoke-")
+    ref_json = os.path.join(tmp, "reference.json")
+    remote_json = os.path.join(tmp, "remote.json")
+    warm_json = os.path.join(tmp, "warm.json")
+    cache_dir = os.path.join(tmp, "cache")
+    children = []
+    try:
+        service = subprocess.Popen(
+            repro("cache-serve", "--listen", "127.0.0.1:0",
+                  "--cache-dir", cache_dir),
+            stdout=subprocess.PIPE, text=True)
+        children.append(service)
+        cache_addr = wait_ready(service)
+
+        print("== reference: process backend, no cache", file=sys.stderr)
+        run_checked(repro("sweep", *GRID, "--workers", "2",
+                          "--backend", "process", "--no-cache",
+                          "--quiet", "--output", ref_json))
+
+        print("== remote backend: 2 workers, one killed mid-sweep",
+              file=sys.stderr)
+        port = free_port()
+        sweep = subprocess.Popen(
+            repro("sweep", *GRID, "--backend", "remote",
+                  "--listen", f"127.0.0.1:{port}",
+                  "--cache-addr", cache_addr,
+                  "--quiet", "--output", remote_json),
+            stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True)
+        children.append(sweep)
+        addr = f"127.0.0.1:{port}"
+        # the doomed worker accepts its first cell, then drops the
+        # connection without replying — the executor must re-queue it
+        children.append(subprocess.Popen(
+            repro("worker", "--connect", addr, "--fail-after", "0")))
+        children.append(subprocess.Popen(
+            repro("worker", "--connect", addr)))
+        out, _ = sweep.communicate(timeout=TIMEOUT_S)
+        sys.stderr.write(out)
+        if sweep.returncode != 0:
+            raise RuntimeError(f"remote sweep exited {sweep.returncode}")
+        if "1 lost, 1 cells re-queued" not in out:
+            raise RuntimeError("remote sweep did not report the killed "
+                               "worker's cell being re-queued")
+
+        print("== warm rerun: cache service only, no workers",
+              file=sys.stderr)
+        warm_out = run_checked(
+            repro("sweep", *GRID, "--cache-addr", cache_addr,
+                  "--quiet", "--output", warm_json))
+        if "3 served from cache, 0 streamed" not in warm_out:
+            raise RuntimeError("warm rerun simulated cells that should "
+                               "have been cache hits")
+
+        reference = sweep_payload(ref_json)
+        if sweep_payload(remote_json) != reference:
+            raise RuntimeError("remote backend result differs from "
+                               "process backend")
+        if sweep_payload(warm_json) != reference:
+            raise RuntimeError("warm cache-service rerun differs from "
+                               "process backend")
+        print("distributed smoke OK: remote == process == warm resume, "
+              "killed worker re-queued")
+        return 0
+    except (RuntimeError, subprocess.TimeoutExpired) as exc:
+        print(f"distributed smoke FAILED: {exc}", file=sys.stderr)
+        return 1
+    finally:
+        for proc in children:
+            if proc.poll() is None:
+                proc.terminate()
+                try:
+                    proc.wait(timeout=10)
+                except subprocess.TimeoutExpired:
+                    proc.kill()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -3,10 +3,12 @@
 Commands
 --------
 
-``run-dense`` / ``run-moe``
-    Simulate a managed production pretraining job (the Sec. 8.1 jobs)
-    under Table 1-distributed Poisson incidents and print (or save) the
-    run report.
+``run``
+    Run any registered scenario once and print (or save) its report:
+    ``repro run dense --set mtbf_scale=0.01``.  Every entry point
+    resolves through the scenario registry — the legacy
+    ``run-dense`` / ``run-moe`` spellings remain as hidden deprecated
+    aliases of ``run dense`` / ``run moe``.
 
 ``list-scenarios``
     Print every scenario in the registry
@@ -18,17 +20,41 @@ Commands
 ``sweep``
     Expand a parameter grid over a registered scenario and run every
     cell through :class:`~repro.experiments.sweep.SweepRunner` —
-    optionally across a worker pool (``--workers``) and backed by an
-    on-disk result cache (``--cache-dir``) that skips
+    across an execution backend (``--backend inline|process|remote``)
+    and backed by an on-disk result cache (``--cache-dir``) or a
+    shared cache service (``--cache-addr``) that skips
     already-simulated cells.  Results *stream*: each cell lands in the
     cache (and on the live progress line) the moment its worker
     finishes, so a killed sweep resumes from the partial cache.  Cell
     seeds derive deterministically from ``(--base-seed, cell index)``,
     so the same grid yields byte-identical results at any worker
-    count.  Example::
+    count on any backend.  Examples::
 
         python -m repro sweep --scenario dense \\
             --grid mtbf_scale=0.5,1.0,2.0 --workers 4
+
+        # distributed: workers pull cells over TCP
+        python -m repro sweep --scenario fleet-week \\
+            --grid arrival_mean_s=1800,3600 \\
+            --backend remote --listen 0.0.0.0:7077
+
+``worker``
+    Serve a ``--backend remote`` sweep: connect to its listening
+    address, pull cells, run them, push results back (with heartbeats
+    while simulating).  Start any number, on any host that can import
+    ``repro``; a killed worker's in-flight cell is re-queued to the
+    survivors::
+
+        python -m repro worker --connect sweephost:7077
+
+``cache-serve``
+    Serve one result-cache directory over TCP so N sweep hosts share
+    a single content-addressed store (point sweeps at it with
+    ``--cache-addr``).  The cache's hit/miss/write counters become
+    server metrics aggregated across every client::
+
+        python -m repro cache-serve --listen 0.0.0.0:7070 \\
+            --cache-dir /shared/sweep-cache
 
 ``report``
     Render a saved sweep (the JSON written by ``sweep --output``) as a
@@ -69,23 +95,40 @@ from typing import Dict, List, Optional, Sequence
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
-    from repro.workloads import (
-        dense_production_scenario,
-        moe_production_scenario,
-    )
+    from repro.experiments import ScenarioError, get_scenario
 
-    build = (dense_production_scenario if args.flavor == "dense"
-             else moe_production_scenario)
-    scenario = build(num_machines=args.machines,
-                     duration_s=args.hours * 3600.0,
-                     seed=args.seed, mtbf_scale=args.mtbf_scale)
+    overrides = _parse_assignments(args.set, split_values=False)
+    try:
+        scenario = get_scenario(args.scenario).build(**overrides)
+    except ScenarioError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     report = scenario.run()
-    print(report.summary())
+    payload = (report.to_dict() if hasattr(report, "to_dict")
+               else dict(report))
+    if hasattr(report, "summary"):
+        print(report.summary())
+    else:      # analytic scenarios return plain JSON-safe dicts
+        print(json.dumps(payload, indent=2, sort_keys=True))
     if args.output:
         with open(args.output, "w") as fh:
-            json.dump(report.to_dict(), fh, indent=2)
+            json.dump(payload, fh, indent=2)
         print(f"\nfull report written to {args.output}")
     return 0
+
+
+def _cmd_run_legacy(args: argparse.Namespace) -> int:
+    """The pre-registry ``run-dense`` / ``run-moe`` spellings."""
+    print(f"warning: `repro run-{args.flavor}` is deprecated; use "
+          f"`repro run {args.flavor} --set num_machines=... "
+          f"--set duration_s=...` (see `repro list-scenarios`)",
+          file=sys.stderr)
+    args.scenario = args.flavor
+    args.set = [f"num_machines={args.machines}",
+                f"duration_s={args.hours * 3600.0}",
+                f"seed={args.seed}",
+                f"mtbf_scale={args.mtbf_scale}"]
+    return _cmd_run(args)
 
 
 def _parse_assignments(pairs: Sequence[str], split_values: bool
@@ -158,11 +201,17 @@ def _progress_printer():
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
     from repro.experiments import (
+        CacheClient,
+        CacheServiceError,
+        ExecutorError,
         ResultCache,
         ScenarioError,
         SweepError,
+        SweepRequest,
         SweepRunner,
         SweepSpec,
+        make_executor,
+        parse_address,
         summarize,
     )
 
@@ -170,18 +219,42 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     fixed = _parse_assignments(args.set, split_values=False)
     spec = SweepSpec(scenario=args.scenario, params=fixed, grid=grid,
                      base_seed=args.base_seed)
-    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    if args.no_cache:
+        cache = None
+    elif args.cache_addr:
+        cache = CacheClient(parse_address(args.cache_addr))
+    else:
+        cache = ResultCache(args.cache_dir)
+    backend = args.backend or ("inline" if args.workers == 1
+                               else "process")
     progress = None if args.quiet else _progress_printer()
+    executor = None
     try:
-        runner = SweepRunner(workers=args.workers, cache=cache)
-        result = runner.run(spec, progress=progress)
-    except (ScenarioError, SweepError, ValueError) as exc:
+        if backend == "remote":
+            executor = make_executor(
+                "remote", listen=parse_address(args.listen),
+                heartbeat_timeout_s=args.heartbeat_timeout,
+                idle_timeout_s=args.idle_timeout)
+            print(f"remote backend listening on "
+                  f"{executor.address[0]}:{executor.address[1]} — "
+                  f"start workers with `python -m repro worker "
+                  f"--connect {executor.address[0]}:"
+                  f"{executor.address[1]}`",
+                  file=sys.stderr, flush=True)
+        runner = SweepRunner(workers=args.workers, cache=cache,
+                             executor=executor)
+        result = runner.run(SweepRequest(specs=spec, progress=progress))
+    except (ScenarioError, SweepError, ExecutorError,
+            CacheServiceError, ValueError, OSError) as exc:
         if progress is not None and sys.stderr.isatty():
             # terminate the \r-rewritten progress line so the error
             # does not render appended to stale progress text
             print(file=sys.stderr)
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    finally:
+        if executor is not None:
+            executor.close()
     summary = summarize(result)
 
     cells = len(result.results)
@@ -189,12 +262,23 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                           for k, v in sorted(grid.items())) or "(single cell)"
     print(summary.render(args.format,
                          title=f"sweep: {args.scenario} over {grid_desc}"))
-    print(f"\n{cells} cells, {result.cache_hits} served from cache, "
-          f"{result.simulated} streamed from workers "
-          f"({args.workers} worker{'s' if args.workers != 1 else ''})")
+    if backend == "remote":
+        stats = executor.stats
+        print(f"\n{cells} cells, {result.cache_hits} served from cache, "
+              f"{result.simulated} streamed from remote workers "
+              f"({stats['workers_connected']} connected, "
+              f"{stats['workers_lost']} lost, "
+              f"{stats['requeued']} cells re-queued)")
+    else:
+        print(f"\n{cells} cells, {result.cache_hits} served from cache, "
+              f"{result.simulated} streamed from workers "
+              f"({backend} backend, {args.workers} "
+              f"worker{'s' if args.workers != 1 else ''})")
     if cache is not None:
         stats = cache.stats()
-        print(f"cache: {args.cache_dir} ({len(cache)} entries; "
+        where = (f"{args.cache_addr} (service)" if args.cache_addr
+                 else args.cache_dir)
+        print(f"cache: {where} ({len(cache)} entries; "
               f"{stats['hits']} hits, {stats['misses']} misses, "
               f"{stats['writes']} writes this sweep)")
     if args.output:
@@ -261,6 +345,60 @@ def _cmd_cache(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_worker(args: argparse.Namespace) -> int:
+    from repro.experiments import parse_address, run_worker
+
+    try:
+        address = parse_address(args.connect)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    log = None
+    if not args.quiet:
+        def log(message: str) -> None:
+            print(f"worker: {message}", file=sys.stderr, flush=True)
+    try:
+        completed = run_worker(
+            address, heartbeat_s=args.heartbeat_s,
+            connect_timeout_s=args.connect_timeout,
+            max_cells=args.max_cells, fail_after=args.fail_after,
+            log=log)
+    except OSError as exc:
+        print(f"error: cannot reach sweep at "
+              f"{address[0]}:{address[1]}: {exc}", file=sys.stderr)
+        return 2
+    if not args.quiet:
+        print(f"worker done: {completed} cell(s) completed",
+              file=sys.stderr)
+    return 0
+
+
+def _cmd_cache_serve(args: argparse.Namespace) -> int:
+    from repro.experiments import CacheServer, parse_address
+
+    try:
+        host, port = parse_address(args.listen)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    server = CacheServer(args.cache_dir, host=host, port=port)
+    # machine-parseable readiness line: scripts (and the CI smoke job)
+    # wait for it, then read the bound port from it
+    print(f"cache service: {args.cache_dir} listening on "
+          f"{server.address[0]}:{server.address[1]}", flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.close()
+        stats = server.cache.stats()
+        print(f"cache service stopped: {stats['hits']} hits, "
+              f"{stats['misses']} misses, {stats['writes']} writes "
+              f"served", flush=True)
+    return 0
+
+
 def _cmd_perf(args: argparse.Namespace) -> int:
     from repro.perf import run_benchmarks
 
@@ -285,6 +423,10 @@ def _cmd_perf(args: argparse.Namespace) -> int:
             line += (f"   seed {row['seed_seconds']:>8.2f}s   "
                      f"speedup {row['speedup']:.2f}x")
         print(line)
+    for row in payload.get("executors", []):
+        print(f"{row['name']:<27} {row['cells_per_sec']:>12,.0f} "
+              f"cells/s ({row['cells']} trivial cells, "
+              f"{row['seconds']:.3f}s)")
     if args.output:
         with open(args.output, "w") as fh:
             json.dump(payload, fh, indent=2, sort_keys=True)
@@ -370,11 +512,27 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="ByteRobust reproduction — simulated robust LLM "
                     "training infrastructure")
-    sub = parser.add_subparsers(dest="command", required=True)
+    # metavar hides the deprecated aliases from the usage line; only
+    # parsers registered with help= appear in --help
+    sub = parser.add_subparsers(dest="command", required=True,
+                                metavar="COMMAND")
 
+    p = sub.add_parser("run",
+                       help="run one registered scenario and print "
+                            "its report")
+    p.add_argument("scenario", type=str,
+                   help="registered scenario name (see list-scenarios)")
+    p.add_argument("--set", action="append", default=[],
+                   metavar="KEY=VALUE",
+                   help="override a scenario parameter (repeatable)")
+    p.add_argument("--output", type=str, default=None,
+                   help="write the full JSON report here")
+    p.set_defaults(func=_cmd_run)
+
+    # deprecated aliases (hidden from --help): the pre-registry
+    # spellings, kept so existing invocations keep working
     for flavor in ("dense", "moe"):
-        p = sub.add_parser(f"run-{flavor}",
-                           help=f"simulate the {flavor} production job")
+        p = sub.add_parser(f"run-{flavor}")
         p.add_argument("--machines", type=int, default=8)
         p.add_argument("--hours", type=float, default=24.0)
         p.add_argument("--seed", type=int, default=0)
@@ -383,7 +541,7 @@ def build_parser() -> argparse.ArgumentParser:
                             "small values to see incidents)")
         p.add_argument("--output", type=str, default=None,
                        help="write the full JSON report here")
-        p.set_defaults(func=_cmd_run, flavor=flavor)
+        p.set_defaults(func=_cmd_run_legacy, flavor=flavor)
 
     p = sub.add_parser("list-scenarios",
                        help="list registered scenarios and their "
@@ -407,11 +565,30 @@ def build_parser() -> argparse.ArgumentParser:
                    help="fix this parameter for every cell (repeatable)")
     p.add_argument("--workers", type=int, default=1,
                    help="worker processes for cell fan-out")
+    p.add_argument("--backend", choices=("inline", "process", "remote"),
+                   default=None,
+                   help="execution backend (default: inline for "
+                        "--workers 1, process otherwise; remote serves "
+                        "cells to `repro worker` processes over TCP)")
+    p.add_argument("--listen", type=str, default="127.0.0.1:0",
+                   metavar="HOST:PORT",
+                   help="remote backend: address workers connect to "
+                        "(default: loopback, ephemeral port)")
+    p.add_argument("--heartbeat-timeout", type=float, default=10.0,
+                   help="remote backend: seconds of worker silence "
+                        "before its in-flight cell is re-queued")
+    p.add_argument("--idle-timeout", type=float, default=60.0,
+                   help="remote backend: fail the sweep after this "
+                        "long with outstanding cells and no workers")
     p.add_argument("--base-seed", type=int, default=0,
                    help="seeds derive from (base_seed, cell_index)")
     p.add_argument("--cache-dir", type=str,
                    default=".repro-sweep-cache",
                    help="on-disk result cache directory")
+    p.add_argument("--cache-addr", type=str, default=None,
+                   metavar="HOST:PORT",
+                   help="use a shared `repro cache-serve` service "
+                        "instead of a local --cache-dir")
     p.add_argument("--no-cache", action="store_true",
                    help="always re-simulate, never read/write the cache")
     p.add_argument("--format", choices=("text", "markdown", "csv"),
@@ -451,6 +628,37 @@ def build_parser() -> argparse.ArgumentParser:
                    metavar="SCENARIO",
                    help="remove one scenario's cache entries")
     p.set_defaults(func=_cmd_cache)
+
+    p = sub.add_parser("worker",
+                       help="serve a `sweep --backend remote` run: "
+                            "pull cells over TCP, push results back")
+    p.add_argument("--connect", type=str, required=True,
+                   metavar="HOST:PORT",
+                   help="the sweep's --listen address")
+    p.add_argument("--heartbeat-s", type=float, default=2.0,
+                   help="seconds between heartbeats while simulating")
+    p.add_argument("--connect-timeout", type=float, default=30.0,
+                   help="keep retrying the connection this long "
+                        "(workers may start before the sweep)")
+    p.add_argument("--max-cells", type=int, default=None,
+                   help="exit after completing this many cells")
+    p.add_argument("--fail-after", type=int, default=None,
+                   help=argparse.SUPPRESS)   # failure injection (tests/CI)
+    p.add_argument("--quiet", action="store_true",
+                   help="suppress per-cell progress on stderr")
+    p.set_defaults(func=_cmd_worker)
+
+    p = sub.add_parser("cache-serve",
+                       help="serve a result-cache directory over TCP "
+                            "(point sweeps at it with --cache-addr)")
+    p.add_argument("--listen", type=str, default="127.0.0.1:0",
+                   metavar="HOST:PORT",
+                   help="address to listen on (default: loopback, "
+                        "ephemeral port, printed at startup)")
+    p.add_argument("--cache-dir", type=str,
+                   default=".repro-sweep-cache",
+                   help="cache directory to serve")
+    p.set_defaults(func=_cmd_cache_serve)
 
     p = sub.add_parser("perf",
                        help="simulation-core benchmarks "

@@ -28,7 +28,8 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.sim import Simulator
 
 
-def simultaneous_failure_pmf(n: int, p: float, k_max: int = None) -> List[float]:
+def simultaneous_failure_pmf(n: int, p: float,
+                             k_max: Optional[int] = None) -> List[float]:
     """Binomial(n, p) pmf values for k = 0..k_max (numerically stable)."""
     if n < 1:
         raise ValueError("n must be >= 1")

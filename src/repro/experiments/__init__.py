@@ -3,10 +3,18 @@
 * :mod:`repro.experiments.registry` — named scenarios with typed
   parameter specs (built-ins register from
   :mod:`repro.workloads.scenarios`);
-* :mod:`repro.experiments.sweep` — grid expansion + multiprocessing
-  fan-out with deterministic per-cell seeding;
+* :mod:`repro.experiments.sweep` — grid expansion + streaming fan-out
+  with deterministic per-cell seeding;
+* :mod:`repro.experiments.executor` — pluggable execution backends
+  (inline, process pool, remote socket workers) behind one
+  :class:`~repro.experiments.executor.Executor` interface;
+* :mod:`repro.experiments.net` — the fabric's wire protocol and the
+  ``repro worker`` pull loop;
 * :mod:`repro.experiments.cache` — content-hash-keyed on-disk result
   cache, so repeated sweeps never re-simulate;
+* :mod:`repro.experiments.cache_service` — that cache served over TCP
+  (``repro cache-serve``) plus the :class:`ResultCache`-compatible
+  client, so N sweep hosts share one store;
 * :mod:`repro.experiments.summary` — reduce a sweep into the paper's
   comparison tables (ETTR, MFU, unproductive-time breakdown);
 * :mod:`repro.experiments.report` — render summaries (or any
@@ -19,6 +27,22 @@ from repro.experiments.cache import (
     ResultCache,
     cell_key,
 )
+from repro.experiments.cache_service import (
+    CacheClient,
+    CacheServer,
+    CacheServiceError,
+)
+from repro.experiments.executor import (
+    EXECUTOR_BACKENDS,
+    Executor,
+    ExecutorError,
+    InlineExecutor,
+    ProcessPoolExecutor,
+    RemoteExecutor,
+    make_executor,
+    run_cell,
+)
+from repro.experiments.net import parse_address, run_worker
 from repro.experiments.report import (
     Table,
     render_summary,
@@ -44,6 +68,7 @@ from repro.experiments.sweep import (
     SweepCell,
     SweepError,
     SweepProgress,
+    SweepRequest,
     SweepResult,
     SweepRunner,
     SweepSpec,
@@ -54,14 +79,24 @@ from repro.experiments.sweep import (
 
 __all__ = [
     "CACHE_SCHEMA_VERSION",
+    "CacheClient",
+    "CacheServer",
+    "CacheServiceError",
     "CellResult",
+    "EXECUTOR_BACKENDS",
+    "Executor",
+    "ExecutorError",
+    "InlineExecutor",
     "ParamSpec",
+    "ProcessPoolExecutor",
+    "RemoteExecutor",
     "ResultCache",
     "ScenarioError",
     "ScenarioSpec",
     "SweepCell",
     "SweepError",
     "SweepProgress",
+    "SweepRequest",
     "SweepResult",
     "SweepRunner",
     "SweepSpec",
@@ -75,8 +110,12 @@ __all__ = [
     "get_scenario",
     "iter_scenarios",
     "list_scenarios",
+    "make_executor",
+    "parse_address",
     "register_scenario",
     "render_summary",
+    "run_cell",
+    "run_worker",
     "scenario_catalog_markdown",
     "summarize",
     "table_from_summary",

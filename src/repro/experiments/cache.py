@@ -33,7 +33,8 @@ import json
 import os
 import shutil
 import tempfile
-from typing import Any, Dict, Optional
+from pathlib import Path
+from typing import Any, Dict, Optional, Union
 
 from repro import __version__
 
@@ -67,8 +68,8 @@ class ResultCache:
     sidecar, giving ``repro cache`` lifetime numbers across processes.
     """
 
-    def __init__(self, directory: str):
-        self.directory = directory
+    def __init__(self, directory: Union[str, Path]):
+        self.directory = os.fspath(directory)
         self.hits = 0
         self.misses = 0
         self.writes = 0

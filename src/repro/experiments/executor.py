@@ -1,0 +1,376 @@
+"""Pluggable sweep execution backends: the :class:`Executor` API.
+
+:class:`~repro.experiments.sweep.SweepRunner` used to own a
+:mod:`multiprocessing` pool directly; it now drives any backend that
+implements this interface:
+
+* :meth:`Executor.submit_cells` hands the backend every cell that
+  needs simulating (cache hits never reach an executor);
+* :meth:`Executor.results` yields ``(cell, status, payload)`` tuples
+  in *completion* order — streaming, one tuple the moment a worker
+  finishes, exactly like the pool's ``imap_unordered`` did.  The
+  runner re-sorts by cell index afterwards, so completion order never
+  leaks into a :class:`~repro.experiments.sweep.SweepResult` and every
+  backend is byte-identical to every other at any worker count.
+
+Backends:
+
+* :class:`InlineExecutor` — runs cells in the calling process, one at
+  a time (the ``workers=1`` path: easiest to debug, visible to
+  coverage);
+* :class:`ProcessPoolExecutor` — the historical ``multiprocessing``
+  pool, forking where the platform allows it;
+* :class:`RemoteExecutor` — a TCP work-queue server: remote workers
+  (``python -m repro worker --connect host:port``) pull cells and
+  push results back over length-delimited JSON, with per-worker
+  heartbeats, dead-worker re-queue, and late-joining workers picked
+  up as they connect.
+
+Executors are **single-sweep** objects: one :meth:`submit_cells`, one
+:meth:`results` drain, then :meth:`close` (or use the instance as a
+context manager).  The runner constructs one per ``_execute`` call
+when none is injected.
+"""
+
+from __future__ import annotations
+
+import abc
+import multiprocessing
+import queue
+import socket
+import threading
+import time
+import traceback
+from typing import TYPE_CHECKING, Any, Dict, Iterator, Optional, Sequence, Tuple, Union
+
+from repro.experiments.net import MessageStream
+from repro.experiments.registry import get_scenario
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.experiments.sweep import SweepCell
+
+#: What an executor yields per cell: ``(cell, "ok"|"error", payload)``
+#: where the payload is the JSON-safe report on success or the
+#: worker-side traceback text on failure.
+CellOutcome = Tuple["SweepCell", str, Union[Dict[str, Any], str]]
+
+
+def run_cell(args: Tuple[int, str, Dict[str, Any]]
+             ) -> Tuple[int, str, Union[Dict[str, Any], str]]:
+    """Build + run one cell, returning a JSON-safe payload.
+
+    Must stay a module-level function (pickled by multiprocessing and
+    imported by remote workers).  The leading slot index survives
+    out-of-order completion, and exceptions are returned as traceback
+    strings — raising inside a worker would lose the cell identity on
+    the collecting side.
+    """
+    index, scenario_name, params = args
+    try:
+        scenario = get_scenario(scenario_name).build(**params)
+        outcome = scenario.run()
+        report = (outcome.to_dict() if hasattr(outcome, "to_dict")
+                  else dict(outcome))
+        return (index, "ok", report)
+    except Exception:
+        return (index, "error", traceback.format_exc())
+
+
+class ExecutorError(RuntimeError):
+    """An executor could not make progress (e.g. every worker died)."""
+
+
+class Executor(abc.ABC):
+    """One sweep's execution backend (see module docstring)."""
+
+    #: registry name (``--backend`` on the CLI)
+    name: str = ""
+
+    def __init__(self) -> None:
+        self._cells: Optional[Sequence["SweepCell"]] = None
+
+    @abc.abstractmethod
+    def submit_cells(self, cells: Sequence["SweepCell"]) -> None:
+        """Hand the backend every cell to simulate (exactly once)."""
+
+    @abc.abstractmethod
+    def results(self) -> Iterator[CellOutcome]:
+        """Yield one ``(cell, status, payload)`` per submitted cell,
+        in completion order."""
+
+    def close(self) -> None:
+        """Release backend resources (idempotent)."""
+
+    def _record_submit(self, cells: Sequence["SweepCell"]) -> None:
+        if self._cells is not None:
+            raise ExecutorError(
+                f"{type(self).__name__} is single-use: submit_cells() "
+                f"was already called")
+        self._cells = list(cells)
+
+    def __enter__(self) -> "Executor":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+
+class InlineExecutor(Executor):
+    """Run cells in the calling process, one at a time."""
+
+    name = "inline"
+
+    def submit_cells(self, cells: Sequence["SweepCell"]) -> None:
+        self._record_submit(cells)
+
+    def results(self) -> Iterator[CellOutcome]:
+        for slot, cell in enumerate(self._cells or ()):
+            index, status, payload = run_cell(
+                (slot, cell.scenario, cell.params))
+            yield cell, status, payload
+
+
+class ProcessPoolExecutor(Executor):
+    """The historical ``multiprocessing`` pool backend.
+
+    Forks where the platform allows it (spawn elsewhere), sizes the
+    pool to ``min(workers, cells)``, and surfaces each result the
+    moment its worker finishes via ``imap_unordered``.
+    """
+
+    name = "process"
+
+    def __init__(self, workers: int = 2):
+        super().__init__()
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1: {workers}")
+        self.workers = workers
+
+    def results(self) -> Iterator[CellOutcome]:
+        cells = self._cells or ()
+        if not cells:
+            return
+        jobs = [(slot, c.scenario, c.params)
+                for slot, c in enumerate(cells)]
+        if self.workers == 1 or len(jobs) == 1:
+            for job in jobs:
+                slot, status, payload = run_cell(job)
+                yield cells[slot], status, payload
+            return
+        methods = multiprocessing.get_all_start_methods()
+        ctx = multiprocessing.get_context(
+            "fork" if "fork" in methods else "spawn")
+        with ctx.Pool(processes=min(self.workers, len(jobs))) as pool:
+            for slot, status, payload in pool.imap_unordered(
+                    run_cell, jobs, chunksize=1):
+                yield cells[slot], status, payload
+
+    def submit_cells(self, cells: Sequence["SweepCell"]) -> None:
+        self._record_submit(cells)
+
+
+class RemoteExecutor(Executor):
+    """A TCP work-queue server for socket-connected workers.
+
+    The executor *listens*; workers connect (any time — before the
+    sweep, mid-sweep, after another worker died) and loop pulling one
+    cell, running it, pushing the result.  While a worker is
+    simulating it sends ``ping`` heartbeats; a connection that goes
+    silent for :attr:`heartbeat_timeout_s` (or drops) is declared dead
+    and its in-flight cell goes back on the queue for the next worker.
+    Duplicate results from a worker that was declared dead but raced a
+    late result are discarded — each cell completes exactly once.
+
+    :meth:`results` raises :class:`ExecutorError` if work is
+    outstanding and no worker has been connected for
+    :attr:`idle_timeout_s` (a sweep that would otherwise hang forever
+    on a typo'd port now fails loudly).
+    """
+
+    name = "remote"
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0,
+                 heartbeat_timeout_s: float = 10.0,
+                 idle_timeout_s: float = 60.0):
+        super().__init__()
+        self.heartbeat_timeout_s = heartbeat_timeout_s
+        self.idle_timeout_s = idle_timeout_s
+        self._sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._sock.bind((host, port))
+        self._sock.listen(64)
+        self._sock.settimeout(0.2)
+        self.address: Tuple[str, int] = self._sock.getsockname()[:2]
+        self._pending: "queue.Queue[int]" = queue.Queue()
+        self._results: "queue.Queue[Tuple[int, str, Any]]" = queue.Queue()
+        self._lock = threading.Lock()
+        self._completed: set = set()
+        self._closed = threading.Event()
+        self._accept_thread: Optional[threading.Thread] = None
+        self._handlers: list = []
+        self._active_workers = 0
+        self._last_worker_seen = time.monotonic()
+        #: observability for tests and the CLI summary line
+        self.stats: Dict[str, int] = {
+            "workers_connected": 0, "workers_lost": 0, "requeued": 0}
+
+    # -- server side ---------------------------------------------------
+
+    def submit_cells(self, cells: Sequence["SweepCell"]) -> None:
+        self._record_submit(cells)
+        for slot in range(len(self._cells or ())):
+            self._pending.put(slot)
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="remote-executor-accept",
+            daemon=True)
+        self._accept_thread.start()
+
+    def results(self) -> Iterator[CellOutcome]:
+        cells = self._cells
+        if cells is None:
+            raise ExecutorError("results() before submit_cells()")
+        produced = 0
+        self._last_worker_seen = time.monotonic()
+        while produced < len(cells):
+            try:
+                slot, status, payload = self._results.get(timeout=0.25)
+            except queue.Empty:
+                with self._lock:
+                    idle = (self._active_workers == 0)
+                if idle and (time.monotonic() - self._last_worker_seen
+                             > self.idle_timeout_s):
+                    raise ExecutorError(
+                        f"remote sweep stalled: {len(cells) - produced} "
+                        f"cell(s) outstanding and no worker connected "
+                        f"to {self.address[0]}:{self.address[1]} for "
+                        f"{self.idle_timeout_s:.0f}s")
+                continue
+            produced += 1
+            yield cells[slot], status, payload
+
+    def close(self) -> None:
+        self._closed.set()
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+        if self._accept_thread is not None:
+            self._accept_thread.join(timeout=2.0)
+        for handler in list(self._handlers):
+            handler.join(timeout=2.0)
+
+    # -- worker connections --------------------------------------------
+
+    def _accept_loop(self) -> None:
+        while not self._closed.is_set():
+            try:
+                conn, _addr = self._sock.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                return
+            handler = threading.Thread(
+                target=self._serve_worker, args=(conn,),
+                name="remote-executor-worker", daemon=True)
+            handler.start()
+            self._handlers.append(handler)
+
+    def _all_done(self) -> bool:
+        with self._lock:
+            return len(self._completed) >= len(self._cells or ())
+
+    def _finish(self, slot: int, status: str, payload: Any) -> bool:
+        """Record one result; False for duplicates (dead-worker race)."""
+        with self._lock:
+            if slot in self._completed:
+                return False
+            self._completed.add(slot)
+        self._results.put((slot, status, payload))
+        return True
+
+    def _serve_worker(self, conn: socket.socket) -> None:
+        cells = self._cells or ()
+        in_flight: Optional[int] = None
+        stream = MessageStream(conn)
+        with self._lock:
+            self._active_workers += 1
+            self.stats["workers_connected"] += 1
+            self._last_worker_seen = time.monotonic()
+        try:
+            conn.settimeout(self.heartbeat_timeout_s)
+            hello = stream.recv()
+            if not hello or hello.get("type") != "hello":
+                return
+            while not self._closed.is_set():
+                if self._all_done():
+                    stream.send({"type": "shutdown"})
+                    return
+                try:
+                    slot = self._pending.get(timeout=0.2)
+                except queue.Empty:
+                    continue
+                with self._lock:
+                    taken = slot in self._completed
+                if taken:      # re-queued twice, then raced a finish
+                    continue
+                in_flight = slot
+                cell = cells[slot]
+                stream.send({"type": "cell", "slot": slot,
+                             "scenario": cell.scenario,
+                             "params": cell.params})
+                while True:
+                    msg = stream.recv()
+                    if msg is None:
+                        raise ConnectionError("worker closed mid-cell")
+                    if msg.get("type") == "ping":
+                        continue
+                    if msg.get("type") == "result":
+                        self._finish(int(msg["slot"]), str(msg["status"]),
+                                     msg["payload"])
+                        in_flight = None
+                        break
+                    raise ConnectionError(
+                        f"unexpected worker message {msg.get('type')!r}")
+        except (OSError, ConnectionError, ValueError):
+            pass
+        finally:
+            if in_flight is not None:
+                with self._lock:
+                    lost = in_flight not in self._completed
+                if lost:
+                    self.stats["requeued"] += 1
+                    self._pending.put(in_flight)
+                with self._lock:
+                    self.stats["workers_lost"] += 1
+            with self._lock:
+                self._active_workers -= 1
+                self._last_worker_seen = time.monotonic()
+            stream.close()
+
+
+#: ``--backend`` name -> factory (see :func:`make_executor`).
+EXECUTOR_BACKENDS = ("inline", "process", "remote")
+
+
+def make_executor(backend: str, workers: int = 1,
+                  listen: Optional[Tuple[str, int]] = None,
+                  heartbeat_timeout_s: float = 10.0,
+                  idle_timeout_s: float = 60.0) -> Executor:
+    """Construct an executor by registry name.
+
+    ``inline`` ignores ``workers``; ``process`` sizes its pool from
+    it; ``remote`` listens on ``listen`` (default loopback, ephemeral
+    port — read :attr:`RemoteExecutor.address` for the bound port).
+    """
+    if backend == "inline":
+        return InlineExecutor()
+    if backend == "process":
+        return ProcessPoolExecutor(workers=max(1, workers))
+    if backend == "remote":
+        host, port = listen if listen is not None else ("127.0.0.1", 0)
+        return RemoteExecutor(host=host, port=port,
+                              heartbeat_timeout_s=heartbeat_timeout_s,
+                              idle_timeout_s=idle_timeout_s)
+    raise ValueError(
+        f"unknown executor backend {backend!r} "
+        f"(one of {', '.join(EXECUTOR_BACKENDS)})")

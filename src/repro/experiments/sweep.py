@@ -5,12 +5,15 @@ A sweep takes one or more :class:`SweepSpec`s — a registered scenario
 name, fixed parameter overrides, and a grid of per-parameter value
 lists — expands the grid into :class:`SweepCell`s (cartesian product in
 sorted-key order, so cell indices are stable), and runs every cell
-either inline (``workers=1``) or across a :mod:`multiprocessing` pool.
+through an :class:`~repro.experiments.executor.Executor` backend:
+inline (``workers=1``), a :mod:`multiprocessing` pool, or a remote
+work-queue fabric where socket-connected workers pull cells and push
+results (``python -m repro worker``).
 
-Execution is **streaming**: cells are handed to the pool once and
-results come back through ``imap_unordered`` the moment each worker
-finishes — cached cells first, then simulated cells in completion
-order.  Every completed cell is written to the
+Execution is **streaming** regardless of backend: cells are submitted
+once and results come back the moment each worker finishes — cached
+cells first, then simulated cells in completion order.  Every
+completed cell is written to the
 :class:`~repro.experiments.cache.ResultCache` *immediately*, so a sweep
 killed mid-run resumes from the partial cache and re-simulates only the
 unfinished cells.  :meth:`SweepRunner.stream` exposes the raw arrival
@@ -18,24 +21,28 @@ order (with an optional progress callback);
 :meth:`SweepRunner.run` drains the stream and materializes the final
 :class:`SweepResult` in cell-index order.
 
+Call sites normalize onto :class:`SweepRequest` — specs, cache,
+base-seed override, progress callback in one value — but the legacy
+``run(spec_or_specs, progress=...)`` shapes keep working.
+
 Determinism is a contract, not an accident:
 
 * cell order is fixed by the expansion, and the collected result is
   sorted into cell order regardless of which worker finishes first;
 * each cell's RNG seed is either the explicit ``seed`` parameter or
   derived from ``(base_seed, cell_index)`` via a stable hash, so the
-  same grid produces the same reports no matter the worker count;
+  same grid produces the same reports no matter the worker count *or
+  the backend*;
 * cells already present in the cache are served from disk and never
   re-simulated.
 """
 
 from __future__ import annotations
 
+import dataclasses
 import hashlib
 import itertools
-import multiprocessing
 import time
-import traceback
 from dataclasses import dataclass, field
 from typing import (
     Any,
@@ -49,8 +56,18 @@ from typing import (
     Union,
 )
 
-from repro.experiments.cache import ResultCache, cell_key
+from repro.experiments.cache import cell_key
+from repro.experiments.executor import (
+    Executor,
+    InlineExecutor,
+    ProcessPoolExecutor,
+    run_cell,
+)
 from repro.experiments.registry import get_scenario
+
+#: Anything with the ResultCache get/put/persist_stats surface —
+#: a local directory cache or a :class:`~repro.experiments.cache_service.CacheClient`.
+CacheLike = Any
 
 
 class SweepError(RuntimeError):
@@ -63,7 +80,7 @@ class SweepError(RuntimeError):
     captured in the worker process and shipped back verbatim).
     """
 
-    def __init__(self, message: str, cell: "SweepCell" = None,
+    def __init__(self, message: str, cell: Optional["SweepCell"] = None,
                  traceback_text: str = ""):
         super().__init__(message)
         self.cell = cell
@@ -121,6 +138,60 @@ class SweepProgress:
 #: Progress callbacks receive one event per completed cell, in
 #: completion order (cached cells first).
 ProgressCallback = Callable[[SweepProgress], None]
+
+
+@dataclass
+class SweepRequest:
+    """Everything one sweep invocation needs, in a single value.
+
+    ``specs`` accepts a single :class:`SweepSpec` or a sequence (it is
+    normalized to a tuple).  ``base_seed``, when set, overrides every
+    spec's own ``base_seed`` — the common "same grids, new seed" knob
+    without rebuilding specs.  ``cache`` overrides the runner's cache
+    for this request only; ``progress`` is the streaming callback.
+    """
+
+    specs: Union[SweepSpec, Sequence[SweepSpec]]
+    cache: Optional[CacheLike] = None
+    base_seed: Optional[int] = None
+    progress: Optional[ProgressCallback] = None
+
+    def __post_init__(self) -> None:
+        if isinstance(self.specs, SweepSpec):
+            self.specs = (self.specs,)
+        else:
+            self.specs = tuple(self.specs)
+        if not all(isinstance(s, SweepSpec) for s in self.specs):
+            raise TypeError("SweepRequest.specs must be SweepSpec "
+                            "instances")
+
+    def resolved_specs(self) -> Tuple[SweepSpec, ...]:
+        """Specs with the request-level ``base_seed`` applied."""
+        if self.base_seed is None:
+            return tuple(self.specs)
+        return tuple(dataclasses.replace(s, base_seed=self.base_seed)
+                     for s in self.specs)
+
+    @classmethod
+    def coerce(cls, request: Union["SweepRequest", SweepSpec,
+                                   Sequence[SweepSpec]],
+               progress: Optional[ProgressCallback] = None
+               ) -> "SweepRequest":
+        """Normalize the legacy call shapes onto a request.
+
+        ``progress`` is the backward-compatible keyword; passing it
+        alongside a request that already carries a callback is
+        ambiguous and rejected.
+        """
+        if isinstance(request, SweepRequest):
+            if progress is not None:
+                if request.progress is not None:
+                    raise ValueError(
+                        "progress passed both on the SweepRequest and "
+                        "as a keyword; pick one")
+                return dataclasses.replace(request, progress=progress)
+            return request
+        return cls(specs=request, progress=progress)
 
 
 @dataclass
@@ -216,59 +287,54 @@ def expand_cells(specs: Sequence[SweepSpec]) -> List[SweepCell]:
     return cells
 
 
-def _run_cell(args: Tuple[int, str, Dict[str, Any]]
-              ) -> Tuple[int, str, Union[Dict[str, Any], str]]:
-    """Pool worker: build + run one cell, return a JSON-safe payload.
-
-    Must stay a module-level function (pickled by multiprocessing).
-    The leading index survives ``imap_unordered`` reordering, and
-    exceptions are returned as traceback strings — raising inside a
-    pool worker would lose the cell identity in the parent.
-    """
-    index, scenario_name, params = args
-    try:
-        scenario = get_scenario(scenario_name).build(**params)
-        outcome = scenario.run()
-        report = (outcome.to_dict() if hasattr(outcome, "to_dict")
-                  else dict(outcome))
-        return (index, "ok", report)
-    except Exception:
-        return (index, "error", traceback.format_exc())
+#: Backward-compatible alias: the worker entry point moved to
+#: :mod:`repro.experiments.executor` with the backend split.
+_run_cell = run_cell
 
 
 class SweepRunner:
     """Expands, fans out, caches, and collects a sweep.
 
-    ``workers=1`` runs cells inline (no pool, easiest to debug and to
-    measure coverage on); ``workers>1`` uses a process pool, forking
-    where the platform allows it and falling back to spawn elsewhere.
-    Either way results *stream*: each cell lands in the cache (and hits
-    the progress callback) the moment it completes, not when the whole
-    batch does.
+    The runner owns *what* runs (expansion, cache policy, collection
+    order); an :class:`~repro.experiments.executor.Executor` owns
+    *where* it runs.  With no injected executor, ``workers=1`` picks
+    the inline backend (no pool, easiest to debug and to measure
+    coverage on) and ``workers>1`` a process pool; pass ``executor=``
+    (e.g. a :class:`~repro.experiments.executor.RemoteExecutor`) to
+    fan out anywhere else.  Either way results *stream*: each cell
+    lands in the cache (and hits the progress callback) the moment it
+    completes, not when the whole batch does.
     """
 
     def __init__(self, workers: int = 1,
-                 cache: Optional[ResultCache] = None):
+                 cache: Optional[CacheLike] = None,
+                 executor: Optional[Executor] = None):
         if workers < 1:
             raise ValueError(f"workers must be >= 1: {workers}")
         self.workers = workers
         self.cache = cache
+        self.executor = executor
 
-    def run(self, specs: Union[SweepSpec, Sequence[SweepSpec]],
+    def run(self, request: Union[SweepRequest, SweepSpec,
+                                 Sequence[SweepSpec]],
             progress: Optional[ProgressCallback] = None) -> SweepResult:
         """Drain the stream and return results in cell-index order.
 
-        The collector is deterministic at any worker count: whatever
-        order cells *complete* in, the materialized result is sorted
-        by cell index and therefore byte-identical run to run.
+        The collector is deterministic at any worker count and under
+        any backend: whatever order cells *complete* in, the
+        materialized result is sorted by cell index and therefore
+        byte-identical run to run.
         """
-        results = sorted(self.stream(specs, progress=progress),
+        request = SweepRequest.coerce(request, progress=progress)
+        results = sorted(self.stream(request),
                          key=lambda r: r.cell.index)
-        if self.cache is not None:
-            self.cache.persist_stats()
+        cache = request.cache if request.cache is not None else self.cache
+        if cache is not None:
+            cache.persist_stats()
         return SweepResult(results=results)
 
-    def stream(self, specs: Union[SweepSpec, Sequence[SweepSpec]],
+    def stream(self, request: Union[SweepRequest, SweepSpec,
+                                    Sequence[SweepSpec]],
                progress: Optional[ProgressCallback] = None
                ) -> Iterator[CellResult]:
         """Yield :class:`CellResult`s as they complete.
@@ -279,17 +345,18 @@ class SweepRunner:
         at most the in-flight cells — a restart re-simulates only what
         never finished.
         """
-        if isinstance(specs, SweepSpec):
-            specs = [specs]
-        cells = expand_cells(specs)
+        request = SweepRequest.coerce(request, progress=progress)
+        cache = request.cache if request.cache is not None else self.cache
+        progress = request.progress
+        cells = expand_cells(request.resolved_specs())
         total = len(cells)
         started = time.monotonic()
         done = 0
 
         to_run: List[SweepCell] = []
         for cell in cells:
-            payload = (self.cache.get(cell.key, cell.scenario)
-                       if self.cache is not None else None)
+            payload = (cache.get(cell.key, cell.scenario)
+                       if cache is not None else None)
             if payload is None:
                 to_run.append(cell)
                 continue
@@ -307,8 +374,8 @@ class SweepRunner:
                     f"cell #{cell.index} ({cell.scenario} "
                     f"{cell.params}) failed:\n{payload}",
                     cell=cell, traceback_text=str(payload))
-            if self.cache is not None:
-                self.cache.put(cell.key, payload, cell.scenario)
+            if cache is not None:
+                cache.put(cell.key, payload, cell.scenario)
             done += 1
             result = CellResult(cell=cell, report=payload, cached=False)
             if progress is not None:
@@ -324,22 +391,16 @@ class SweepRunner:
         """Yield ``(cell, status, payload)`` in completion order."""
         if not cells:
             return
-        jobs = [(i, c.scenario, c.params) for i, c in enumerate(cells)]
-        if self.workers == 1 or len(jobs) == 1:
-            for job in jobs:
-                i, status, payload = _run_cell(job)
-                yield cells[i], status, payload
+        if self.executor is not None:
+            # caller-owned backend (e.g. a listening RemoteExecutor):
+            # drive it, but leave close() to whoever built it
+            self.executor.submit_cells(cells)
+            yield from self.executor.results()
             return
-        methods = multiprocessing.get_all_start_methods()
-        ctx = multiprocessing.get_context(
-            "fork" if "fork" in methods else "spawn")
-        workers = min(self.workers, len(jobs))
-        with ctx.Pool(processes=workers) as pool:
-            # imap_unordered surfaces each result the moment its
-            # worker finishes; the run() collector re-sorts by cell
-            # index, so completion order never leaks into the final
-            # SweepResult and sweeps stay deterministic across worker
-            # counts
-            for i, status, payload in pool.imap_unordered(
-                    _run_cell, jobs, chunksize=1):
-                yield cells[i], status, payload
+        if self.workers == 1 or len(cells) == 1:
+            backend: Executor = InlineExecutor()
+        else:
+            backend = ProcessPoolExecutor(workers=self.workers)
+        with backend:
+            backend.submit_cells(cells)
+            yield from backend.results()

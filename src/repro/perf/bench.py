@@ -15,6 +15,8 @@ import time
 from typing import Any, Callable, Dict, List, Optional
 
 from repro import __version__
+from repro.experiments.executor import RemoteExecutor
+from repro.experiments.net import run_worker
 from repro.experiments.sweep import SweepRunner, SweepSpec
 from repro.perf.baseline import seed_baseline
 from repro.sim import Simulator
@@ -148,6 +150,62 @@ def bench_scheduler_ticks(tasks: int = 2_000, ticks: int = 50,
 
 
 # ---------------------------------------------------------------------------
+# executor dispatch overhead
+# ---------------------------------------------------------------------------
+
+def bench_executor_overhead(cells: int = 24, repeat: int = 1
+                            ) -> List[Dict[str, Any]]:
+    """Per-cell dispatch cost of each sweep execution backend.
+
+    Runs a grid of trivial analytic cells (standby-sizing: closed-form
+    math, microseconds each) through every backend, so the measured
+    wall-clock is almost entirely fabric overhead — pool fork/pickle
+    for ``process``, socket round-trips for ``remote`` (two loopback
+    in-process workers).  Reported as ``cells_per_sec`` per backend;
+    not ratio-gated (absolute dispatch cost is hardware-bound), but
+    tracked in the payload so regressions are visible run to run.
+    """
+    spec = SweepSpec("standby-sizing",
+                     grid={"machines": [64 + i for i in range(cells)]})
+
+    def time_inline() -> float:
+        t0 = time.perf_counter()
+        SweepRunner(workers=1).run(spec)
+        return time.perf_counter() - t0
+
+    def time_process() -> float:
+        t0 = time.perf_counter()
+        SweepRunner(workers=2).run(spec)
+        return time.perf_counter() - t0
+
+    def time_remote() -> float:
+        import threading
+        executor = RemoteExecutor()
+        workers = [threading.Thread(target=run_worker,
+                                    args=(executor.address,),
+                                    daemon=True) for _ in range(2)]
+        for w in workers:
+            w.start()
+        t0 = time.perf_counter()
+        with executor:
+            SweepRunner(executor=executor).run(spec)
+        elapsed = time.perf_counter() - t0
+        for w in workers:
+            w.join(timeout=5.0)
+        return elapsed
+
+    rows = []
+    for name, fn in (("inline", time_inline),
+                     ("process", time_process),
+                     ("remote", time_remote)):
+        seconds = _best_of(fn, repeat)
+        rows.append({"name": f"executor:{name}", "cells": cells,
+                     "seconds": seconds,
+                     "cells_per_sec": cells / seconds})
+    return rows
+
+
+# ---------------------------------------------------------------------------
 # scenario wall-clock
 # ---------------------------------------------------------------------------
 
@@ -232,6 +290,8 @@ def run_benchmarks(quick: bool = False, include_xl: bool = True,
         scenarios.append(bench_scenario(name, params,
                                         repeat=scenario_repeat,
                                         with_seed_baseline=baseline))
+    executors = bench_executor_overhead(cells=12 if quick else 48,
+                                        repeat=1 if quick else 2)
     return {
         "schema": BENCH_SCHEMA_VERSION,
         "version": __version__,
@@ -240,4 +300,5 @@ def run_benchmarks(quick: bool = False, include_xl: bool = True,
         "platform": platform.platform(),
         "microbench": micro,
         "scenarios": scenarios,
+        "executors": executors,
     }

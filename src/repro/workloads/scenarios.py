@@ -173,7 +173,7 @@ def staged_pretrain_scenario(num_machines: int = 8,
                              duration_s: float = 5 * 86400.0,
                              seed: int = 7,
                              mtbf_scale: float = 0.01,
-                             recipe: "PretrainRecipe" = None
+                             recipe: Optional["PretrainRecipe"] = None
                              ) -> ProductionScenario:
     """A multi-stage pretraining job following the Fig. 1 recipe.
 
