@@ -12,6 +12,7 @@ import time
 
 from repro.perf import (
     bench_cancellation,
+    bench_fault_health_substrate,
     bench_oneshot_events,
     bench_scenario,
     bench_scheduler_ticks,
@@ -21,6 +22,11 @@ from repro.perf import (
 #: budget is minutes; a 10x margin over the observed ~3 s keeps the
 #: assertion meaningful without flaking on slow runners.
 DENSE_XL_BUDGET_S = 120.0
+
+#: Wall-clock ceiling for one simulated week of fleet-quarter at full
+#: width (12.5k machines).  Observed ~12 s including the one-time
+#: cluster build; the margin covers slow shared runners.
+FLEET_QUARTER_WEEK_BUDGET_S = 180.0
 
 
 def test_oneshot_microbench_payload():
@@ -56,6 +62,33 @@ def test_scenario_bench_entry_shape():
     assert entry["fast_seconds"] > 0
     assert entry["seed_seconds"] > 0
     assert "speedup" in entry
+
+
+def test_substrate_microbench_meets_floor():
+    """Vectorized fault/health substrate must hold its ≥5x at fleet
+    width (the PR's acceptance bar); the bench itself asserts the two
+    modes emitted byte-identical event streams."""
+    row = bench_fault_health_substrate(machines=4_096, iters=20,
+                                       repeat=3)
+    assert row["name"] == "fault_health_substrate"
+    assert row["events"] == 4_096 * 20
+    assert row["fast"]["emissions"] == row["seed"]["emissions"]
+    assert row["speedup"] >= 5.0
+
+
+def test_fleet_quarter_week_within_budget():
+    """One simulated week of the flagship 100k-GPU scenario — full
+    12.5k-machine width, hazard substrate on — must stay tractable."""
+    from repro.experiments.registry import get_scenario
+
+    t0 = time.perf_counter()
+    report = get_scenario("fleet-quarter").build(
+        duration_s=7 * 86400.0).run()
+    elapsed = time.perf_counter() - t0
+    assert elapsed < FLEET_QUARTER_WEEK_BUDGET_S
+    payload = report.payload
+    assert payload["machine_hazard"]["hits"] > 0
+    assert payload["jobs_completed"] > 0
 
 
 def test_dense_xl_completes_within_budget():

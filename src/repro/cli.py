@@ -400,6 +400,22 @@ def _cmd_cache_serve(args: argparse.Namespace) -> int:
 
 
 def _cmd_perf(args: argparse.Namespace) -> int:
+    if args.profile:
+        from repro.experiments import ScenarioError
+        from repro.perf.profile import format_profile, profile_scenario
+
+        try:
+            payload = profile_scenario(args.profile, top=args.top)
+        except ScenarioError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        print(format_profile(payload))
+        if args.output:
+            with open(args.output, "w") as fh:
+                json.dump(payload, fh, indent=2, sort_keys=True)
+            print(f"\nprofile payload written to {args.output}")
+        return 0
+
     from repro.perf import run_benchmarks
 
     payload = run_benchmarks(quick=args.quick,
@@ -673,6 +689,12 @@ def build_parser() -> argparse.ArgumentParser:
                    help="microbench repetitions (default: 1 quick, 3 full)")
     p.add_argument("--output", type=str, default=None,
                    help="write the BENCH_sim.json payload here")
+    p.add_argument("--profile", type=str, default=None, metavar="SCENARIO",
+                   help="instead of benchmarking, run SCENARIO once "
+                        "under cProfile and print the hotspot table")
+    p.add_argument("--top", type=int, default=25,
+                   help="rows in the --profile hotspot table "
+                        "(default: 25)")
     p.set_defaults(func=_cmd_perf)
 
     p = sub.add_parser("standby-size", help="P99 standby pool sizing")

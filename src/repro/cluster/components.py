@@ -12,7 +12,21 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, NamedTuple, Optional
+
+
+class ComponentHealth(NamedTuple):
+    """Per-subsystem health rollup of one machine.
+
+    A plain tuple subclass so every existing ``(host, gpus, nics)``
+    unpacking keeps working, but consumers address slots by name — the
+    vectorized inspection sweeps index whole arrays of these flags and
+    a silent slot swap would corrupt every mask at once.
+    """
+
+    host_ok: bool
+    gpus_ok: bool
+    nics_ok: bool
 
 
 class _Inspectable:
@@ -24,6 +38,11 @@ class _Inspectable:
     or a test poking a field directly — invalidates the cache.  Routing
     all attribute writes through here guarantees it without asking any
     caller to cooperate.
+
+    When the owning machine carries a ``_dirty_sink`` (installed by the
+    cluster's :class:`~repro.cluster.health_index.HealthIndex`), the
+    machine id is also appended there, so the struct-of-arrays mirror
+    can resynchronize exactly the machines that were written.
     """
 
     def __setattr__(self, name: str, value) -> None:
@@ -32,11 +51,17 @@ class _Inspectable:
         if owner is not None:
             owner.health_ver += 1
             owner.cluster_ver[0] += 1
+            sink = owner.__dict__.get("_dirty_sink")
+            if sink is not None:
+                sink.append(owner.id)
 
     def _bind(self, owner: "Machine") -> None:
         self.__dict__["_owner"] = owner
         owner.health_ver += 1
         owner.cluster_ver[0] += 1
+        sink = owner.__dict__.get("_dirty_sink")
+        if sink is not None:
+            sink.append(owner.id)
 
 
 class MachineState(enum.Enum):
@@ -186,8 +211,8 @@ class Machine:
         self.active_fault_ids: List[int] = []
 
     # ------------------------------------------------------------------
-    def component_health(self) -> "tuple[bool, bool, bool]":
-        """``(host_ok, gpus_ok, nics_ok)``, O(1) while state is unchanged.
+    def component_health(self) -> ComponentHealth:
+        """:class:`ComponentHealth`, O(1) while state is unchanged.
 
         The full component scan reruns only after a write bumped
         :attr:`health_ver`; between faults (the overwhelmingly common
@@ -197,9 +222,10 @@ class Machine:
         cached = self._health_cache
         if cached is not None and cached[0] == self.health_ver:
             return cached[1]
-        summary = (self.host.healthy(),
-                   all(g.healthy() for g in self.gpus),
-                   all(n.healthy() for n in self.nics))
+        summary = ComponentHealth(
+            host_ok=self.host.healthy(),
+            gpus_ok=all(g.healthy() for g in self.gpus),
+            nics_ok=all(n.healthy() for n in self.nics))
         self._health_cache = (self.health_ver, summary)
         return summary
 

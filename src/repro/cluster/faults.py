@@ -338,3 +338,82 @@ class FaultInjector:
     def has_active_user_code_fault(self) -> bool:
         return any(f.root_cause is RootCause.USER_CODE
                    for f in self.active_faults.values())
+
+
+# ---------------------------------------------------------------------------
+# per-machine fault arrivals as batched tick work
+# ---------------------------------------------------------------------------
+
+class MachineHazardProcess:
+    """Per-machine Bernoulli fault arrivals, sampled once per tick.
+
+    The fleet-scale substrate for hardware fault injection: instead of
+    one exponential heap event per arrival (fine for a handful of jobs,
+    hopeless for drawing per-machine arrivals across 12.5k machines),
+    every machine is a hazard with mean time between faults ``mtbf_s``,
+    discretized to the tick as ``p = 1 - exp(-tick_s / mtbf_s)``.  Each
+    tick draws one uniform per machine and fires ``on_hit(machine_id)``
+    for every hit, in machine-id order — so fault arrivals ride the
+    engine's coalesced tick path and the event heap stays reserved for
+    control-plane events.
+
+    Two execution modes, byte-identical by construction: the scalar
+    reference draws ``rng.random()`` per machine in a loop; the
+    vectorized path draws ``rng.random(n)`` in one ``Generator`` call.
+    numpy's PCG64 produces bit-identical streams either way, so the hit
+    schedule — and everything downstream of it — cannot depend on the
+    mode (the equivalence suite pins this).
+    """
+
+    def __init__(self, sim: "Simulator", rng, machine_ids: List[int],
+                 mtbf_s: float, tick_s: float,
+                 on_hit: Callable[[int], None]):
+        import math
+
+        if mtbf_s <= 0 or tick_s <= 0:
+            raise ValueError("mtbf_s and tick_s must be positive")
+        self._sim = sim
+        self._rng = rng
+        self._ids = list(machine_ids)
+        self._ids_arr = None           # built lazily, numpy intp array
+        self.tick_s = tick_s
+        self.mtbf_s = mtbf_s
+        #: per-tick hit probability from the exponential hazard
+        self.p_hit = -math.expm1(-tick_s / mtbf_s)
+        self._on_hit = on_hit
+        self._task = None
+        #: total arrivals fired (observability / reports)
+        self.hits = 0
+
+    def start(self) -> None:
+        if self._task is None:
+            self._task = self._sim.every_tick(self.tick_s, self._tick,
+                                              first_delay=self.tick_s)
+
+    def stop(self) -> None:
+        if self._task is not None:
+            self._task.stop()
+            self._task = None
+
+    # ------------------------------------------------------------------
+    def _tick(self) -> None:
+        from repro.cluster.health_index import use_vectorized
+
+        ids = self._ids
+        if not ids:
+            return
+        if use_vectorized(len(ids)):
+            import numpy as np
+
+            if self._ids_arr is None or len(self._ids_arr) != len(ids):
+                self._ids_arr = np.fromiter(ids, dtype=np.intp,
+                                            count=len(ids))
+            draws = self._rng.random(len(ids))
+            hit_ids = self._ids_arr[draws < self.p_hit].tolist()
+        else:
+            p = self.p_hit
+            rng = self._rng
+            hit_ids = [mid for mid in ids if rng.random() < p]
+        for mid in hit_ids:
+            self.hits += 1
+            self._on_hit(mid)

@@ -26,11 +26,16 @@ class Switch:
 
     def __setattr__(self, name: str, value) -> None:
         # switches participate in the cluster-wide change counter so
-        # the inspection fast path can skip provably-unchanged sweeps
+        # the inspection fast path can skip provably-unchanged sweeps;
+        # once a HealthIndex is attached, writes also land in its
+        # dirty sink so the switch_up array resyncs incrementally
         object.__setattr__(self, name, value)
         cell = self.__dict__.get("_ver_cell")
         if cell is not None:
             cell[0] += 1
+            sink = self.__dict__.get("_dirty_sink")
+            if sink is not None:
+                sink.append(self.id)
 
 
 @dataclass(frozen=True)
@@ -60,6 +65,11 @@ class Cluster:
         #: One shared change counter for every component in the fleet;
         #: see :meth:`health_version`.
         self._ver_cell = [0]
+        #: Lazily-built struct-of-arrays mirror (:meth:`health_index`).
+        self._health_index = None
+        #: Lazily-built machine-id -> switch-id array
+        #: (:meth:`switch_id_array`).
+        self._switch_ids = None
         self.machines: List[Machine] = [
             Machine(i, spec.machine_spec) for i in range(spec.num_machines)]
         for machine in self.machines:
@@ -83,6 +93,35 @@ class Cluster:
         re-scanning a provably-unchanged fleet.
         """
         return self._ver_cell[0]
+
+    def health_index(self):
+        """The struct-of-arrays health mirror, built on first use.
+
+        Lazy because small clusters (unit tests, single-job scenarios)
+        never take the vectorized path and should not pay the arrays
+        or the dirty-sink bookkeeping on every component write.
+        """
+        index = self._health_index
+        if index is None:
+            from repro.cluster.health_index import HealthIndex
+            index = self._health_index = HealthIndex(self)
+        return index
+
+    def switch_id_array(self):
+        """machine id -> leaf switch id as a numpy intp array.
+
+        Cabling is static after construction, so the array is built
+        once and shared by every consumer that groups machines by
+        switch at fleet scale (vectorized placement, the health
+        index).
+        """
+        arr = self._switch_ids
+        if arr is None:
+            import numpy as np
+            arr = self._switch_ids = np.fromiter(
+                (m.switch_id for m in self.machines), dtype=np.intp,
+                count=len(self.machines))
+        return arr
 
     # ------------------------------------------------------------------
     def machine(self, machine_id: int) -> Machine:

@@ -54,14 +54,32 @@ def simultaneous_failure_pmf(n: int, p: float,
 
 
 def binomial_quantile(n: int, p: float, q: float) -> int:
-    """Smallest k with CDF(k) >= q."""
+    """Smallest k with CDF(k) >= q.
+
+    Streams the same pmf recurrence as
+    :func:`simultaneous_failure_pmf` and stops at the quantile instead
+    of materializing all n+1 terms — the resizer re-derives this every
+    tick over fleet-sized n, where the answer sits at small k.
+    """
     if not 0.0 < q < 1.0:
         raise ValueError("q must be in (0, 1)")
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    if not 0.0 <= p <= 1.0:
+        raise ValueError("p must be in [0, 1]")
+    if p == 0.0:
+        return 0
+    if p == 1.0:
+        return n
+    log_q = math.log1p(-p)
+    current = math.exp(n * log_q)           # pmf(0)
+    ratio = p / (1.0 - p)
     cdf = 0.0
-    for k, mass in enumerate(simultaneous_failure_pmf(n, p)):
-        cdf += mass
+    for k in range(n + 1):
+        cdf += current
         if cdf >= q:
             return k
+        current *= (n - k) / (k + 1) * ratio
     return n
 
 

@@ -187,6 +187,7 @@ class ByteRobustSystem:
         self.injector = FaultInjector(self.sim, self.cluster)
         self.pool = MachinePool(self.sim, self.cluster,
                                 times=config.provisioning)
+        self.pool.on_repair = self.injector.clear_machine
         self.stack = build_management_stack(
             self.sim, self.cluster, self.pool, self.injector, config.job,
             diag_rng=self.rng,

@@ -169,6 +169,7 @@ class TrainingPlatform:
         self.pool = MachinePool(
             self.sim, self.cluster,
             placement=make_placement_policy(self.config.placement))
+        self.pool.on_repair = self.injector.clear_machine
         self.scheduler = FleetScheduler(
             self.sim, self.pool, start=self._on_dispatch,
             backfill=self.config.backfill,

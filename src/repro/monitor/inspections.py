@@ -25,6 +25,7 @@ import enum
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
+from repro.cluster.health_index import use_vectorized
 from repro.cluster.topology import Cluster
 from repro.sim import Simulator
 
@@ -92,6 +93,9 @@ class InspectionEngine:
         #: *clean* sweep; see the fast-path note above the sweeps.
         self._clean_state: Dict[str, Tuple[int, List[int]]] = {}
         self._health_version = getattr(cluster, "health_version", None)
+        #: struct-of-arrays accessor (None on cluster stubs): the
+        #: vectorized sweeps pull unhealthy-candidate masks from it
+        self._health_index = getattr(cluster, "health_index", None)
 
     def _skip_unchanged(self, category: str, ids: List[int]
                         ) -> Optional[int]:
@@ -175,40 +179,62 @@ class InspectionEngine:
             fn(event)
 
     # ------------------------------------------------------------------
-    # Sweeps consult each machine's O(1) health rollup
-    # (:meth:`Machine.component_health`) and only walk the per-component
-    # checks on machines whose subsystem is actually unhealthy — a
-    # healthy machine's sweep is a pure read, so skipping it cannot
-    # change any emission.  Unhealthy machines take the exact seed code
-    # path, so event content, deduplication, and ordering are
-    # byte-identical.
+    # Sweeps find their unhealthy candidates through the change-tracked
+    # health state and only walk the per-component checks on machines
+    # whose subsystem is actually unhealthy — a healthy machine's sweep
+    # is a pure read, so skipping it cannot change any emission.  Above
+    # the vectorization threshold the candidates come from one numpy
+    # mask over the cluster's struct-of-arrays health index; below it,
+    # from the scalar O(1) rollup per machine.  Either way unhealthy
+    # machines take the exact seed code path, so event content,
+    # deduplication, and ordering are byte-identical across scalar,
+    # vectorized, and seed modes.
+    def _unhealthy_among(self, ids: List[int], subsystem: str
+                         ) -> List[int]:
+        """Ids (in input order) whose subsystem rollup is unhealthy."""
+        if self._health_index is not None and use_vectorized(len(ids)):
+            return self._health_index().unhealthy(ids, subsystem)
+        machines = self.cluster.machines
+        return [mid for mid in ids
+                if not getattr(machines[mid].component_health(),
+                               subsystem)]
+
+    def _switches_first_seen(self, ids: List[int]
+                             ) -> List[Tuple[int, bool]]:
+        """``(switch_id, up)`` in first-appearance order over ``ids``."""
+        if self._health_index is not None and use_vectorized(len(ids)):
+            return self._health_index().switches_first_seen(ids)
+        machines = self.cluster.machines
+        switches = self.cluster.switches
+        seen: Dict[int, bool] = {}
+        for mid in ids:
+            sw = switches[machines[mid].switch_id]
+            if sw.id not in seen:
+                seen[sw.id] = sw.up
+        return list(seen.items())
+
     def _sweep_network(self) -> None:
         ids = self._machine_ids()
         ver = self._skip_unchanged("network", ids)
         if ver is None:
             return
-        clean = True
-        switches_seen: Dict[int, bool] = {}
         machines = self.cluster.machines
-        switches = self.cluster.switches
-        for mid in ids:
+        unhealthy = self._unhealthy_among(ids, "nics_ok")
+        clean = not unhealthy
+        for mid in unhealthy:
             machine = machines[mid]
-            if not machine.component_health()[2]:
-                clean = False
-                if any(not nic.up for nic in machine.nics):
-                    self._emit("nic_crash", "network",
-                               SignalConfidence.NETWORK, [mid])
-                if any(nic.flapping or nic.packet_loss_rate
-                       >= nic.FLAP_LOSS_THRESHOLD for nic in machine.nics):
-                    self._emit("port_flapping", "network",
-                               SignalConfidence.NETWORK, [mid])
-            sw = switches[machine.switch_id]
-            if sw.id not in switches_seen:
-                switches_seen[sw.id] = sw.up
-                if not sw.up:
-                    clean = False
+            if any(not nic.up for nic in machine.nics):
+                self._emit("nic_crash", "network",
+                           SignalConfidence.NETWORK, [mid])
+            if any(nic.flapping or nic.packet_loss_rate
+                   >= nic.FLAP_LOSS_THRESHOLD for nic in machine.nics):
+                self._emit("port_flapping", "network",
+                           SignalConfidence.NETWORK, [mid])
+        switches_seen = self._switches_first_seen(ids)
+        if any(not up for _, up in switches_seen):
+            clean = False
         self._mark_clean("network", ver, ids, clean)
-        for sw_id, up in switches_seen.items():
+        for sw_id, up in switches_seen:
             if up:
                 self._switch_strikes.pop(sw_id, None)
                 continue
@@ -227,13 +253,11 @@ class InspectionEngine:
         ver = self._skip_unchanged("gpu", ids)
         if ver is None:
             return
-        clean = True
         machines = self.cluster.machines
-        for mid in ids:
+        unhealthy = self._unhealthy_among(ids, "gpus_ok")
+        clean = not unhealthy
+        for mid in unhealthy:
             machine = machines[mid]
-            if machine.component_health()[1]:
-                continue
-            clean = False
             for gpu in machine.gpus:
                 if not gpu.available:
                     self._emit("gpu_lost", "gpu", SignalConfidence.HIGH,
@@ -260,14 +284,11 @@ class InspectionEngine:
         ver = self._skip_unchanged("host", ids)
         if ver is None:
             return
-        clean = True
         machines = self.cluster.machines
-        for mid in ids:
-            machine = machines[mid]
-            if machine.component_health()[0]:
-                continue
-            clean = False
-            host = machine.host
+        unhealthy = self._unhealthy_among(ids, "host_ok")
+        clean = not unhealthy
+        for mid in unhealthy:
+            host = machines[mid].host
             if host.kernel_panic:
                 self._emit("os_kernel_fault", "host", SignalConfidence.HIGH,
                            [mid])

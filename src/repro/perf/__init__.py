@@ -21,18 +21,28 @@ from repro.perf.baseline import seed_baseline
 from repro.perf.bench import (
     BENCH_SCHEMA_VERSION,
     bench_cancellation,
+    bench_fault_health_substrate,
     bench_oneshot_events,
     bench_scenario,
     bench_scheduler_ticks,
     run_benchmarks,
 )
+from repro.perf.profile import (
+    PROFILE_SCHEMA_VERSION,
+    format_profile,
+    profile_scenario,
+)
 
 __all__ = [
     "BENCH_SCHEMA_VERSION",
+    "PROFILE_SCHEMA_VERSION",
     "bench_cancellation",
+    "bench_fault_health_substrate",
     "bench_oneshot_events",
     "bench_scenario",
     "bench_scheduler_ticks",
+    "format_profile",
+    "profile_scenario",
     "run_benchmarks",
     "seed_baseline",
 ]

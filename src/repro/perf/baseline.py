@@ -12,7 +12,11 @@ the seed behavior of every hot path this PR optimized:
   health rollup, ``cluster.machine()`` lookups per machine) replace the
   fast-path sweeps;
 * the loss model — per-step numpy generators are rebuilt on every
-  query instead of memoized.
+  query instead of memoized;
+* the fault/health substrate — pinned to ``"scalar"`` via
+  :func:`~repro.cluster.health_index.force_substrate`, so hazard
+  draws and health sweeps take the per-machine reference loops
+  instead of the struct-of-arrays masks.
 
 Everything else (collector ring buffers, scenario wiring) is left in
 place: its wall-clock contribution is negligible at benchmark scales,
@@ -31,6 +35,7 @@ import numpy as np
 
 import repro.core.byterobust as _core
 import repro.core.platform as _platform
+from repro.cluster.health_index import force_substrate
 from repro.monitor.inspections import InspectionEngine, SignalConfidence
 from repro.sim._reference import ReferenceSimulator
 from repro.sim.rng import derive_seed
@@ -165,7 +170,11 @@ def seed_baseline() -> Iterator[None]:
     LossCurve.grad_norm = _seed_grad_norm
     TrainingJob.machines = _seed_machines
     try:
-        yield
+        # the hazard process still consults the substrate switch even
+        # with the sweeps patched; pin it scalar so seed mode is the
+        # genuine pre-vectorization configuration end to end
+        with force_substrate("scalar"):
+            yield
     finally:
         (_core.Simulator,
          _platform.Simulator,

@@ -149,6 +149,105 @@ def bench_scheduler_ticks(tasks: int = 2_000, ticks: int = 50,
     return entry
 
 
+def _substrate_once(machines: int, iters: int, mode: str
+                    ) -> Dict[str, float]:
+    """One timed pass of hazard ticks + inspection sweeps in ``mode``."""
+    import numpy as np
+
+    from repro.cluster.faults import MachineHazardProcess
+    from repro.cluster.health_index import force_substrate
+    from repro.cluster.topology import Cluster, ClusterSpec
+    from repro.monitor.inspections import InspectionEngine
+
+    with force_substrate(mode):
+        cluster = Cluster(ClusterSpec(num_machines=machines,
+                                      machines_per_switch=32))
+        sim = Simulator()
+        ids = list(range(machines))
+        engine = InspectionEngine(sim, cluster, lambda: ids)
+        tick_s = 300.0
+
+        def on_hit(mid: int) -> None:
+            # a tracked write: the hit machine's GPU starts overheating,
+            # so subsequent sweeps have a real unhealthy candidate
+            cluster.machines[mid].gpus[0].temperature_c = 95.0
+
+        hazard = MachineHazardProcess(
+            sim, np.random.default_rng(11), ids,
+            # ~4 expected hits per tick regardless of fleet size
+            mtbf_s=tick_s * machines / 4.0, tick_s=tick_s, on_hit=on_hit)
+        hosts = [m.host for m in cluster.machines]
+
+        def round_(i: int) -> None:
+            hazard._tick()
+            # dirty one machine per pass so the version fast path can
+            # never skip a sweep — the bench measures the scan, not the
+            # skip
+            hosts[i % machines].cpu_load_frac = 0.99 if i % 2 else 0.10
+            engine._sweep_network()
+            engine._sweep_gpu()
+            engine._sweep_host()
+
+        # warm-up: one-time setup (index build, rollup caches) is
+        # scenario start-up cost, not per-tick substrate cost
+        round_(0)
+        t0 = time.perf_counter()
+        for i in range(1, iters + 1):
+            round_(i)
+        seconds = time.perf_counter() - t0
+    return {"seconds": seconds, "events": float(len(engine.events)),
+            "hits": float(hazard.hits)}
+
+
+def bench_fault_health_substrate(machines: int = 8_192, iters: int = 60,
+                                 repeat: int = 3,
+                                 with_seed: bool = True) -> Dict[str, Any]:
+    """The fault/health substrate at fleet scale: loops vs numpy masks.
+
+    Drives ``iters`` rounds of hazard sampling plus all three inspection
+    sweeps over a ``machines``-wide fleet, once with the substrate
+    pinned scalar (per-machine ``rng.random()`` and ``component_health``
+    calls) and once vectorized (one batched ``Generator`` draw, one
+    boolean-mask scan per sweep).  Both passes are byte-identical —
+    same hit schedule, same emissions (asserted below) — so the ratio
+    is a pure speed measurement.  ``events`` counts machine-scans
+    (``machines × iters``), the unit of work the masks amortize.
+    """
+    scans = machines * iters
+
+    def pass_in(mode: str) -> Dict[str, Any]:
+        def once() -> float:
+            res = _substrate_once(machines, iters, mode)
+            once.res = res  # type: ignore[attr-defined]
+            return res["seconds"]
+        seconds = _best_of(once, repeat)
+        res = once.res  # type: ignore[attr-defined]
+        return {"events": scans, "seconds": seconds,
+                "events_per_sec": scans / seconds,
+                "emissions": res["events"], "hits": res["hits"]}
+
+    fast = pass_in("vectorized")
+    entry: Dict[str, Any] = {
+        "name": "fault_health_substrate",
+        "machines": machines,
+        "iters": iters,
+        "events": scans,
+        "fast": fast,
+    }
+    if with_seed:
+        seed = pass_in("scalar")
+        if (seed["emissions"], seed["hits"]) != (fast["emissions"],
+                                                 fast["hits"]):
+            raise RuntimeError(  # pragma: no cover - bench invariant
+                "substrate modes diverged: "
+                f"scalar={seed['emissions']}/{seed['hits']} "
+                f"vectorized={fast['emissions']}/{fast['hits']}")
+        entry["seed"] = seed
+        entry["speedup"] = (fast["events_per_sec"]
+                            / seed["events_per_sec"])
+    return entry
+
+
 # ---------------------------------------------------------------------------
 # executor dispatch overhead
 # ---------------------------------------------------------------------------
@@ -250,6 +349,11 @@ SCENARIO_CELLS = [
     ("dense", {}, {}, True),
     ("degraded-network", {}, {}, True),
     ("dense-xl", {"duration_s": 1800.0}, {}, False),
+    # the flagship 100k-GPU fleet at full width, window shortened so
+    # the scalar-substrate seed side stays in CI smoke budget; the
+    # 90-day run is the scenario's own registered default
+    ("fleet-quarter", {"duration_s": 86_400.0},
+     {"duration_s": 7 * 86_400.0}, True),
 ]
 
 
@@ -277,6 +381,10 @@ def run_benchmarks(quick: bool = False, include_xl: bool = True,
         bench_scheduler_ticks(int(2_000 * scale) or 100, ticks=50,
                               repeat=micro_repeat,
                               with_seed=with_seed_baseline),
+        bench_fault_health_substrate(int(8_192 * scale) or 512,
+                                     iters=20 if quick else 60,
+                                     repeat=micro_repeat,
+                                     with_seed=with_seed_baseline),
     ]
     # best-of-N on both sides of each scenario ratio: the production
     # cells are sub-2s, so repeats are cheap and kill scheduler noise

@@ -95,6 +95,7 @@ class TrainingJob:
         #: logical machine slot -> physical machine id
         self.slot_to_machine: Dict[int, int] = {}
         self._machines_cache: Optional[List[int]] = None
+        self._machine_to_slot: Optional[Dict[int, int]] = None
         self.current_step = 0
         self.nan_active = False
         self.loss_spike_factor = 1.0
@@ -146,6 +147,7 @@ class TrainingJob:
                 f"got {len(machine_ids)}")
         self.slot_to_machine = dict(enumerate(machine_ids))
         self._machines_cache = None
+        self._machine_to_slot = None
 
     def replace_machines(self, replacements: Dict[int, int]) -> None:
         """Swap physical machines into slots (phys_old -> phys_new)."""
@@ -155,12 +157,20 @@ class TrainingJob:
                 raise ValueError(f"machine {old} is not part of this job")
             self.slot_to_machine[inverse[old]] = new
         self._machines_cache = None
+        self._machine_to_slot = None
 
     def slot_of_machine(self, machine_id: int) -> Optional[int]:
-        for slot, phys in self.slot_to_machine.items():
-            if phys == machine_id:
-                return slot
-        return None
+        # Fault blast-radius checks probe every fleet-wide active fault
+        # against this job on each (re)start, so the lookup must be
+        # O(1); the inverse map is rebuilt only after a binding change
+        # (first-wins, matching the scan it replaced).
+        inverse = self._machine_to_slot
+        if inverse is None:
+            inverse = {}
+            for slot, phys in self.slot_to_machine.items():
+                inverse.setdefault(phys, slot)
+            self._machine_to_slot = inverse
+        return inverse.get(machine_id)
 
     def ranks_of_machine(self, machine_id: int) -> List[int]:
         slot = self.slot_of_machine(machine_id)

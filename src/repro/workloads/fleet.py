@@ -39,6 +39,7 @@ from repro.cluster.faults import (
     Fault,
     FaultSymptom,
     JobEffect,
+    MachineHazardProcess,
     RootCause,
     RootCauseDetail,
 )
@@ -65,6 +66,14 @@ FLEET_SIZE_MIX: List[tuple] = [
 PLACEMENT_STUDY_SIZE_MIX: List[tuple] = [
     (2, 0.25), (4, 0.35), (8, 0.25), (16, 0.15)]
 
+#: 100k-GPU flagship mix (``fleet-quarter``): the census shape again,
+#: but over a 12.5k-machine fleet the "small" end starts at 8 machines
+#: and the headline pretrains reach 1024 (≈8k GPUs) — sub-switch jobs
+#: would leave a quarter of the fleet idle at any sane arrival rate.
+QUARTER_SIZE_MIX: List[tuple] = [
+    (8, 0.35), (16, 0.22), (32, 0.16), (64, 0.12),
+    (128, 0.08), (256, 0.04), (512, 0.02), (1024, 0.01)]
+
 #: Mean job duration at 1 machine; larger jobs run longer (pretrains
 #: vs finetunes), scaling with a gentle power of the size.
 _BASE_DURATION_S = 6 * 3600.0
@@ -84,7 +93,8 @@ class FleetJobSpec:
 
 
 def fleet_job_config(num_machines: int,
-                     params_per_machine: float = 14e9
+                     params_per_machine: float = 14e9,
+                     step_time_factor: float = 1.0
                      ) -> TrainingJobConfig:
     """A fleet-churn job shape: tp=2, pp=1, dp = machine count at
     2 GPUs/machine (valid from one machine up).
@@ -93,9 +103,13 @@ def fleet_job_config(num_machines: int,
     models — which keeps the simulated step time roughly constant
     (~45 s) at every scale, so a week of fleet churn stays a tractable
     event stream rather than an event storm of sub-second steps from
-    large jobs on a small model.
+    large jobs on a small model.  ``step_time_factor`` scales that
+    baseline: the 90-day ``fleet-quarter`` runs bigger models per
+    machine (step ≈ ``45 * factor`` seconds), which is what keeps a
+    quarter of fleet churn at a few hundred thousand step events
+    instead of several million.
     """
-    params = int(params_per_machine * num_machines)
+    params = int(params_per_machine * step_time_factor * num_machines)
     return TrainingJobConfig(
         model=ModelSpec(f"fleet-{num_machines}m", params, params, 16,
                         seq_len=2048),
@@ -108,11 +122,15 @@ class FleetTraceGenerator:
     """Samples the fleet's job-size/duration mix into arrivals."""
 
     def __init__(self, rng: RngStreams,
-                 size_mix: Optional[List[tuple]] = None):
+                 size_mix: Optional[List[tuple]] = None,
+                 base_duration_s: float = _BASE_DURATION_S,
+                 duration_size_exp: float = _DURATION_SIZE_EXP):
         self.size_mix = list(size_mix or FLEET_SIZE_MIX)
         total = sum(w for _, w in self.size_mix)
         self._sizes = [s for s, _ in self.size_mix]
         self._weights = [w / total for _, w in self.size_mix]
+        self.base_duration_s = base_duration_s
+        self.duration_size_exp = duration_size_exp
         self._rng = rng.get("fleet-trace")
 
     def sample_size(self) -> int:
@@ -120,7 +138,8 @@ class FleetTraceGenerator:
         return int(self._sizes[int(idx)])
 
     def sample_duration(self, num_machines: int) -> float:
-        mean = _BASE_DURATION_S * (num_machines ** _DURATION_SIZE_EXP)
+        mean = self.base_duration_s * (
+            num_machines ** self.duration_size_exp)
         return max(_MIN_DURATION_S, float(self._rng.exponential(mean)))
 
     def arrivals(self, duration_s: float, arrival_mean_s: float,
@@ -203,6 +222,17 @@ class FleetScenario:
     #: mean seconds between leaf-switch outages (0 disables) — the
     #: blast-radius process placement policies are judged against
     switch_mtbf_s: float = 0.0
+    #: per-machine hardware MTBF (0 disables the hazard substrate):
+    #: when set, every machine in the fleet — allocated or idle — is an
+    #: independent hazard sampled per tick in one vectorized draw
+    #: (:class:`~repro.cluster.faults.MachineHazardProcess`), and the
+    #: event heap carries only control-plane events
+    machine_mtbf_s: float = 0.0
+    #: hazard sampling tick (bounds fault-arrival time resolution)
+    hazard_tick_s: float = 300.0
+    #: scales the ~45 s baseline step time of fleet jobs (see
+    #: :func:`fleet_job_config`)
+    step_time_factor: float = 1.0
     seed: int = 0
     _versions: Dict[str, int] = field(default_factory=dict)
 
@@ -215,6 +245,7 @@ class FleetScenario:
         self._switch_rng = rng.get("switch-process")
         self._switch_stats = {"events": 0, "jobs_hit": 0,
                               "max_jobs_hit": 0, "machines_hit": 0}
+        self._hazard = None
 
         for spec in self.arrivals:
             if spec.submit_at <= 0.0:
@@ -227,14 +258,35 @@ class FleetScenario:
             self._schedule_next_fault()
         if self.switch_mtbf_s > 0:
             self._schedule_next_switch_fault()
+        if self.machine_mtbf_s > 0:
+            self._hazard = MachineHazardProcess(
+                sim, rng.get("hazard"),
+                [m.id for m in platform.cluster.machines],
+                mtbf_s=self.machine_mtbf_s,
+                tick_s=self.hazard_tick_s,
+                on_hit=self._machine_hazard_hit)
+            self._hazard.start()
         platform.run_until(self.duration_s)
         return self._report()
 
     # ------------------------------------------------------------------
     def _submit(self, spec: FleetJobSpec) -> None:
         self.platform.submit(
-            spec.name, fleet_job_config(spec.num_machines),
+            spec.name,
+            fleet_job_config(spec.num_machines,
+                             step_time_factor=self.step_time_factor),
             priority=spec.priority, duration_s=spec.duration_s)
+
+    def _machine_hazard_hit(self, machine_id: int) -> None:
+        """One hazard arrival: a machine-bound hardware fault.
+
+        Idle machines degrade too — the fault sits latent until the
+        pool hands the machine to a job, whose inspections then catch
+        it and evict (the paper's allocate→inspect→evict loop), or
+        until a repair clears it.
+        """
+        self.platform.injector.inject(
+            self._trace_gen.make_machine_fault(machine_id))
 
     def _schedule_next_fault(self) -> None:
         gap = float(self._fault_rng.exponential(self.fault_mtbf_s))
@@ -379,6 +431,12 @@ class FleetScenario:
         payload["censored_wait_by_priority"] = {
             prio: sum(values) / len(values)
             for prio, values in sorted(censored.items())}
+        if self._hazard is not None:
+            payload["machine_hazard"] = {
+                "hits": int(self._hazard.hits),
+                "mtbf_s": float(self.machine_mtbf_s),
+                "tick_s": float(self.hazard_tick_s),
+            }
         return FleetReport(payload=payload)
 
 
@@ -417,6 +475,33 @@ def _fleet_scenario_params(total_machines: int, duration_s: float,
     ]
 
 
+#: Per-job monitor cadences for fleet-level studies: N concurrent
+#: stacks at single-job tick rates would spend the whole sim firing
+#: sweeps, and fleet metrics care about minutes, not seconds, of
+#: detection latency.
+_FLEET_CADENCES = dict(
+    collector=CollectorConfig(gauge_interval_s=30.0,
+                              log_interval_s=60.0),
+    inspections=InspectionConfig(network_interval_s=120.0,
+                                 gpu_interval_s=120.0,
+                                 host_interval_s=60.0),
+    detector=DetectorConfig(hang_zero_rdma_s=300.0),
+    scheduler_retry_s=60.0)
+
+#: 90-day / 100k-GPU cadences: with ~300 s steps and a quarter-long
+#: window, minute-level polling would dominate wall clock for no
+#: fidelity gain — detection latencies stay minutes, ETTR at this
+#: horizon is insensitive to them.
+_QUARTER_CADENCES = dict(
+    collector=CollectorConfig(gauge_interval_s=300.0,
+                              log_interval_s=600.0),
+    inspections=InspectionConfig(network_interval_s=600.0,
+                                 gpu_interval_s=600.0,
+                                 host_interval_s=300.0),
+    detector=DetectorConfig(hang_zero_rdma_s=1800.0),
+    scheduler_retry_s=600.0)
+
+
 def _build_fleet(total_machines: int, duration_s: float, seed: int,
                  arrival_mean_s: float, fault_mtbf_s: float,
                  initial_jobs: int, backfill: bool,
@@ -426,7 +511,13 @@ def _build_fleet(total_machines: int, duration_s: float, seed: int,
                  standby_target: float = 0.0,
                  standby_resize_s: float = 900.0,
                  switch_mtbf_s: float = 0.0,
-                 size_mix: Optional[List[tuple]] = None) -> FleetScenario:
+                 size_mix: Optional[List[tuple]] = None,
+                 machine_mtbf_s: float = 0.0,
+                 hazard_tick_s: float = 300.0,
+                 step_time_factor: float = 1.0,
+                 base_duration_s: float = _BASE_DURATION_S,
+                 cadences: Optional[dict] = None) -> FleetScenario:
+    cad = dict(cadences or _FLEET_CADENCES)
     platform = TrainingPlatform(
         total_machines=total_machines,
         config=PlatformConfig(
@@ -435,18 +526,13 @@ def _build_fleet(total_machines: int, duration_s: float, seed: int,
             placement=placement,
             standby_target=standby_target,
             standby_resize_s=standby_resize_s,
-            # fleet-level studies relax the per-job monitor cadences:
-            # N concurrent stacks at single-job tick rates would spend
-            # the whole sim firing sweeps, and fleet metrics care
-            # about minutes, not seconds, of detection latency
-            collector=CollectorConfig(gauge_interval_s=30.0,
-                                      log_interval_s=60.0),
-            inspections=InspectionConfig(network_interval_s=120.0,
-                                         gpu_interval_s=120.0,
-                                         host_interval_s=60.0),
-            detector=DetectorConfig(hang_zero_rdma_s=300.0)))
+            collector=cad["collector"],
+            inspections=cad["inspections"],
+            detector=cad["detector"],
+            scheduler_retry_s=cad["scheduler_retry_s"]))
     gen = FleetTraceGenerator(RngStreams(seed).fork("fleet-arrivals"),
-                              size_mix=size_mix)
+                              size_mix=size_mix,
+                              base_duration_s=base_duration_s)
     arrivals = gen.arrivals(
         duration_s, arrival_mean_s,
         max_machines=max(1, total_machines // 2),
@@ -455,7 +541,10 @@ def _build_fleet(total_machines: int, duration_s: float, seed: int,
     return FleetScenario(platform=platform, arrivals=arrivals,
                          duration_s=duration_s,
                          fault_mtbf_s=fault_mtbf_s,
-                         switch_mtbf_s=switch_mtbf_s, seed=seed)
+                         switch_mtbf_s=switch_mtbf_s,
+                         machine_mtbf_s=machine_mtbf_s,
+                         hazard_tick_s=hazard_tick_s,
+                         step_time_factor=step_time_factor, seed=seed)
 
 
 @register_scenario(
@@ -584,6 +673,75 @@ def fleet_placement_blast_radius_scenario(
                         standby_target=standby_target,
                         switch_mtbf_s=switch_mtbf_s,
                         size_mix=PLACEMENT_STUDY_SIZE_MIX)
+
+
+#: Per-machine hardware MTBF from the Llama 3 anchor (one failure per
+#: 2.78 h at 16,384 GPUs, scaled to one 8-GPU machine ≈ 237 days);
+#: over 12.5k machines × 90 days that is a few thousand hardware
+#: faults — the paper's incident-census order of magnitude.
+QUARTER_MACHINE_MTBF_S = 2.78 * 3600.0 * 16_384 / 8
+
+_QUARTER_DURATION_S = 90 * 86400.0
+
+
+@register_scenario(
+    "fleet-quarter",
+    params=_fleet_scenario_params(12_500, _QUARTER_DURATION_S, 0,
+                                  2600.0, 0.0,
+                                  machines_per_switch=32,
+                                  placement="pack",
+                                  standby_target=0.02)
+    + [ParamSpec("machine_mtbf_s", "float", QUARTER_MACHINE_MTBF_S,
+                 "per-machine hardware MTBF (Llama 3 anchor)"),
+       ParamSpec("hazard_tick_s", "float", 300.0,
+                 "fault-arrival sampling tick"),
+       ParamSpec("step_time_factor", "float", 16.0,
+                 "scales the ~45 s baseline step time"),
+       ParamSpec("base_duration_s", "float", _BASE_DURATION_S,
+                 "mean 1-machine job duration")],
+    description="The flagship 100k-GPU quarter: 90 simulated days on "
+                "12.5k machines, a few thousand jobs from an "
+                "8-to-1024-machine size mix, per-machine hardware "
+                "hazards sampled in one vectorized draw per tick "
+                "(Llama 3 failure-rate anchor), elastic standbys and "
+                "pack placement — the paper's operational census at "
+                "its native scale",
+    tags=("fleet", "production", "flagship"))
+def fleet_quarter_scenario(total_machines: int = 12_500,
+                           duration_s: float = _QUARTER_DURATION_S,
+                           seed: int = 0,
+                           arrival_mean_s: float = 2600.0,
+                           fault_mtbf_s: float = 0.0,
+                           initial_jobs: int = 3,
+                           backfill: bool = True,
+                           machines_per_switch: int = 32,
+                           placement: str = "pack",
+                           standby_target: float = 0.02,
+                           machine_mtbf_s: float = QUARTER_MACHINE_MTBF_S,
+                           hazard_tick_s: float = 300.0,
+                           step_time_factor: float = 16.0,
+                           base_duration_s: float = _BASE_DURATION_S
+                           ) -> FleetScenario:
+    """90 days of 100k-GPU fleet churn on the hazard substrate.
+
+    The generic job-weighted Poisson process defaults to off
+    (``fault_mtbf_s=0``): hardware faults arrive per-machine from the
+    hazard substrate instead, landing on busy and idle machines alike,
+    so allocation quality, inspection sweeps, and standby sizing all
+    face the same latent-fault population a real fleet does.
+    """
+    return _build_fleet(total_machines, duration_s, seed,
+                        arrival_mean_s, fault_mtbf_s, initial_jobs,
+                        backfill,
+                        machines_per_switch=machines_per_switch,
+                        placement=placement,
+                        standby_target=standby_target,
+                        size_mix=QUARTER_SIZE_MIX,
+                        machine_mtbf_s=machine_mtbf_s,
+                        hazard_tick_s=hazard_tick_s,
+                        step_time_factor=step_time_factor,
+                        base_duration_s=base_duration_s,
+                        cadences=_QUARTER_CADENCES)
 
 
 @register_scenario(

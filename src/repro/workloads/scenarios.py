@@ -19,6 +19,8 @@ Every builder registers itself in the scenario registry
 ``dense-large``, ``dense-xl``, ``degraded-network``,
 ``aggressive-checkpoint`` and the analytic ``standby-sizing`` — so
 sweeps and the CLI can build any of them from a flat parameter dict.
+Any registered scenario can also be run once under cProfile with
+``repro perf --profile <name>`` to see where its wall-clock goes.
 """
 
 from __future__ import annotations

@@ -47,6 +47,28 @@ TABLE1_COUNTS: Dict[FaultSymptom, int] = {
     FaultSymptom.CODE_DATA_ADJUSTMENT: 9582,
 }
 
+#: The machine-attributable slice of Table 1, used by the per-machine
+#: hazard substrate (:class:`~repro.cluster.faults.MachineHazardProcess`):
+#: every draw lands on one concrete machine, so service-level symptoms
+#: (HDFS, external services, UFM) and user-code shares are excluded —
+#: the ambiguous rows keep only their infrastructure share (CUDA errors
+#: ~35% hardware, illegal-memory-access 21/62 per Table 2), and switch
+#: outages stay with the dedicated leaf-switch process.
+MACHINE_FAULT_COUNTS: Dict[FaultSymptom, int] = {
+    FaultSymptom.CUDA_ERROR: 6989,
+    FaultSymptom.CPU_OVERLOAD: 6095,
+    FaultSymptom.CPU_OOM: 5567,
+    FaultSymptom.DISK_SPACE: 2755,
+    FaultSymptom.INFINIBAND_ERROR: 1439,
+    FaultSymptom.FILESYSTEM_MOUNT: 1176,
+    FaultSymptom.CONTAINER_ERROR: 781,
+    FaultSymptom.OS_KERNEL_PANIC: 203,
+    FaultSymptom.GPU_MEMORY_ERROR: 64,
+    FaultSymptom.GPU_UNAVAILABLE: 76,
+    FaultSymptom.DISK_FAULT: 47,
+    FaultSymptom.MFU_DECLINE: 442,
+}
+
 #: Table 2: (infrastructure, user code) counts for ambiguous symptoms.
 TABLE2_ROOT_CAUSES: Dict[str, Tuple[int, int]] = {
     "job_hang": (21, 5),
@@ -104,6 +126,11 @@ class IncidentTraceGenerator:
         self._weights = np.array(
             [self.counts[s] / total for s in self._symptoms])
         self._rng = rng.get("traces")
+        machine_total = sum(MACHINE_FAULT_COUNTS.values())
+        self._machine_symptoms = list(MACHINE_FAULT_COUNTS.keys())
+        self._machine_weights = np.array(
+            [MACHINE_FAULT_COUNTS[s] / machine_total
+             for s in self._machine_symptoms])
 
     # ------------------------------------------------------------------
     def sample_symptom(self) -> FaultSymptom:
@@ -118,6 +145,72 @@ class IncidentTraceGenerator:
         for symptom in self.sample_symptoms(count):
             hist[symptom] += 1
         return hist
+
+    def sample_machine_symptom(self) -> FaultSymptom:
+        """One symptom from the machine-attributable Table 1 slice."""
+        idx = self._rng.choice(len(self._machine_symptoms),
+                               p=self._machine_weights)
+        return self._machine_symptoms[int(idx)]
+
+    def make_machine_fault(self, machine_id: int) -> Fault:
+        """A fully-specified fault pinned to one concrete machine.
+
+        Used by the per-machine hazard substrate: unlike
+        :meth:`make_fault` (which may return service-level or
+        user-code faults with no machine attached — those would touch
+        every running job), every fault built here carries exactly
+        ``machine_ids=[machine_id]``, so a hazard hit on an idle
+        machine degrades that machine and nothing else.
+        """
+        symptom = self.sample_machine_symptom()
+        log, code = _LOG_SIGNATURES.get(symptom, ("", 1))
+        ids = [machine_id]
+
+        if symptom is FaultSymptom.MFU_DECLINE:
+            detail = (RootCauseDetail.GPU_HIGH_TEMPERATURE
+                      if self._rng.random() < 0.5
+                      else RootCauseDetail.PCIE_DEGRADED)
+            return Fault(symptom=symptom,
+                         root_cause=RootCause.INFRASTRUCTURE,
+                         detail=detail, machine_ids=ids,
+                         effect=JobEffect.SLOW)
+
+        if symptom is FaultSymptom.INFINIBAND_ERROR:
+            # flap vs NIC crash at Table 3's relative rates; switch
+            # outages are the fleet scenarios' own leaf-switch process
+            if self._rng.random() < 0.55:
+                detail, transient = RootCauseDetail.PORT_FLAPPING, True
+            else:
+                detail, transient = RootCauseDetail.NIC_CRASH, False
+            return Fault(symptom=symptom,
+                         root_cause=RootCause.INFRASTRUCTURE,
+                         detail=detail, machine_ids=ids,
+                         effect=JobEffect.CRASH, transient=transient,
+                         auto_recover_after=float(
+                             self._rng.uniform(60, 240)),
+                         log_signature=log, exit_code=code)
+
+        detail = {
+            FaultSymptom.CUDA_ERROR: RootCauseDetail.GPU_HBM_FAULT,
+            FaultSymptom.GPU_MEMORY_ERROR: RootCauseDetail.GPU_HBM_FAULT,
+            FaultSymptom.CPU_OVERLOAD:
+                RootCauseDetail.HOST_RESOURCE_EXHAUSTION,
+            FaultSymptom.CPU_OOM:
+                RootCauseDetail.HOST_RESOURCE_EXHAUSTION,
+            FaultSymptom.DISK_SPACE:
+                RootCauseDetail.HOST_RESOURCE_EXHAUSTION,
+            FaultSymptom.FILESYSTEM_MOUNT:
+                RootCauseDetail.STORAGE_SERVICE_FAULT,
+            FaultSymptom.CONTAINER_ERROR:
+                RootCauseDetail.EXTERNAL_SERVICE_FAULT,
+            FaultSymptom.OS_KERNEL_PANIC: RootCauseDetail.OS_KERNEL_FAULT,
+            FaultSymptom.GPU_UNAVAILABLE: RootCauseDetail.GPU_LOST,
+            FaultSymptom.DISK_FAULT: RootCauseDetail.DISK_HW_FAULT,
+        }[symptom]
+        return Fault(symptom=symptom, root_cause=RootCause.INFRASTRUCTURE,
+                     detail=detail, machine_ids=ids,
+                     effect=JobEffect.CRASH,
+                     log_signature=log, exit_code=code)
 
     # ------------------------------------------------------------------
     def make_fault(self, symptom: FaultSymptom,

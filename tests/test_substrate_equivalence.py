@@ -1,0 +1,312 @@
+"""Scalar vs vectorized fault/health substrate equivalence.
+
+The struct-of-arrays substrate (:mod:`repro.cluster.health_index`,
+:class:`~repro.cluster.faults.MachineHazardProcess`) claims to be
+*byte-identical* to the scalar reference path — same hazard hit
+schedules, same inspection emissions, same end-to-end scenario
+payloads — differing only in wall-clock.  These tests pin that claim:
+
+* property tests drive both modes over random fleet shapes, seeds and
+  write sequences and assert identical results;
+* scripted sweep runs assert identical emission streams (content,
+  order, dedup, switch strikes);
+* whole registered scenarios (``fleet-week``, a shrunken
+  ``fleet-quarter``) produce identical report payloads under
+  :func:`force_substrate` either way.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import Cluster, ClusterSpec
+from repro.cluster.components import Machine, MachineSpec
+from repro.cluster.faults import MachineHazardProcess
+from repro.cluster.health_index import (
+    VECTORIZE_MIN_MACHINES,
+    force_substrate,
+    substrate_mode,
+    use_vectorized,
+)
+from repro.experiments.registry import get_scenario
+from repro.monitor.inspections import InspectionEngine
+from repro.sim import Simulator
+
+
+# ---------------------------------------------------------------------------
+# mode switch
+# ---------------------------------------------------------------------------
+
+def test_substrate_mode_switch():
+    assert substrate_mode() == "auto"
+    assert not use_vectorized(VECTORIZE_MIN_MACHINES - 1)
+    assert use_vectorized(VECTORIZE_MIN_MACHINES)
+    with force_substrate("scalar"):
+        assert substrate_mode() == "scalar"
+        assert not use_vectorized(10_000)
+    with force_substrate("vectorized"):
+        assert use_vectorized(1)
+    assert substrate_mode() == "auto"
+    with pytest.raises(ValueError):
+        with force_substrate("simd"):
+            pass  # pragma: no cover
+
+
+def test_component_health_named_fields():
+    machine = Machine(0, MachineSpec())
+    health = machine.component_health()
+    assert health.host_ok and health.gpus_ok and health.nics_ok
+    # NamedTuple stays tuple-compatible for existing unpacking callers
+    assert tuple(health) == (True, True, True)
+    machine.gpus[0].temperature_c = 95.0
+    assert not machine.component_health().gpus_ok
+    machine.host.kernel_panic = True
+    after = machine.component_health()
+    assert not after.host_ok and after.nics_ok
+
+
+# ---------------------------------------------------------------------------
+# hazard hit schedules
+# ---------------------------------------------------------------------------
+
+def _hazard_schedule(mode: str, machines: int, seed: int,
+                     ticks: int) -> list:
+    """(tick, machine_id) hit schedule after ``ticks`` rounds."""
+    with force_substrate(mode):
+        hits = []
+        tick_no = [0]
+        proc = MachineHazardProcess(
+            Simulator(), np.random.default_rng(seed),
+            list(range(machines)), mtbf_s=5000.0, tick_s=300.0,
+            on_hit=lambda mid: hits.append((tick_no[0], mid)))
+        for t in range(ticks):
+            tick_no[0] = t
+            proc._tick()
+        assert proc.hits == len(hits)
+        return hits
+
+
+@given(machines=st.integers(1, 200), seed=st.integers(0, 2**31 - 1),
+       ticks=st.integers(1, 25))
+@settings(max_examples=40, deadline=None)
+def test_hazard_hit_schedule_mode_invariant(machines, seed, ticks):
+    """One batched Generator draw ≡ the per-machine scalar loop."""
+    scalar = _hazard_schedule("scalar", machines, seed, ticks)
+    vectorized = _hazard_schedule("vectorized", machines, seed, ticks)
+    assert scalar == vectorized
+
+
+def test_hazard_rejects_bad_rates():
+    sim = Simulator()
+    rng = np.random.default_rng(0)
+    with pytest.raises(ValueError):
+        MachineHazardProcess(sim, rng, [0], mtbf_s=0.0, tick_s=1.0,
+                             on_hit=lambda mid: None)
+    with pytest.raises(ValueError):
+        MachineHazardProcess(sim, rng, [0], mtbf_s=1.0, tick_s=-1.0,
+                             on_hit=lambda mid: None)
+
+
+# ---------------------------------------------------------------------------
+# health index vs scalar rollups
+# ---------------------------------------------------------------------------
+
+_WRITE_OPS = ("gpu_temp", "gpu_lost", "nic_down", "nic_flap",
+              "host_panic", "host_load", "disk_fault", "heal")
+
+
+def _apply_op(cluster: Cluster, midx: int, op: str) -> None:
+    machine = cluster.machines[midx % len(cluster.machines)]
+    if op == "gpu_temp":
+        machine.gpus[0].temperature_c = 95.0
+    elif op == "gpu_lost":
+        machine.gpus[-1].available = False
+    elif op == "nic_down":
+        machine.nics[0].up = False
+    elif op == "nic_flap":
+        machine.nics[0].flapping = True
+    elif op == "host_panic":
+        machine.host.kernel_panic = True
+    elif op == "host_load":
+        machine.host.cpu_load_frac = 0.99
+    elif op == "disk_fault":
+        machine.host.disk_faulty = True
+    elif op == "heal":
+        machine.reset_health()
+
+
+def _scalar_unhealthy(cluster: Cluster, ids, subsystem: str) -> list:
+    return [mid for mid in ids
+            if not getattr(cluster.machines[mid].component_health(),
+                           subsystem)]
+
+
+@given(
+    machines=st.integers(4, 80),
+    per_switch=st.sampled_from([2, 4, 8]),
+    ops=st.lists(st.tuples(st.integers(0, 10**6),
+                           st.sampled_from(_WRITE_OPS)),
+                 min_size=0, max_size=30),
+    switch_downs=st.lists(st.integers(0, 10**6), max_size=4),
+    seed=st.integers(0, 2**16),
+)
+@settings(max_examples=40, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_health_index_matches_scalar_rollups(machines, per_switch, ops,
+                                             switch_downs, seed):
+    """Incremental array sync ≡ per-machine scalar rollups, for full,
+    shuffled, and subset id queries, across two write batches."""
+    cluster = Cluster(ClusterSpec(num_machines=machines,
+                                  machines_per_switch=per_switch))
+    index = cluster.health_index()   # attach sinks before any write
+    half = len(ops) // 2
+    for midx, op in ops[:half]:
+        _apply_op(cluster, midx, op)
+    for sidx in switch_downs:
+        cluster.switches[sidx % len(cluster.switches)].up = False
+
+    rng = np.random.default_rng(seed)
+    full = list(range(machines))
+    shuffled = list(rng.permutation(machines))
+    subset = sorted(rng.choice(machines, size=max(1, machines // 2),
+                               replace=False).tolist())
+    for ids in (full, shuffled, subset):
+        for subsystem in ("host_ok", "gpus_ok", "nics_ok"):
+            assert (index.unhealthy(ids, subsystem)
+                    == _scalar_unhealthy(cluster, ids, subsystem))
+        seen = {}
+        for mid in ids:
+            sw = cluster.switches[cluster.machines[mid].switch_id]
+            seen.setdefault(sw.id, sw.up)
+        assert index.switches_first_seen(ids) == list(seen.items())
+
+    # second batch: the index must keep tracking after its first sync
+    for midx, op in ops[half:]:
+        _apply_op(cluster, midx, op)
+    for subsystem in ("host_ok", "gpus_ok", "nics_ok"):
+        assert (index.unhealthy(full, subsystem)
+                == _scalar_unhealthy(cluster, full, subsystem))
+
+
+def test_ids_array_cache_guards_in_place_mutation():
+    """Mutating the caller's id list in place must not serve a stale
+    cached array (the cache keys on a copy, not the caller's object)."""
+    cluster = Cluster(ClusterSpec(num_machines=8, machines_per_switch=4))
+    index = cluster.health_index()
+    cluster.machines[7].gpus[0].temperature_c = 95.0
+    ids = list(range(8))
+    assert index.unhealthy(ids, "gpus_ok") == [7]
+    ids.pop()                       # same list object, new contents
+    assert index.unhealthy(ids, "gpus_ok") == []
+    ids.append(7)
+    assert index.unhealthy(ids, "gpus_ok") == [7]
+
+
+# ---------------------------------------------------------------------------
+# pack placement
+# ---------------------------------------------------------------------------
+
+@given(
+    machines=st.integers(4, 120),
+    per_switch=st.sampled_from([2, 4, 8, 16]),
+    free_frac=st.floats(0.2, 1.0),
+    count_frac=st.floats(0.05, 1.0),
+    seed=st.integers(0, 2**16),
+)
+@settings(max_examples=60, deadline=None)
+def test_pack_placement_mode_invariant(machines, per_switch, free_frac,
+                                       count_frac, seed):
+    """Vectorized pack selection ≡ the dict-of-sorted-lists scalar."""
+    from repro.cluster.placement import PackPolicy
+
+    cluster = Cluster(ClusterSpec(num_machines=machines,
+                                  machines_per_switch=per_switch))
+    rng = np.random.default_rng(seed)
+    n_free = max(1, int(machines * free_frac))
+    candidates = sorted(rng.choice(machines, size=n_free,
+                                   replace=False).tolist())
+    count = max(1, int(len(candidates) * count_frac))
+    policy = PackPolicy()
+    with force_substrate("scalar"):
+        scalar = policy.select(cluster, candidates, count)
+    with force_substrate("vectorized"):
+        vectorized = policy.select(cluster, candidates, count)
+    assert scalar == vectorized
+    assert len(scalar) == count
+
+
+# ---------------------------------------------------------------------------
+# inspection sweeps: emission streams
+# ---------------------------------------------------------------------------
+
+def _scripted_sweep_events(mode: str, seed: int) -> list:
+    """Run scripted fault flips under a live InspectionEngine."""
+    with force_substrate(mode):
+        cluster = Cluster(ClusterSpec(num_machines=96,
+                                      machines_per_switch=8))
+        sim = Simulator()
+        ids = list(range(96))
+        engine = InspectionEngine(sim, cluster, lambda: ids)
+        engine.start()
+        rng = np.random.default_rng(seed)
+        # scripted flips: machine component faults, heals, and switch
+        # outages spread over 20 simulated minutes — enough sweeps for
+        # dedup windows, re-emits, and two-strike switch alerts to all
+        # engage
+        for _ in range(40):
+            at = float(rng.uniform(0.0, 1200.0))
+            midx = int(rng.integers(0, 96))
+            op = _WRITE_OPS[int(rng.integers(0, len(_WRITE_OPS)))]
+            sim.schedule_at(at, lambda midx=midx, op=op:
+                            _apply_op(cluster, midx, op))
+        for _ in range(4):
+            at = float(rng.uniform(0.0, 1200.0))
+            sidx = int(rng.integers(0, len(cluster.switches)))
+            up = bool(rng.random() < 0.4)
+            sim.schedule_at(at, lambda sidx=sidx, up=up:
+                            setattr(cluster.switches[sidx], "up", up))
+        sim.run(until=1500.0)
+        engine.stop()
+        return [(e.time, e.item, e.category, e.confidence,
+                 tuple(e.machine_ids), e.switch_id)
+                for e in engine.events]
+
+
+@pytest.mark.parametrize("seed", [0, 7, 23])
+def test_sweep_emissions_mode_invariant(seed):
+    scalar = _scripted_sweep_events("scalar", seed)
+    vectorized = _scripted_sweep_events("vectorized", seed)
+    assert scalar, "script produced no emissions — test is vacuous"
+    assert scalar == vectorized
+
+
+# ---------------------------------------------------------------------------
+# whole scenarios
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("seed", [0, 3])
+def test_fleet_week_payload_mode_invariant(seed):
+    def run(mode):
+        with force_substrate(mode):
+            return get_scenario("fleet-week").build(
+                seed=seed, duration_s=2 * 86400.0).run().payload
+    assert run("scalar") == run("vectorized")
+
+
+def test_fleet_quarter_small_payload_mode_invariant():
+    """A shrunken quarter — hazard arrivals, evictions, repairs and
+    standbys all active — must not depend on the substrate mode."""
+    overrides = dict(total_machines=96, duration_s=86400.0,
+                     arrival_mean_s=3600.0, machine_mtbf_s=400_000.0,
+                     step_time_factor=4.0)
+
+    def run(mode):
+        with force_substrate(mode):
+            return get_scenario("fleet-quarter").build(
+                **overrides).run().payload
+
+    scalar = run("scalar")
+    vectorized = run("vectorized")
+    assert scalar["machine_hazard"]["hits"] > 0
+    assert scalar == vectorized
