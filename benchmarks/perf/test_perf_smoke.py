@@ -13,10 +13,17 @@ import time
 from repro.perf import (
     bench_cancellation,
     bench_fault_health_substrate,
+    bench_metrics_plane,
     bench_oneshot_events,
     bench_scenario,
     bench_scheduler_ticks,
 )
+
+#: The fleet-quarter quick-window ratio committed when the scenario
+#: landed (PR 7's baseline.json floor).  The block-RNG metrics plane
+#: must beat it — the whole point of removing per-step generator
+#: construction from the hot loop.
+FLEET_QUARTER_PR7_FLOOR = 3.3
 
 #: Wall-clock ceiling for the dense-xl completion check.  The CI smoke
 #: budget is minutes; a 10x margin over the observed ~3 s keeps the
@@ -74,6 +81,29 @@ def test_substrate_microbench_meets_floor():
     assert row["events"] == 4_096 * 20
     assert row["fast"]["emissions"] == row["seed"]["emissions"]
     assert row["speedup"] >= 5.0
+
+
+def test_metrics_plane_meets_floor():
+    """Cached noise blocks vs per-query block redraws: the ratio is
+    ~150x at full size; 40x is the flake-proof smoke bar.  The bench
+    itself asserts both modes agree bit-for-bit on sampled steps."""
+    row = bench_metrics_plane(steps=20_000, repeat=3)
+    assert row["name"] == "metrics_plane"
+    assert row["fast"]["events_per_sec"] > 0
+    assert row["seed"]["events_per_sec"] > 0
+    assert row["speedup"] >= 40.0
+
+
+def test_fleet_quarter_quick_window_beats_pr7_floor():
+    """The end-to-end acceptance bar: one simulated day of the
+    flagship scenario, fast path vs seed baseline, must beat the
+    ratio committed before the metrics plane was vectorized.
+
+    repeat=2 so each side is best-of-two: a single sample per side
+    makes the ratio hostage to whichever run eats a load spike."""
+    entry = bench_scenario("fleet-quarter", {"duration_s": 86_400.0},
+                           repeat=2, with_seed_baseline=True)
+    assert entry["speedup"] > FLEET_QUARTER_PR7_FLOOR, entry["speedup"]
 
 
 def test_fleet_quarter_week_within_budget():

@@ -38,10 +38,16 @@ from typing import Any, Dict, Optional, Union
 
 from repro import __version__
 
-#: Bump when RunReport.to_dict() or cell payload layout changes.
+#: Bump when RunReport.to_dict() or cell payload layout changes — or
+#: when the *values* inside reports change, e.g. any bump of
+#: ``repro.training.metrics.METRICS_SCHEMA_VERSION`` (the drawn-value
+#: schema): the two must move together so a stale cache can never
+#: serve a report computed under the old draws.
 #: 2: reports carry ``mfu_series`` + per-incident ``resolution_s``;
 #:    entries live in per-scenario subdirectories.
-CACHE_SCHEMA_VERSION = 2
+#: 3: loss/grad-norm noise is drawn in 4096-step blocks
+#:    (METRICS_SCHEMA_VERSION 2) — drawn values changed.
+CACHE_SCHEMA_VERSION = 3
 
 #: Sidecar file holding lifetime traffic counters (hits/misses/writes
 #: accumulated across sweeps via :meth:`ResultCache.persist_stats`).

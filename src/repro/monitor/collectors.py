@@ -12,7 +12,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, List, Optional
 
+import numpy as np
+
+from repro.cluster.health_index import use_vectorized
 from repro.sim import Simulator
+from repro.sim.columnar import ColumnarRing
 from repro.sim.ring import RingBuffer
 from repro.training.job import LogEvent, TrainingJob
 from repro.training.metrics import StepMetrics
@@ -23,6 +27,19 @@ class GaugeSample:
     time: float
     rdma_traffic_frac: float
     tensorcore_util_frac: float
+
+
+#: Column layouts for the struct-of-arrays histories.  Field order must
+#: match the dataclass constructors — rows are rebuilt positionally.
+_STEP_COLUMNS = (
+    ("step", np.int64), ("time", np.float64), ("duration_s", np.float64),
+    ("loss", np.float64), ("grad_norm", np.float64),
+    ("mfu", np.float64), ("tokens", np.int64),
+)
+_GAUGE_COLUMNS = (
+    ("time", np.float64), ("rdma_traffic_frac", np.float64),
+    ("tensorcore_util_frac", np.float64),
+)
 
 
 @dataclass(frozen=True)
@@ -46,8 +63,22 @@ class MetricsCollector:
         self.job = job
         self.config = config or CollectorConfig()
         cap = self.config.max_samples
-        self.steps: RingBuffer = RingBuffer(cap)
-        self.gauges: RingBuffer = RingBuffer(cap)
+        # Deep histories (the default cap retains ~a month of steps) go
+        # columnar: typed numpy columns instead of one dataclass per
+        # row.  Below the substrate threshold — or with the substrate
+        # forced scalar, as the seed baseline does — the plain
+        # RingBuffer wins on constant factors and stays the reference
+        # behavior.  Logs hold strings, so they stay row-oriented.
+        if use_vectorized(cap):
+            self.steps = ColumnarRing(
+                cap, [f for f, _ in _STEP_COLUMNS],
+                [d for _, d in _STEP_COLUMNS], StepMetrics)
+            self.gauges = ColumnarRing(
+                cap, [f for f, _ in _GAUGE_COLUMNS],
+                [d for _, d in _GAUGE_COLUMNS], GaugeSample)
+        else:
+            self.steps = RingBuffer(cap)
+            self.gauges = RingBuffer(cap)
         self.new_logs: RingBuffer = RingBuffer(cap)
         self._log_cursor = 0
         self._step_listeners: List[Callable[[StepMetrics], None]] = []
@@ -69,6 +100,11 @@ class MetricsCollector:
     def start(self) -> None:
         if self._tasks:
             return
+        # Re-attach after a stop(); the fresh-construction attach stays
+        # in __init__ so listener ordering (pinned by the equivalence
+        # suite) is unchanged for the common build-then-start flow.
+        if self._on_step not in self.job.step_listeners:
+            self.job.step_listeners.append(self._on_step)
         # Coalesced ticks: the gauge poll shares a TickGroup (one heap
         # entry per cadence) with any other same-interval task, e.g.
         # the inspection engine's GPU sweep.
@@ -81,9 +117,21 @@ class MetricsCollector:
         ]
 
     def stop(self) -> None:
+        """Stop polling and detach from the job.
+
+        Detaching the step subscription matters beyond hygiene: a
+        stopped collector that stays subscribed keeps appending every
+        later step to its history — and keeps the collector (and its
+        buffers) alive for as long as the job object lives, a leak per
+        stack teardown at fleet scale.
+        """
         for task in self._tasks:
             task.stop()
         self._tasks = []
+        try:
+            self.job.step_listeners.remove(self._on_step)
+        except ValueError:
+            pass
 
     # ------------------------------------------------------------------
     # The dispatch loops copy the listener list (a listener may attach

@@ -22,6 +22,7 @@ from repro.perf.bench import (
     BENCH_SCHEMA_VERSION,
     bench_cancellation,
     bench_fault_health_substrate,
+    bench_metrics_plane,
     bench_oneshot_events,
     bench_scenario,
     bench_scheduler_ticks,
@@ -38,6 +39,7 @@ __all__ = [
     "PROFILE_SCHEMA_VERSION",
     "bench_cancellation",
     "bench_fault_health_substrate",
+    "bench_metrics_plane",
     "bench_oneshot_events",
     "bench_scenario",
     "bench_scheduler_ticks",

@@ -11,8 +11,10 @@ the seed behavior of every hot path this PR optimized:
 * the inspection sweeps — the seed per-component scans below (no O(1)
   health rollup, ``cluster.machine()`` lookups per machine) replace the
   fast-path sweeps;
-* the loss model — per-step numpy generators are rebuilt on every
-  query instead of memoized;
+* the loss model — the per-step noise/grad-norm block is re-derived
+  and re-drawn on every query instead of cached (same block streams as
+  the fast path, so values stay bit-identical; see
+  ``METRICS_SCHEMA_VERSION`` in :mod:`repro.training.metrics`);
 * the fault/health substrate — pinned to ``"scalar"`` via
   :func:`~repro.cluster.health_index.force_substrate`, so hazard
   draws and health sweeps take the per-machine reference loops
@@ -40,7 +42,7 @@ from repro.monitor.inspections import InspectionEngine, SignalConfidence
 from repro.sim._reference import ReferenceSimulator
 from repro.sim.rng import derive_seed
 from repro.training.job import TrainingJob
-from repro.training.metrics import LossCurve
+from repro.training.metrics import BLOCK_STEPS, LossCurve
 
 
 # ---------------------------------------------------------------------------
@@ -129,17 +131,24 @@ def _seed_machines(self) -> list:
 
 
 def _seed_noise(self, step: int) -> float:
-    rng = np.random.default_rng(derive_seed(self.seed, f"loss:{step}"))
-    return float(rng.normal(0.0, self.noise_scale))
+    """Unmemoized noise: re-derive and re-draw the whole block per
+    query.  Same stream names, same draw call, same element as the
+    fast path's cached blocks — bit-identical values, none of the
+    amortization."""
+    rng = np.random.default_rng(
+        derive_seed(self.seed, f"loss-block:{step // BLOCK_STEPS}"))
+    block = rng.normal(0.0, self.noise_scale, BLOCK_STEPS)
+    return float(block[step % BLOCK_STEPS])
 
 
 def _seed_grad_norm(self, step: int, nan: bool = False,
                     spike_factor: float = 1.0) -> float:
     if nan:
         return float("nan")
-    rng = np.random.default_rng(derive_seed(self.seed, f"gnorm:{step}"))
-    base = 0.4 * self.base(step) * (1.0 + float(rng.normal(0, 0.05)))
-    return base * spike_factor
+    rng = np.random.default_rng(
+        derive_seed(self.seed, f"gnorm-block:{step // BLOCK_STEPS}"))
+    eps = float(rng.normal(0.0, 0.05, BLOCK_STEPS)[step % BLOCK_STEPS])
+    return 0.4 * self.base(step) * (1.0 + eps) * spike_factor
 
 
 @contextlib.contextmanager

@@ -248,6 +248,94 @@ def bench_fault_health_substrate(machines: int = 8_192, iters: int = 60,
     return entry
 
 
+def bench_metrics_plane(steps: int = 200_000, repeat: int = 3,
+                        with_seed: bool = True) -> Dict[str, Any]:
+    """Per-step loss/grad-norm queries: cached blocks vs per-query draws.
+
+    Walks ``steps`` consecutive steps querying loss and grad-norm at
+    each (with a 32-step rollback replay every 10k steps, the restart
+    pattern the determinism story exists for).  The fast side reads the
+    :class:`LossCurve` block cache; the seed side re-derives and
+    re-draws the whole block on every query
+    (:func:`~repro.perf.baseline._seed_noise` — the pre-block cost
+    model, modulo the one-generator-per-step construction it replaced).
+    The seed side walks a strided sample of the same range — identical
+    per-query cost, bounded wall-clock — and rates are compared
+    per-query.  Both sides must agree bit-for-bit on a sample of steps
+    (asserted), so the ratio is a pure speed measurement.
+    """
+    from repro.perf.baseline import _seed_grad_norm, _seed_noise
+    from repro.training.metrics import LossCurve
+
+    rollback = 32
+
+    def walk(curve: Any, step_iter: Any) -> int:
+        queries = 0
+        sink = 0.0
+        for s in step_iter:
+            sink += curve.loss(s) + curve.grad_norm(s)
+            queries += 2
+            if s and s % 10_000 == 0:
+                for r in range(s - rollback, s):
+                    sink += curve.loss(r)
+                    queries += 1
+        walk.sink = sink  # type: ignore[attr-defined]
+        return queries
+
+    def fast_pass() -> Dict[str, float]:
+        def once() -> float:
+            curve = LossCurve(seed=1234)
+            t0 = time.perf_counter()
+            once.queries = walk(curve, range(steps))  # type: ignore
+            return time.perf_counter() - t0
+        seconds = _best_of(once, repeat)
+        q = once.queries  # type: ignore[attr-defined]
+        return {"events": q, "seconds": seconds,
+                "events_per_sec": q / seconds}
+
+    fast = fast_pass()
+    entry: Dict[str, Any] = {
+        "name": "metrics_plane",
+        "steps": steps,
+        "events": fast["events"],
+        "fast": fast,
+    }
+    if with_seed:
+        # strided sample: on the seed side every query redraws a full
+        # block regardless of position, so the per-query rate is
+        # representative at 1/64 of the steps
+        sample = range(0, steps, 64)
+
+        def seed_pass() -> Dict[str, float]:
+            def once() -> float:
+                curve = LossCurve(seed=1234)
+                curve.noise = _seed_noise.__get__(curve)
+                curve.grad_norm = _seed_grad_norm.__get__(curve)
+                t0 = time.perf_counter()
+                once.queries = walk(curve, sample)  # type: ignore
+                return time.perf_counter() - t0
+            seconds = _best_of(once, repeat)
+            q = once.queries  # type: ignore[attr-defined]
+            return {"events": q, "seconds": seconds,
+                    "events_per_sec": q / seconds}
+
+        seed = seed_pass()
+        fast_curve = LossCurve(seed=1234)
+        seed_curve = LossCurve(seed=1234)
+        for s in list(sample)[:64]:
+            pair = (fast_curve.loss(s), fast_curve.grad_norm(s))
+            ref = (seed_curve.base(s) + _seed_noise(seed_curve, s),
+                   _seed_grad_norm(seed_curve, s))
+            if pair != ref:  # pragma: no cover - bench invariant
+                raise RuntimeError(
+                    f"metrics modes diverged at step {s}: "
+                    f"fast={pair} seed={ref}")
+        entry["seed"] = seed
+        entry["speedup"] = (fast["events_per_sec"]
+                            / seed["events_per_sec"])
+    return entry
+
+
 # ---------------------------------------------------------------------------
 # executor dispatch overhead
 # ---------------------------------------------------------------------------
@@ -385,6 +473,8 @@ def run_benchmarks(quick: bool = False, include_xl: bool = True,
                                      iters=20 if quick else 60,
                                      repeat=micro_repeat,
                                      with_seed=with_seed_baseline),
+        bench_metrics_plane(int(200_000 * scale), micro_repeat,
+                            with_seed=with_seed_baseline),
     ]
     # best-of-N on both sides of each scenario ratio: the production
     # cells are sub-2s, so repeats are cheap and kill scheduler noise

@@ -22,12 +22,14 @@ from repro.sim.engine import (
     TickGroup,
     TickMember,
 )
+from repro.sim.columnar import ColumnarRing
 from repro.sim.events import Event, Timeout
 from repro.sim.process import Process, ProcessExit
 from repro.sim.ring import RingBuffer
 from repro.sim.rng import RngStreams
 
 __all__ = [
+    "ColumnarRing",
     "Event",
     "EventHandle",
     "PeriodicTask",

@@ -22,13 +22,21 @@ from repro.training.model import (
     moe_200b,
     moe_256b,
 )
-from repro.training.metrics import LossCurve, MfuModel, StepMetrics
+from repro.training.metrics import (
+    BLOCK_STEPS,
+    METRICS_SCHEMA_VERSION,
+    LossCurve,
+    MfuModel,
+    StepMetrics,
+)
 from repro.training.stacks import StackKind, StackTrace, render_stack
 from repro.training.job import JobState, TrainingJob, TrainingJobConfig
 
 __all__ = [
+    "BLOCK_STEPS",
     "JobState",
     "LossCurve",
+    "METRICS_SCHEMA_VERSION",
     "MfuModel",
     "ModelSpec",
     "StackKind",

@@ -6,6 +6,14 @@ reproduces the curve bit-for-bit — mirroring the paper's observation
 that engineers verify restarts by checking that loss curves overlap
 exactly (Fig. 2).
 
+Noise is generated in *blocks*: one generator seeded per
+``(seed, block index)`` draws :data:`BLOCK_STEPS` consecutive values in
+a single vectorized call, so the per-step cost is a list index instead
+of a PCG64 construction.  The value at a step is still a pure function
+of ``(seed, step)`` — independent of query order, rollbacks, and cache
+evictions — which is exactly the invariant the restart-verification
+story rests on.
+
 MFU is the product of a code-version base (engineering optimizations
 raise it across hot updates, Fig. 11) and transient degradation factors
 (thermal throttling, degraded PCIe links, fail-slow NICs).
@@ -15,11 +23,26 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict, List, Optional
 
 import numpy as np
 
 from repro.sim.rng import derive_seed
+
+#: Steps covered by one RNG block: a single generator construction and
+#: one vectorized ``normal()`` draw serve this many consecutive steps.
+BLOCK_STEPS = 4096
+
+#: Version of the drawn-value schema.  Bump whenever the mapping from
+#: ``(seed, step)`` to drawn noise / grad-norm values changes (stream
+#: names, block size, draw order) — and bump
+#: :data:`repro.experiments.cache.CACHE_SCHEMA_VERSION` in the same
+#: commit, so sweep caches written under the old draws can never serve
+#: a report again.
+#: 1: one generator per step (streams ``loss:{step}``/``gnorm:{step}``)
+#: 2: one generator per 4096-step block (streams ``loss-block:{i}`` /
+#:    ``gnorm-block:{i}``), value at ``s`` = ``block[s % 4096]``
+METRICS_SCHEMA_VERSION = 2
 
 
 @dataclass
@@ -40,8 +63,9 @@ class LossCurve:
 
     loss(s) = (l0 - l_inf) · (1 + s/s0)^(-alpha) + l_inf + noise(s)
 
-    ``noise(s)`` is drawn from an RNG seeded by (root_seed, s), so the
-    value at a given step never depends on execution history.
+    ``noise(s)`` is element ``s % BLOCK_STEPS`` of a block drawn from an
+    RNG seeded by ``(root_seed, s // BLOCK_STEPS)``, so the value at a
+    given step never depends on execution history.
     """
 
     def __init__(self, l0: float = 11.0, l_inf: float = 1.6,
@@ -55,32 +79,44 @@ class LossCurve:
         self.s0 = s0
         self.noise_scale = noise_scale
         self.seed = seed
-        # Per-step values are pure functions of (seed, step), so they
-        # are memoized: spinning up a numpy Generator per query is the
-        # expensive part, and rollbacks / report rendering re-query the
-        # same steps.  Cached values are bit-identical to recomputation
-        # (a cleared entry is simply recomputed), so the caches are
-        # flushed at a size bound to keep month-long runs from
-        # accumulating hundreds of thousands of entries.
-        self._noise_cache: Dict[int, float] = {}
-        self._gnorm_cache: Dict[int, float] = {}
+        # Blocks are pure functions of (seed, block index), so they are
+        # cached: re-deriving an evicted block reproduces it bit for
+        # bit, which makes eviction purely a memory/speed trade.  The
+        # maps are bounded per block — steady-state training touches
+        # one block at a time, rollbacks a handful — so a quarter-long
+        # job holds a few hundred KB instead of growing (or, as the old
+        # per-step cache did, flushing to empty) every ~100k steps.
+        self._noise_blocks: Dict[int, List[float]] = {}
+        self._gnorm_blocks: Dict[int, List[float]] = {}
 
-    _CACHE_LIMIT = 100_000
+    #: Blocks retained per map before the oldest-inserted is evicted
+    #: (FIFO: sequential stepping stays in one block, rollback/replay
+    #: within a few — recency tracking would cost a dict move per
+    #: query for nothing).
+    _MAX_CACHED_BLOCKS = 4
 
     def base(self, step: int) -> float:
         return ((self.l0 - self.l_inf)
                 * (1.0 + step / self.s0) ** (-self.alpha) + self.l_inf)
 
-    def noise(self, step: int) -> float:
-        cached = self._noise_cache.get(step)
-        if cached is None:
+    def _block(self, cache: Dict[int, List[float]], stream: str,
+               index: int, scale: float) -> List[float]:
+        block = cache.get(index)
+        if block is None:
             rng = np.random.default_rng(
-                derive_seed(self.seed, f"loss:{step}"))
-            cached = float(rng.normal(0.0, self.noise_scale))
-            if len(self._noise_cache) >= self._CACHE_LIMIT:
-                self._noise_cache.clear()
-            self._noise_cache[step] = cached
-        return cached
+                derive_seed(self.seed, f"{stream}:{index}"))
+            # one draw per 4096 steps; .tolist() so the per-step read
+            # is a plain list index returning a ready Python float
+            block = rng.normal(0.0, scale, BLOCK_STEPS).tolist()
+            if len(cache) >= self._MAX_CACHED_BLOCKS:
+                del cache[next(iter(cache))]
+            cache[index] = block
+        return block
+
+    def noise(self, step: int) -> float:
+        return self._block(self._noise_blocks, "loss-block",
+                           step // BLOCK_STEPS,
+                           self.noise_scale)[step % BLOCK_STEPS]
 
     def loss(self, step: int, nan: bool = False,
              spike_factor: float = 1.0) -> float:
@@ -94,15 +130,13 @@ class LossCurve:
         """Gradient norm tracks loss decay (scaled), same determinism."""
         if nan:
             return float("nan")
-        cached = self._gnorm_cache.get(step)
-        if cached is None:
-            rng = np.random.default_rng(
-                derive_seed(self.seed, f"gnorm:{step}"))
-            cached = 0.4 * self.base(step) * (1.0 + float(rng.normal(0, 0.05)))
-            if len(self._gnorm_cache) >= self._CACHE_LIMIT:
-                self._gnorm_cache.clear()
-            self._gnorm_cache[step] = cached
-        return cached * spike_factor
+        eps = self._block(self._gnorm_blocks, "gnorm-block",
+                          step // BLOCK_STEPS, 0.05)[step % BLOCK_STEPS]
+        return 0.4 * self.base(step) * (1.0 + eps) * spike_factor
+
+    def cached_blocks(self) -> int:
+        """Blocks currently held across both maps (tests/diagnostics)."""
+        return len(self._noise_blocks) + len(self._gnorm_blocks)
 
 
 @dataclass
@@ -160,11 +194,17 @@ class MfuModel:
 
 
 def mfu_relative_series(mfu_values: list) -> list:
-    """Relative MFU as plotted in Fig. 2 / Fig. 11: ratio to the minimum."""
+    """Relative MFU as plotted in Fig. 2 / Fig. 11: ratio to the minimum.
+
+    ``None`` entries (collection gaps) and NaNs (NaN-fault steps) are
+    excluded from the minimum but preserved in place, so the series
+    keeps its alignment with the step axis.  An input with no finite
+    value has no minimum to normalize by and yields ``[]``.
+    """
     finite = [v for v in mfu_values if v is not None and not math.isnan(v)]
     if not finite:
         return []
     lo = min(finite)
     if lo <= 0:
         raise ValueError("MFU values must be positive")
-    return [v / lo for v in mfu_values]
+    return [None if v is None else v / lo for v in mfu_values]

@@ -1,0 +1,251 @@
+"""The block-RNG metrics plane: determinism, eviction, columnar rings.
+
+The loss/grad-norm model draws noise in 4096-step blocks (one
+generator construction per block instead of per step).  Everything
+here defends the invariant that change must not disturb: the value at
+a step is a pure function of ``(seed, step)`` — independent of query
+order, rollback/replay interleavings, and cache evictions — because
+the paper's restart-verification story (loss curves re-align bit-wise
+after a rollback, Fig. 2) rests on exactly that.
+"""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.health_index import force_substrate
+from repro.experiments.cache import CACHE_SCHEMA_VERSION
+from repro.perf.baseline import _seed_grad_norm, _seed_noise
+from repro.sim.columnar import ColumnarRing
+from repro.sim.ring import RingBuffer
+from repro.training.metrics import (
+    BLOCK_STEPS,
+    METRICS_SCHEMA_VERSION,
+    LossCurve,
+)
+
+
+def reference_values(seed, steps):
+    """Fresh-curve sequential evaluation: the ground truth."""
+    curve = LossCurve(seed=seed)
+    return {s: (curve.loss(s), curve.grad_norm(s)) for s in sorted(steps)}
+
+
+# a step universe that spans block boundaries and far-apart blocks, so
+# shuffled orders actually exercise block switching and eviction
+_steps = st.integers(min_value=0, max_value=40 * BLOCK_STEPS)
+
+
+class TestBlockDeterminism:
+    @given(steps=st.lists(_steps, min_size=1, max_size=60),
+           seed=st.integers(min_value=0, max_value=2**31))
+    @settings(max_examples=60, deadline=None)
+    def test_query_order_never_matters(self, steps, seed):
+        """Any permutation of queries yields bit-identical values."""
+        expected = reference_values(seed, set(steps))
+        curve = LossCurve(seed=seed)
+        for s in steps:  # hypothesis-chosen order, duplicates included
+            assert curve.loss(s) == expected[s][0]
+            assert curve.grad_norm(s) == expected[s][1]
+
+    @given(start=st.integers(min_value=32, max_value=3 * BLOCK_STEPS),
+           runs=st.lists(st.tuples(
+               st.integers(min_value=1, max_value=30),   # steps forward
+               st.integers(min_value=0, max_value=20)),  # rollback depth
+               min_size=1, max_size=8))
+    @settings(max_examples=50, deadline=None)
+    def test_rollback_replay_interleavings_bitwise_identical(
+            self, start, runs):
+        """Arbitrary advance/rollback schedules replay the same curve."""
+        curve = LossCurve(seed=7)
+        seen = {}
+        step = start
+        for forward, rollback in runs:
+            step = max(0, step - rollback)  # restart a few steps back
+            for _ in range(forward):
+                pair = (curve.loss(step), curve.grad_norm(step))
+                if step in seen:
+                    assert pair == seen[step]
+                seen[step] = pair
+                step += 1
+        assert seen == {
+            s: v for s, v in reference_values(7, seen).items()}
+
+    @given(blocks=st.lists(
+        st.integers(min_value=0, max_value=200), min_size=10,
+        max_size=40))
+    @settings(max_examples=40, deadline=None)
+    def test_eviction_and_requery_bitwise_identical(self, blocks):
+        """Touring far-apart blocks forces evictions; re-querying an
+        evicted block reproduces its values exactly."""
+        curve = LossCurve(seed=3)
+        probe = [b * BLOCK_STEPS + (b % BLOCK_STEPS) for b in blocks]
+        first = [(curve.loss(s), curve.grad_norm(s)) for s in probe]
+        bound = 2 * LossCurve._MAX_CACHED_BLOCKS
+        assert curve.cached_blocks() <= bound
+        second = [(curve.loss(s), curve.grad_norm(s)) for s in probe]
+        assert first == second
+
+    def test_matches_seed_baseline_bitwise(self):
+        """The unmemoized seed-mode draws agree with the cached fast
+        path bit-for-bit — the equivalence the benchmark ratios rest
+        on."""
+        fast = LossCurve(seed=42)
+        seed = LossCurve(seed=42)
+        for s in (0, 1, BLOCK_STEPS - 1, BLOCK_STEPS, BLOCK_STEPS + 1,
+                  123_456, 10 * BLOCK_STEPS + 17):
+            assert fast.noise(s) == _seed_noise(seed, s)
+            assert fast.grad_norm(s) == _seed_grad_norm(seed, s)
+            assert (fast.grad_norm(s, spike_factor=8.0)
+                    == _seed_grad_norm(seed, s, spike_factor=8.0))
+        assert math.isnan(_seed_grad_norm(seed, 5, nan=True))
+
+    def test_long_walk_cache_stays_bounded(self):
+        """A >100k-step training walk keeps O(1) blocks resident the
+        whole way — the cache can no longer balloon and flush."""
+        curve = LossCurve(seed=11)
+        bound = 2 * LossCurve._MAX_CACHED_BLOCKS
+        checkpoints = {}
+        for s in range(0, 120_000, 7):
+            curve.loss(s)
+            curve.grad_norm(s)
+            if s % 9_973 == 0:
+                checkpoints[s] = (curve.loss(s), curve.grad_norm(s))
+                assert curve.cached_blocks() <= bound
+        assert curve.cached_blocks() <= bound
+        # early blocks were evicted long ago; replay still matches
+        expected = reference_values(11, checkpoints)
+        assert checkpoints == expected
+
+    def test_schema_versions_move_together(self):
+        """The drawn-value schema and the sweep-cache schema are
+        coupled: block draws are metrics schema 2, which forced cache
+        schema 3.  Bumping one without the other would let a stale
+        cache serve reports computed under different draws."""
+        assert METRICS_SCHEMA_VERSION == 2
+        assert CACHE_SCHEMA_VERSION == 3
+
+
+@pytest.fixture
+def step_ring():
+    from repro.monitor.collectors import _STEP_COLUMNS
+    from repro.training.metrics import StepMetrics
+
+    return ColumnarRing(8, [f for f, _ in _STEP_COLUMNS],
+                        [d for _, d in _STEP_COLUMNS], StepMetrics)
+
+
+def _metrics(step):
+    from repro.training.metrics import StepMetrics
+
+    return StepMetrics(step=step, time=step * 2.0, duration_s=2.0,
+                       loss=10.0 - step * 0.01, grad_norm=0.4,
+                       mfu=0.35, tokens=4096)
+
+
+class TestColumnarRing:
+    def test_rows_roundtrip_exactly(self, step_ring):
+        rows = [_metrics(i) for i in range(5)]
+        for row in rows:
+            step_ring.append(row)
+        assert len(step_ring) == 5
+        assert list(step_ring) == rows
+        assert step_ring[-1] == rows[-1]
+        assert step_ring[0] == rows[0]
+        assert isinstance(step_ring[0].step, int)
+        assert isinstance(step_ring[0].loss, float)
+
+    def test_wraps_at_capacity(self, step_ring):
+        for i in range(20):
+            step_ring.append(_metrics(i))
+        assert len(step_ring) == 8
+        assert [m.step for m in step_ring] == list(range(12, 20))
+        assert step_ring[-1].step == 19
+        assert step_ring[0].step == 12
+        with pytest.raises(IndexError):
+            step_ring[8]
+        with pytest.raises(IndexError):
+            step_ring[-9]
+
+    def test_recent_and_tail_while_match_ringbuffer(self):
+        """Behavioral parity with the scalar RingBuffer it replaces."""
+        from repro.monitor.collectors import _GAUGE_COLUMNS, GaugeSample
+
+        columnar = ColumnarRing(16, [f for f, _ in _GAUGE_COLUMNS],
+                                [d for _, d in _GAUGE_COLUMNS],
+                                GaugeSample)
+        scalar = RingBuffer(16)
+        for i in range(40):
+            sample = GaugeSample(time=float(i), rdma_traffic_frac=1.0,
+                                 tensorcore_util_frac=0.5)
+            columnar.append(sample)
+            scalar.append(sample)
+        for count in (0, 3, 16, 99):
+            assert columnar.recent(count) == scalar.recent(count)
+        pred = lambda g: g.time >= 35.0  # noqa: E731
+        assert columnar.tail_while(pred) == scalar.tail_while(pred)
+        assert (columnar.tail_while(pred, limit=2)
+                == scalar.tail_while(pred, limit=2))
+
+    def test_geometric_growth_defers_allocation(self):
+        ring = ColumnarRing(100_000, ["x"], [np.float64], float)
+        assert ring._alloc < 1024     # far below capacity up front
+        for i in range(5_000):
+            ring.append_values(float(i))
+        assert 5_000 <= ring._alloc < 100_000
+        assert len(ring) == 5_000
+        assert ring[-1] == 4_999.0
+
+    def test_column_view_oldest_first(self, step_ring):
+        for i in range(20):
+            step_ring.append(_metrics(i))
+        col = step_ring.column("step")
+        assert col.tolist() == list(range(12, 20))
+        assert step_ring.column("time").tolist() == [
+            s * 2.0 for s in range(12, 20)]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ColumnarRing(0, ["x"], [np.float64], float)
+        with pytest.raises(ValueError):
+            ColumnarRing(4, ["x", "y"], [np.float64], float)
+
+
+class TestCollectorSubstrateSwitch:
+    def _collector(self, max_samples):
+        from repro.monitor.collectors import (
+            CollectorConfig,
+            MetricsCollector,
+        )
+        from repro.sim import Simulator
+        from repro.training.job import TrainingJob
+        from repro.workloads.scenarios import _dense_job
+
+        sim = Simulator()
+        job = TrainingJob(sim, _dense_job(2))
+        return MetricsCollector(sim, job,
+                                CollectorConfig(max_samples=max_samples))
+
+    def test_deep_histories_go_columnar(self):
+        collector = self._collector(100_000)
+        assert isinstance(collector.steps, ColumnarRing)
+        assert isinstance(collector.gauges, ColumnarRing)
+        assert isinstance(collector.new_logs, RingBuffer)  # strings
+
+    def test_shallow_histories_stay_scalar(self):
+        collector = self._collector(16)
+        assert isinstance(collector.steps, RingBuffer)
+        assert isinstance(collector.gauges, RingBuffer)
+
+    def test_forced_scalar_pins_ringbuffer(self):
+        with force_substrate("scalar"):
+            collector = self._collector(100_000)
+        assert isinstance(collector.steps, RingBuffer)
+
+    def test_forced_vectorized_pins_columnar(self):
+        with force_substrate("vectorized"):
+            collector = self._collector(16)
+        assert isinstance(collector.steps, ColumnarRing)

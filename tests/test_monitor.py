@@ -194,6 +194,40 @@ class TestMetricsCollector:
         recent = collector.gauge_window(30.0)
         assert all(g.time >= 70.0 for g in recent)
 
+    def test_stop_detaches_step_listener(self):
+        sim, cluster, inj, job = setup_env()
+        collector = MetricsCollector(sim, job)
+        collector.start()
+        assert collector._on_step in job.step_listeners
+        collector.stop()
+        assert collector._on_step not in job.step_listeners
+        collector.stop()                       # idempotent
+        collector.start()                      # restart re-subscribes
+        assert job.step_listeners.count(collector._on_step) == 1
+
+    def test_shutdown_releases_collector_subscription(self):
+        """ManagementStack.shutdown() must leave no collector callback
+        on the job: a retired stack that stays subscribed keeps
+        accumulating history (and is kept alive by the job) forever."""
+        from repro.core.byterobust import ByteRobustSystem, SystemConfig
+        from repro.workloads.fleet import fleet_job_config
+
+        system = ByteRobustSystem(SystemConfig(job=fleet_job_config(2)))
+        system.start()
+        system.sim.run(until=120.0)
+        stack = system.stack
+        assert stack.collector._on_step in stack.job.step_listeners
+        collected = len(stack.collector.steps)
+        assert collected > 0
+        stack.shutdown()
+        assert stack.collector._on_step not in stack.job.step_listeners
+        # even if something force-restarts the job later, the retired
+        # collector's history no longer grows
+        stack.job.restart(from_step=stack.job.current_step)
+        system.sim.run(until=600.0)
+        assert stack.job.current_step > collected
+        assert len(stack.collector.steps) == collected
+
 
 class TestAnomalyDetector:
     def make(self, job_env=None, det_cfg=None, col_cfg=None):

@@ -129,6 +129,31 @@ class TestMfuModel:
         with pytest.raises(ValueError):
             mfu_relative_series([0.0, 0.1])
 
+    def test_relative_series_ignores_nan_and_none(self):
+        # NaN (NaN-fault steps) and None (gaps) are excluded from the
+        # minimum but the series keeps its length/positions
+        series = mfu_relative_series([0.3, float("nan"), 0.6])
+        assert series[0] == pytest.approx(1.0)
+        assert math.isnan(series[1])
+        assert series[2] == pytest.approx(2.0)
+        with_none = mfu_relative_series([None, 0.2, 0.4])
+        assert with_none == [None, pytest.approx(1.0), pytest.approx(2.0)]
+
+    def test_relative_series_no_finite_values(self):
+        assert mfu_relative_series([]) == []
+        assert mfu_relative_series([float("nan"), None]) == []
+
+    def test_relative_series_negative_minimum_raises(self):
+        with pytest.raises(ValueError):
+            mfu_relative_series([-0.1, 0.3])
+
+    def test_step_time_rejects_nonpositive_gpus(self):
+        m = MfuModel(CodeVersionProfile("v1", 0.5))
+        with pytest.raises(ValueError):
+            m.step_time(1e12, 0, 100.0)
+        with pytest.raises(ValueError):
+            m.step_time(1e12, -8, 100.0)
+
 
 class TestStackPropagation:
     def topo(self):
