@@ -8,6 +8,13 @@ in-tree seed implementation — are used instead of absolute wall-clock
 precisely so the gate transfers across runner hardware: both sides of
 each ratio ran on the same machine in the same job.
 
+The ``sweep_fabric`` section is gated on absolute *cells/s floors*
+instead (there is no seed side to ratio against): the committed floors
+are deliberately set a few-fold below numbers measured on slow
+hardware, and the same ``--tolerance`` slack applies on top, so the
+gate only trips on order-of-magnitude fabric regressions — one
+round-trip or pickle reintroduced per cell — not on runner variance.
+
 Usage::
 
     python benchmarks/perf/check_regression.py \
@@ -35,6 +42,24 @@ def _speedups(payload: dict) -> dict:
     return out
 
 
+def _fabric_floors(payload: dict) -> dict:
+    """backend name -> worst-case cells/s across the measured sizes.
+
+    The baseline stores one conservative floor per backend; the
+    current payload may carry several sizes per backend — the *minimum*
+    is what must clear the floor (the largest grid is where per-cell
+    overhead would show).
+    """
+    out: dict = {}
+    for row in payload.get("sweep_fabric", []):
+        backend = row.get("backend") or row["name"].split(":", 1)[-1]
+        rate = row["cells_per_sec"]
+        key = f"fabric:{backend}"
+        if key not in out or rate < out[key]:
+            out[key] = rate
+    return out
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--current", required=True,
@@ -46,9 +71,11 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
 
     with open(args.current) as fh:
-        current = _speedups(json.load(fh))
+        current_payload = json.load(fh)
     with open(args.baseline) as fh:
-        baseline = _speedups(json.load(fh))
+        baseline_payload = json.load(fh)
+    current = _speedups(current_payload)
+    baseline = _speedups(baseline_payload)
 
     failures = []
     for name, base in sorted(baseline.items()):
@@ -65,10 +92,29 @@ def main(argv=None) -> int:
                 f"{name}: {now:.2f}x < floor {floor:.2f}x "
                 f"(baseline {base:.2f}x - {args.tolerance:.0%})")
 
+    current_fabric = _fabric_floors(current_payload)
+    baseline_fabric = _fabric_floors(baseline_payload)
+    for name, base in sorted(baseline_fabric.items()):
+        now = current_fabric.get(name)
+        if now is None:
+            failures.append(f"{name}: missing from current run")
+            continue
+        floor = base * (1.0 - args.tolerance)
+        status = "OK " if now >= floor else "FAIL"
+        print(f"{status} {name:<28} baseline {base:8.0f} cells/s  "
+              f"current {now:8.0f}  floor {floor:8.0f}")
+        if now < floor:
+            failures.append(
+                f"{name}: {now:.0f} cells/s < floor {floor:.0f} "
+                f"(baseline {base:.0f} - {args.tolerance:.0%})")
+
     extra = set(current) - set(baseline)
     for name in sorted(extra):
         print(f"NEW  {name:<28} current {current[name]:8.2f}x "
               f"(not gated; add to baseline to track)")
+    for name in sorted(set(current_fabric) - set(baseline_fabric)):
+        print(f"NEW  {name:<28} current {current_fabric[name]:8.0f} "
+              f"cells/s (not gated; add to baseline to track)")
 
     if failures:
         print("\nperformance regression detected:", file=sys.stderr)

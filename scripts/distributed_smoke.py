@@ -20,8 +20,17 @@ Gates (exit 1 on any failure):
   process-backend reference;
 * the remote run survived the killed worker;
 * the warm rerun equals the reference and simulated nothing.
+
+``--stress`` runs the stress-scale phase instead (CI job step
+``sweep-stress-smoke``): a ~50k-cell ``sweep-stress`` grid through
+``--live`` digest-only aggregation — inline, then the remote backend
+with two workers and ``--batch-size 256``, then a warm resume from
+the populated cache — gated on per-phase wall-clock ceilings, a
+peak-child-RSS ceiling, digest equality across all three runs, and
+the warm resume serving every cell from cache.
 """
 
+import argparse
 import json
 import os
 import re
@@ -76,6 +85,137 @@ def run_checked(argv, **kwargs) -> str:
         raise RuntimeError(f"{' '.join(argv[2:4])} exited "
                            f"{result.returncode}")
     return result.stdout
+
+
+def reap(children) -> None:
+    for proc in children:
+        if proc.poll() is None:
+            proc.terminate()
+            try:
+                proc.wait(timeout=10)
+            except subprocess.TimeoutExpired:
+                proc.kill()
+
+
+STRESS_CELLS = 50_000
+STRESS_GRID = ["--scenario", "sweep-stress",
+               "--grid", f"shard=0..{STRESS_CELLS - 1}"]
+#: Generous per-phase wall ceilings — the gate exists to catch the
+#: fabric falling off a throughput cliff (per-cell round-trips or
+#: pickles reintroduced), not to benchmark CI runners.
+STRESS_WALL_S = {"inline": 120.0, "remote": 180.0, "warm": 60.0}
+STRESS_RSS_BYTES = 1 << 30       # 1 GiB peak for any child process
+
+
+def digest_payload(path: str, ignore_provenance: bool = False) -> str:
+    """The ``--live --output`` digest, canonicalized for comparison.
+
+    ``ignore_provenance`` drops the cached/simulated counters so a
+    warm all-from-cache resume can be compared against a cold run.
+    """
+    with open(path) as fh:
+        digest = json.load(fh)["digest"]
+    if ignore_provenance:
+        digest = {k: v for k, v in digest.items()
+                  if k not in ("cached", "simulated")}
+    return json.dumps(digest, sort_keys=True)
+
+
+def timed(label: str, fn):
+    started = time.monotonic()
+    out = fn()
+    elapsed = time.monotonic() - started
+    ceiling = STRESS_WALL_S[label]
+    print(f"[stress] {label}: {STRESS_CELLS} cells in {elapsed:.1f}s "
+          f"({STRESS_CELLS / elapsed:,.0f} cells/s; "
+          f"ceiling {ceiling:.0f}s)", file=sys.stderr)
+    if elapsed > ceiling:
+        raise RuntimeError(f"stress phase {label!r} took "
+                           f"{elapsed:.1f}s > {ceiling:.0f}s ceiling")
+    return out
+
+
+def stress() -> int:
+    import resource
+
+    tmp = tempfile.mkdtemp(prefix="sweep-stress-smoke-")
+    inline_json = os.path.join(tmp, "inline.json")
+    remote_json = os.path.join(tmp, "remote.json")
+    warm_json = os.path.join(tmp, "warm.json")
+    cache_dir = os.path.join(tmp, "cache")
+    children = []
+    try:
+        print(f"== stress: {STRESS_CELLS} cells, inline, digest-only",
+              file=sys.stderr)
+        timed("inline", lambda: run_checked(
+            repro("sweep", *STRESS_GRID, "--live", "--no-cache",
+                  "--quiet", "--output", inline_json)))
+
+        print("== stress: remote backend, 2 workers, --batch-size 256",
+              file=sys.stderr)
+        port = free_port()
+
+        def remote_run() -> str:
+            sweep = subprocess.Popen(
+                repro("sweep", *STRESS_GRID, "--live",
+                      "--backend", "remote",
+                      "--listen", f"127.0.0.1:{port}",
+                      "--batch-size", "256",
+                      "--cache-dir", cache_dir,
+                      "--quiet", "--output", remote_json),
+                stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+                text=True)
+            children.append(sweep)
+            addr = f"127.0.0.1:{port}"
+            for _ in range(2):
+                children.append(subprocess.Popen(
+                    repro("worker", "--connect", addr, "--quiet")))
+            out, _ = sweep.communicate(timeout=TIMEOUT_S)
+            sys.stderr.write(out)
+            if sweep.returncode != 0:
+                raise RuntimeError(
+                    f"stress remote sweep exited {sweep.returncode}")
+            return out
+
+        timed("remote", remote_run)
+
+        print("== stress: warm resume from the populated cache",
+              file=sys.stderr)
+        warm_out = timed("warm", lambda: run_checked(
+            repro("sweep", *STRESS_GRID, "--live",
+                  "--cache-dir", cache_dir, "--quiet",
+                  "--output", warm_json)))
+        if f"{STRESS_CELLS} served from cache, 0 streamed" \
+                not in warm_out:
+            raise RuntimeError("stress warm resume re-simulated cells "
+                               "that should have been cache hits")
+
+        if digest_payload(remote_json) != digest_payload(inline_json):
+            raise RuntimeError("stress remote digest differs from "
+                               "inline")
+        if digest_payload(warm_json, ignore_provenance=True) != \
+                digest_payload(inline_json, ignore_provenance=True):
+            raise RuntimeError("stress warm-resume digest differs "
+                               "from inline")
+
+        rss = resource.getrusage(resource.RUSAGE_CHILDREN).ru_maxrss
+        rss *= 1024          # Linux reports KiB
+        print(f"[stress] peak child RSS {rss / (1 << 20):,.0f} MiB "
+              f"(ceiling {STRESS_RSS_BYTES / (1 << 20):,.0f} MiB)",
+              file=sys.stderr)
+        if rss > STRESS_RSS_BYTES:
+            raise RuntimeError(
+                f"stress peak child RSS {rss / (1 << 20):,.0f} MiB "
+                f"exceeds {STRESS_RSS_BYTES / (1 << 20):,.0f} MiB")
+        print(f"sweep-stress smoke OK: {STRESS_CELLS} cells, "
+              f"inline == remote == warm resume, RSS and wall "
+              f"ceilings held")
+        return 0
+    except (RuntimeError, subprocess.TimeoutExpired) as exc:
+        print(f"sweep-stress smoke FAILED: {exc}", file=sys.stderr)
+        return 1
+    finally:
+        reap(children)
 
 
 def main() -> int:
@@ -146,14 +286,12 @@ def main() -> int:
         print(f"distributed smoke FAILED: {exc}", file=sys.stderr)
         return 1
     finally:
-        for proc in children:
-            if proc.poll() is None:
-                proc.terminate()
-                try:
-                    proc.wait(timeout=10)
-                except subprocess.TimeoutExpired:
-                    proc.kill()
+        reap(children)
 
 
 if __name__ == "__main__":
-    sys.exit(main())
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--stress", action="store_true",
+                        help="run the stress-scale digest smoke "
+                             "instead of the fabric smoke")
+    sys.exit(stress() if parser.parse_args().stress else main())

@@ -28,7 +28,11 @@ Commands
     finishes, so a killed sweep resumes from the partial cache.  Cell
     seeds derive deterministically from ``(--base-seed, cell index)``,
     so the same grid yields byte-identical results at any worker
-    count on any backend.  Examples::
+    count on any backend.  Grid values accept integer spans
+    (``--grid shard=0..999999``), ``--batch-size`` groups cells per
+    dispatch for cheap-cell grids, and ``--live`` folds results into
+    a constant-memory rolling digest instead of collecting every
+    report.  Examples::
 
         python -m repro sweep --scenario dense \\
             --grid mtbf_scale=0.5,1.0,2.0 --workers 4
@@ -37,6 +41,10 @@ Commands
         python -m repro sweep --scenario fleet-week \\
             --grid arrival_mean_s=1800,3600 \\
             --backend remote --listen 0.0.0.0:7077
+
+        # stress scale: a million analytic cells, digest-only
+        python -m repro sweep --scenario sweep-stress \\
+            --grid shard=0..999999 --live --no-cache --quiet
 
 ``worker``
     Serve a ``--backend remote`` sweep: connect to its listening
@@ -90,6 +98,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import re
 import sys
 from typing import Dict, List, Optional, Sequence
 
@@ -131,9 +140,20 @@ def _cmd_run_legacy(args: argparse.Namespace) -> int:
     return _cmd_run(args)
 
 
+#: ``--grid key=A..B`` integer spans (inclusive), e.g. ``shard=0..999``.
+_GRID_RANGE = re.compile(r"^(-?\d+)\.\.(-?\d+)$")
+
+
 def _parse_assignments(pairs: Sequence[str], split_values: bool
                        ) -> Dict[str, object]:
-    """Parse ``key=value`` (or ``key=v1,v2,...``) CLI fragments."""
+    """Parse ``key=value`` (or ``key=v1,v2,...``) CLI fragments.
+
+    Grid values (``split_values=True``) additionally accept integer
+    spans ``A..B`` (inclusive) so stress-scale grids don't require a
+    million-entry comma list: ``--grid shard=0..999999``.  Spans
+    expand to ``range`` objects — O(1) argv and O(1) resident until
+    the sweep's lazy expansion consumes them.
+    """
     out: Dict[str, object] = {}
     for pair in pairs or ():
         if "=" not in pair:
@@ -141,6 +161,15 @@ def _parse_assignments(pairs: Sequence[str], split_values: bool
                 f"error: expected key=value, got {pair!r}")
         key, _, raw = pair.partition("=")
         key = key.strip()
+        if split_values:
+            span = _GRID_RANGE.match(raw.strip())
+            if span is not None:
+                lo, hi = int(span.group(1)), int(span.group(2))
+                if hi < lo:
+                    raise SystemExit(
+                        f"error: empty span in {pair!r} ({hi} < {lo})")
+                out[key] = range(lo, hi + 1)
+                continue
         values = [v.strip() for v in raw.split(",") if v.strip()]
         if not values:
             raise SystemExit(f"error: no values in {pair!r}")
@@ -199,6 +228,37 @@ def _progress_printer():
     return on_progress
 
 
+def _live_progress_printer(interval_s: float = 0.5):
+    """A throttled progress callback for ``sweep --live``.
+
+    Stress-scale sweeps complete tens of thousands of cells per
+    second; a per-cell progress line would dominate the run.  This
+    printer emits at most one line per ``interval_s`` (plus the final
+    cell), showing cumulative throughput instead of per-cell
+    provenance.
+    """
+    is_tty = sys.stderr.isatty()
+    last = [float("-inf")]
+
+    def on_progress(event) -> None:
+        final = event.done == event.total
+        if not final and event.elapsed_s - last[0] < interval_s:
+            return
+        last[0] = event.elapsed_s
+        rate = (event.done / event.elapsed_s
+                if event.elapsed_s > 0 else 0.0)
+        line = (f"[{event.done}/{event.total}] "
+                f"{rate:,.0f} cells/s  {event.elapsed_s:.1f}s")
+        if is_tty:
+            end = "\n" if final else ""
+            print(f"\r\x1b[2K{line}", end=end, file=sys.stderr,
+                  flush=True)
+        else:
+            print(line, file=sys.stderr, flush=True)
+
+    return on_progress
+
+
 def _cmd_sweep(args: argparse.Namespace) -> int:
     from repro.experiments import (
         CacheClient,
@@ -227,14 +287,16 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         cache = ResultCache(args.cache_dir)
     backend = args.backend or ("inline" if args.workers == 1
                                else "process")
-    progress = None if args.quiet else _progress_printer()
+    progress = None if args.quiet else (
+        _live_progress_printer() if args.live else _progress_printer())
     executor = None
     try:
         if backend == "remote":
             executor = make_executor(
                 "remote", listen=parse_address(args.listen),
                 heartbeat_timeout_s=args.heartbeat_timeout,
-                idle_timeout_s=args.idle_timeout)
+                idle_timeout_s=args.idle_timeout,
+                batch_size=args.batch_size)
             print(f"remote backend listening on "
                   f"{executor.address[0]}:{executor.address[1]} — "
                   f"start workers with `python -m repro worker "
@@ -242,8 +304,15 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                   f"{executor.address[1]}`",
                   file=sys.stderr, flush=True)
         runner = SweepRunner(workers=args.workers, cache=cache,
-                             executor=executor)
-        result = runner.run(SweepRequest(specs=spec, progress=progress))
+                             executor=executor,
+                             cache_batch=args.cache_batch,
+                             batch_size=args.batch_size)
+        request = SweepRequest(specs=spec, progress=progress)
+        if args.live:
+            folded = runner.fold(request, keep_rows=False)
+            result = None
+        else:
+            result = runner.run(request)
     except (ScenarioError, SweepError, ExecutorError,
             CacheServiceError, ValueError, OSError) as exc:
         if progress is not None and sys.stderr.isatty():
@@ -255,23 +324,33 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     finally:
         if executor is not None:
             executor.close()
-    summary = summarize(result)
-
-    cells = len(result.results)
-    grid_desc = ", ".join(f"{k}={','.join(map(str, v))}"
-                          for k, v in sorted(grid.items())) or "(single cell)"
-    print(summary.render(args.format,
-                         title=f"sweep: {args.scenario} over {grid_desc}"))
+    grid_desc = ", ".join(
+        f"{k}={v[0]}..{v[-1]}" if isinstance(v, range)
+        else f"{k}={','.join(map(str, v))}"
+        for k, v in sorted(grid.items())) or "(single cell)"
+    if args.live:
+        summary = None
+        cells = folded.cells
+        cache_hits, simulated = folded.cached, folded.simulated
+        print(f"sweep: {args.scenario} over {grid_desc} (live digest)")
+        print(folded.describe())
+    else:
+        summary = summarize(result)
+        cells = len(result.results)
+        cache_hits, simulated = result.cache_hits, result.simulated
+        print(summary.render(
+            args.format,
+            title=f"sweep: {args.scenario} over {grid_desc}"))
     if backend == "remote":
         stats = executor.stats
-        print(f"\n{cells} cells, {result.cache_hits} served from cache, "
-              f"{result.simulated} streamed from remote workers "
+        print(f"\n{cells} cells, {cache_hits} served from cache, "
+              f"{simulated} streamed from remote workers "
               f"({stats['workers_connected']} connected, "
               f"{stats['workers_lost']} lost, "
               f"{stats['requeued']} cells re-queued)")
     else:
-        print(f"\n{cells} cells, {result.cache_hits} served from cache, "
-              f"{result.simulated} streamed from workers "
+        print(f"\n{cells} cells, {cache_hits} served from cache, "
+              f"{simulated} streamed from workers "
               f"({backend} backend, {args.workers} "
               f"worker{'s' if args.workers != 1 else ''})")
     if cache is not None:
@@ -282,9 +361,11 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
               f"{stats['hits']} hits, {stats['misses']} misses, "
               f"{stats['writes']} writes this sweep)")
     if args.output:
+        payload = ({"digest": folded.digest()} if args.live
+                   else {"summary": summary.to_dict(),
+                         "sweep": result.to_dict()})
         with open(args.output, "w") as fh:
-            json.dump({"summary": summary.to_dict(),
-                       "sweep": result.to_dict()}, fh, indent=2)
+            json.dump(payload, fh, indent=2)
         print(f"full sweep written to {args.output}")
     return 0
 
@@ -341,7 +422,8 @@ def _cmd_cache(args: argparse.Namespace) -> int:
         label = scenario or "(unscoped)"
         print(f"  {label:<24} {by_scenario[scenario]:>6}")
     print(f"lifetime: {stats['hits']} hits, {stats['misses']} misses, "
-          f"{stats['writes']} writes")
+          f"{stats['writes']} writes, "
+          f"{stats.get('corrupt', 0)} corrupt quarantined")
     return 0
 
 
@@ -443,6 +525,10 @@ def _cmd_perf(args: argparse.Namespace) -> int:
         print(f"{row['name']:<27} {row['cells_per_sec']:>12,.0f} "
               f"cells/s ({row['cells']} trivial cells, "
               f"{row['seconds']:.3f}s)")
+    for row in payload.get("sweep_fabric", []):
+        print(f"{row['name']:<27} {row['cells_per_sec']:>12,.0f} "
+              f"cells/s ({row['cells']} analytic cells, "
+              f"batch {row['batch_size']}, {row['seconds']:.3f}s)")
     if args.output:
         with open(args.output, "w") as fh:
             json.dump(payload, fh, indent=2, sort_keys=True)
@@ -596,6 +682,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--idle-timeout", type=float, default=60.0,
                    help="remote backend: fail the sweep after this "
                         "long with outstanding cells and no workers")
+    p.add_argument("--batch-size", type=int, default=1,
+                   help="cells per dispatch batch for the process and "
+                        "remote backends (default 1 = one cell per "
+                        "task/wire message; raise to ~256 for "
+                        "stress-scale grids of cheap cells)")
+    p.add_argument("--cache-batch", type=int, default=512,
+                   help="cells per batched cache probe/write "
+                        "(default 512)")
     p.add_argument("--base-seed", type=int, default=0,
                    help="seeds derive from (base_seed, cell_index)")
     p.add_argument("--cache-dir", type=str,
@@ -610,6 +704,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--format", choices=("text", "markdown", "csv"),
                    default="text",
                    help="summary table format (default: text)")
+    p.add_argument("--live", action="store_true",
+                   help="stream cells into a constant-memory rolling "
+                        "digest instead of collecting every report: "
+                        "prints throttled throughput progress and a "
+                        "per-metric mean/min/max digest (for "
+                        "stress-scale grids; --output writes the "
+                        "digest JSON)")
     p.add_argument("--quiet", action="store_true",
                    help="suppress the live per-cell progress line")
     p.add_argument("--output", type=str, default=None,

@@ -41,6 +41,7 @@ from repro.experiments.executor import (
     RemoteExecutor,
     make_executor,
     run_cell,
+    run_cell_batch,
 )
 from repro.experiments.net import parse_address, run_worker
 from repro.experiments.report import (
@@ -59,6 +60,7 @@ from repro.experiments.registry import (
     register_scenario,
 )
 from repro.experiments.summary import (
+    StreamingSummary,
     SweepSummary,
     format_table,
     summarize,
@@ -72,6 +74,7 @@ from repro.experiments.sweep import (
     SweepResult,
     SweepRunner,
     SweepSpec,
+    count_cells,
     derive_cell_seed,
     expand_cells,
     expand_grid,
@@ -93,6 +96,7 @@ __all__ = [
     "ResultCache",
     "ScenarioError",
     "ScenarioSpec",
+    "StreamingSummary",
     "SweepCell",
     "SweepError",
     "SweepProgress",
@@ -103,6 +107,7 @@ __all__ = [
     "SweepSummary",
     "Table",
     "cell_key",
+    "count_cells",
     "derive_cell_seed",
     "expand_cells",
     "expand_grid",
@@ -115,6 +120,7 @@ __all__ = [
     "register_scenario",
     "render_summary",
     "run_cell",
+    "run_cell_batch",
     "run_worker",
     "scenario_catalog_markdown",
     "summarize",

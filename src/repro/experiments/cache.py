@@ -31,10 +31,12 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import re
 import shutil
 import tempfile
+import threading
 from pathlib import Path
-from typing import Any, Dict, Optional, Union
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro import __version__
 
@@ -54,12 +56,83 @@ CACHE_SCHEMA_VERSION = 3
 STATS_FILENAME = "_stats.json"
 
 
+#: One preconstructed encoder for cell_key: ``json.dumps`` with
+#: keyword arguments builds a fresh ``JSONEncoder`` per call, which a
+#: million-key expansion pays dearly for.  Byte-identical output.
+_KEY_ENCODE = json.JSONEncoder(
+    sort_keys=True, separators=(",", ":"), default=str).encode
+
+#: Strings the JSON encoder emits verbatim between quotes: printable
+#: ASCII with no ``"`` or ``\`` — anything else takes the encoder
+#: fallback below.
+_PLAIN_STR = re.compile(r'^[ !#-\[\]-~]*$').match
+
+_INF = float("inf")
+
+
+def _key_scalar(value: Any) -> Optional[str]:
+    """``value`` as JSON-encoder-identical text, or None to punt.
+
+    Covers exactly the scalar cases whose encoding is trivially
+    byte-stable (ints, finite floats, plain ASCII strings, bools,
+    None); every other value — containers, NaN/inf, exotic strings,
+    non-JSON types hitting ``default=str`` — falls back to the real
+    encoder so fast-path keys can never drift from it.
+    """
+    t = type(value)
+    if t is int:
+        return repr(value)
+    if t is float:
+        if value != value or value == _INF or value == -_INF:
+            return None
+        return repr(value)
+    if t is str:
+        if _PLAIN_STR(value):
+            return f'"{value}"'
+        return None
+    if t is bool:
+        return "true" if value else "false"
+    if value is None:
+        return "null"
+    return None
+
+
+#: Constant fragments of every key blob, around the two per-cell holes
+#: (sorted key order is params, scenario, schema, seed, version — the
+#: schema/version pieces never vary within a process); None disables
+#: the fast path entirely if the version string itself would need
+#: escaping.
+_KEY_MID = f'","schema":{CACHE_SCHEMA_VERSION},"seed":'
+_KEY_END = (f',"version":"{__version__}"}}'
+            if _PLAIN_STR(__version__) else None)
+
+
 def cell_key(scenario: str, params: Dict[str, Any], seed: int) -> str:
     """Stable hex digest identifying one sweep cell's configuration."""
-    blob = json.dumps(
+    # hand-assemble the canonical blob for the plain-scalar case —
+    # ~3x cheaper than a JSONEncoder call, and grid expansion computes
+    # one key per cell.  Output is byte-identical to the encoder
+    # (property-tested); any value outside the fast scalar set punts
+    # to the encoder itself.
+    if _KEY_END is not None and type(seed) is int:
+        parts = []
+        for name in sorted(params):
+            if not _PLAIN_STR(name):
+                parts = None
+                break
+            text = _key_scalar(params[name])
+            if text is None:
+                parts = None
+                break
+            parts.append(f'"{name}":{text}')
+        if parts is not None and _PLAIN_STR(scenario):
+            blob = (f'{{"params":{{{",".join(parts)}}},'
+                    f'"scenario":"{scenario}{_KEY_MID}{seed}'
+                    f'{_KEY_END}')
+            return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+    blob = _KEY_ENCODE(
         {"scenario": scenario, "params": params, "seed": seed,
-         "schema": CACHE_SCHEMA_VERSION, "version": __version__},
-        sort_keys=True, separators=(",", ":"), default=str)
+         "schema": CACHE_SCHEMA_VERSION, "version": __version__})
     return hashlib.sha256(blob.encode("utf-8")).hexdigest()
 
 
@@ -79,7 +152,11 @@ class ResultCache:
         self.hits = 0
         self.misses = 0
         self.writes = 0
-        self._persisted = {"hits": 0, "misses": 0, "writes": 0}
+        #: unreadable entries quarantined to ``<name>.corrupt`` by get()
+        self.corrupt = 0
+        self._persisted = {"hits": 0, "misses": 0, "writes": 0,
+                           "corrupt": 0}
+        self._made_dirs: set = set()
 
     def _path(self, key: str, scenario: Optional[str] = None) -> str:
         if scenario:
@@ -89,31 +166,147 @@ class ResultCache:
     def stats(self) -> Dict[str, int]:
         """Traffic counters since construction (for logs/CI summaries)."""
         return {"hits": self.hits, "misses": self.misses,
-                "writes": self.writes}
+                "writes": self.writes, "corrupt": self.corrupt}
+
+    def _quarantine(self, path: str) -> None:
+        """Move an unreadable entry aside as ``<name>.corrupt``.
+
+        Renaming (rather than deleting) preserves the torn bytes for
+        post-mortem while guaranteeing the entry is only ever counted
+        once: subsequent gets see a plain miss and the next put writes
+        a fresh entry.  ``.corrupt`` files are invisible to
+        ``_iter_entries`` so they never pollute entry counts.
+        """
+        self.corrupt += 1
+        try:
+            os.replace(path, path[:-len(".json")] + ".corrupt")
+        except OSError:
+            pass
 
     def get(self, key: str,
             scenario: Optional[str] = None) -> Optional[Dict[str, Any]]:
-        """The cached payload, or None on miss / unreadable entry."""
+        """The cached payload, or None on miss / unreadable entry.
+
+        An entry that exists but does not parse is quarantined to
+        ``<name>.corrupt`` (counted in ``stats()["corrupt"]``) instead
+        of being silently re-missed forever.
+        """
+        path = self._path(key, scenario)
+        # raw os.open/os.read instead of the io stack: a warm
+        # million-cell resume does one get per cell, and the buffered
+        # file object costs more than the payload read itself
         try:
-            with open(self._path(key, scenario), "r",
-                      encoding="utf-8") as fh:
-                payload = json.load(fh)
-        except (OSError, ValueError):
+            fd = os.open(path, os.O_RDONLY)
+        except OSError:
+            self.misses += 1
+            return None
+        try:
+            buf = os.read(fd, 1 << 18)
+            if len(buf) == 1 << 18:
+                # regular files only short-read at EOF
+                parts = [buf]
+                while parts[-1]:
+                    parts.append(os.read(fd, 1 << 18))
+                buf = b"".join(parts)
+        finally:
+            os.close(fd)
+        try:
+            # decode before loads: json.loads on bytes pays a
+            # detect_encoding call per entry (we always write UTF-8)
+            payload = json.loads(buf.decode("utf-8"))
+        except ValueError:
+            self._quarantine(path)
             self.misses += 1
             return None
         self.hits += 1
         return payload
+
+    def get_many(self, items: Sequence[Tuple[str, Optional[str]]]
+                 ) -> List[Optional[Dict[str, Any]]]:
+        """Payloads for ``(key, scenario)`` pairs, in input order.
+
+        The batch probe used by ``SweepRunner.stream()``: one call per
+        chunk of cells instead of one ``get`` per cell.  Locally it is
+        a tight loop (the win is fewer Python frames per probe — the
+        body inlines the hit path and batches the counter updates);
+        over the cache service the same surface collapses a chunk into
+        a single round-trip.
+        """
+        out: List[Optional[Dict[str, Any]]] = []
+        append = out.append
+        hits = misses = 0
+        directory = self.directory
+        loads = json.loads
+        # chunks are near-always single-scenario: cache the joined
+        # directory prefix instead of paying os.path.join per key (the
+        # trailing-"" join yields the same separator normalization)
+        last_scenario: Any = False
+        prefix = directory
+        for key, scenario in items:
+            if scenario != last_scenario:
+                last_scenario = scenario
+                prefix = (os.path.join(directory, scenario, "")
+                          if scenario else os.path.join(directory, ""))
+            path = prefix + key + ".json"
+            try:
+                fd = os.open(path, os.O_RDONLY)
+            except OSError:
+                misses += 1
+                append(None)
+                continue
+            try:
+                buf = os.read(fd, 1 << 18)
+                if len(buf) == 1 << 18:
+                    # regular files only short-read at EOF, so a full
+                    # first read is the one case needing a loop
+                    parts = [buf]
+                    while parts[-1]:
+                        parts.append(os.read(fd, 1 << 18))
+                    buf = b"".join(parts)
+            finally:
+                os.close(fd)
+            try:
+                append(loads(buf.decode("utf-8")))
+            except ValueError:
+                self._quarantine(path)
+                misses += 1
+                append(None)
+                continue
+            hits += 1
+        self.hits += hits
+        self.misses += misses
+        return out
 
     def put(self, key: str, payload: Dict[str, Any],
             scenario: Optional[str] = None) -> None:
         self.writes += 1
         target = self._path(key, scenario)
         parent = os.path.dirname(target)
-        os.makedirs(parent, exist_ok=True)
-        fd, tmp = tempfile.mkstemp(dir=parent, suffix=".tmp")
+        if parent not in self._made_dirs:
+            os.makedirs(parent, exist_ok=True)
+            self._made_dirs.add(parent)
+        # unique-per-writer tmp name + atomic rename: same torn-file
+        # guarantee as mkstemp, without the extra open/close/fstat of
+        # creating a securely-named file we immediately rename away.
+        # Raw os.open/os.write keeps a cold million-cell sweep's write
+        # path at open+write+close+rename — no buffered-IO object per
+        # entry.
+        tmp = (f"{target}.{os.getpid()}."
+               f"{threading.get_ident()}.tmp")
+        data = json.dumps(payload, sort_keys=True).encode("utf-8")
+        flags = os.O_WRONLY | os.O_CREAT | os.O_TRUNC
         try:
-            with os.fdopen(fd, "w", encoding="utf-8") as fh:
-                json.dump(payload, fh, sort_keys=True)
+            try:
+                fd = os.open(tmp, flags, 0o666)
+            except FileNotFoundError:
+                # the memoized parent was removed behind our back
+                # (clear()/prune() mid-run) — recreate and retry once
+                os.makedirs(parent, exist_ok=True)
+                fd = os.open(tmp, flags, 0o666)
+            try:
+                os.write(fd, data)
+            finally:
+                os.close(fd)
             os.replace(tmp, target)
         except BaseException:
             try:
@@ -121,6 +314,18 @@ class ResultCache:
             except OSError:
                 pass
             raise
+
+    def put_many(self, items: Sequence[Tuple[str, Dict[str, Any],
+                                             Optional[str]]]) -> None:
+        """Write ``(key, payload, scenario)`` triples in order.
+
+        Entries stay individually atomic (tmp + rename per entry);
+        batching exists so the dispatch layer can hand a whole result
+        batch over in one call — and so the cache service can absorb
+        it in one round-trip.
+        """
+        for key, payload, scenario in items:
+            self.put(key, payload, scenario)
 
     # -- maintenance (the `repro cache` subcommand) --------------------
 
@@ -193,6 +398,20 @@ class ResultCache:
                 pass
             if scenario:
                 scenario_dirs.add(os.path.join(self.directory, scenario))
+        # quarantined entries are cache-shaped too; sweep them out so
+        # the scenario subdirectories actually empty (not counted in
+        # ``removed`` — they were never live entries)
+        for q_dir in [self.directory, *scenario_dirs]:
+            try:
+                names = os.listdir(q_dir)
+            except OSError:
+                continue
+            for name in names:
+                if name.endswith(".corrupt"):
+                    try:
+                        os.unlink(os.path.join(q_dir, name))
+                    except OSError:
+                        pass
         for subdir in scenario_dirs:
             try:
                 os.rmdir(subdir)       # only if nothing else lives there
@@ -212,10 +431,12 @@ class ResultCache:
     def lifetime_stats(self) -> Dict[str, int]:
         """Counters accumulated across sweeps (on-disk sidecar + this
         instance's not-yet-persisted traffic)."""
-        stats = {"hits": 0, "misses": 0, "writes": 0}
+        stats = {"hits": 0, "misses": 0, "writes": 0, "corrupt": 0}
         try:
             with open(self._stats_path(), "r", encoding="utf-8") as fh:
                 on_disk = json.load(fh)
+            # older sidecars predate the "corrupt" counter; .get
+            # defaults them to zero rather than failing the read
             for k in stats:
                 stats[k] = int(on_disk.get(k, 0))
         except (OSError, ValueError):
@@ -244,7 +465,8 @@ class ResultCache:
                 pass
             raise
         self._persisted = {"hits": self.hits, "misses": self.misses,
-                           "writes": self.writes}
+                           "writes": self.writes,
+                           "corrupt": self.corrupt}
 
     def __len__(self) -> int:
         return sum(1 for _ in self._iter_entries())

@@ -16,6 +16,10 @@ op             request fields                      response
 ``get``        ``key``, ``scenario``               ``payload`` (null on
                                                    miss)
 ``put``        ``key``, ``scenario``, ``payload``  —
+``get_many``   ``items``: list of ``{key,          ``payloads`` (input
+               scenario}``                         order, null on miss)
+``put_many``   ``items``: list of ``{key,          —
+               scenario, payload}``
 ``stats``      —                                   ``stats``,
                                                    ``entries``,
                                                    ``requests``
@@ -23,6 +27,11 @@ op             request fields                      response
 ``persist``    —                                   —
 ``ping``       —                                   —
 =============  ==================================  ====================
+
+The ``_many`` pair exists for sweep-scale traffic: probing a
+million-cell grid one ``get`` round-trip at a time costs a network
+RTT *per cell*; batched, the probe amortizes to one RTT per ~512
+cells (``SweepRunner.cache_batch``).
 
 Every response carries ``ok``; failures carry ``error`` instead of
 tearing the connection down.  The cache's lifetime hit/miss/write
@@ -41,7 +50,7 @@ from __future__ import annotations
 import socketserver
 import threading
 from pathlib import Path
-from typing import Any, Dict, Optional, Tuple, Union
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.experiments.cache import ResultCache
 from repro.experiments.net import MessageStream, connect_with_retry
@@ -110,6 +119,17 @@ class CacheServer:
                 if op == "put":
                     self.cache.put(str(msg["key"]), msg["payload"],
                                    msg.get("scenario"))
+                    return {"ok": True}
+                if op == "get_many":
+                    payloads = self.cache.get_many(
+                        [(str(item["key"]), item.get("scenario"))
+                         for item in msg["items"]])
+                    return {"ok": True, "payloads": payloads}
+                if op == "put_many":
+                    self.cache.put_many(
+                        [(str(item["key"]), item["payload"],
+                          item.get("scenario"))
+                         for item in msg["items"]])
                     return {"ok": True}
                 if op == "stats":
                     return {"ok": True, "stats": self.cache.stats(),
@@ -240,6 +260,34 @@ class CacheClient:
         self.writes += 1
         self._request({"op": "put", "key": key, "scenario": scenario,
                        "payload": payload})
+
+    def get_many(self, items: Sequence[Tuple[str, Optional[str]]]
+                 ) -> List[Optional[Dict[str, Any]]]:
+        """Batch probe: one round-trip for a whole chunk of keys."""
+        if not items:
+            return []
+        payloads = self._request(
+            {"op": "get_many",
+             "items": [{"key": key, "scenario": scenario}
+                       for key, scenario in items]})["payloads"]
+        for payload in payloads:
+            if payload is None:
+                self.misses += 1
+            else:
+                self.hits += 1
+        return payloads
+
+    def put_many(self, items: Sequence[Tuple[str, Dict[str, Any],
+                                             Optional[str]]]) -> None:
+        """Batch publish: one round-trip for a whole result batch."""
+        if not items:
+            return
+        self.writes += len(items)
+        self._request(
+            {"op": "put_many",
+             "items": [{"key": key, "scenario": scenario,
+                        "payload": payload}
+                       for key, payload, scenario in items]})
 
     def stats(self) -> Dict[str, int]:
         """This client's traffic (mirrors ``ResultCache.stats``)."""

@@ -11,7 +11,19 @@ implements this interface:
   finishes, exactly like the pool's ``imap_unordered`` did.  The
   runner re-sorts by cell index afterwards, so completion order never
   leaks into a :class:`~repro.experiments.sweep.SweepResult` and every
-  backend is byte-identical to every other at any worker count.
+  backend is byte-identical to every other at any worker count;
+* :meth:`Executor.results_batched` is the same stream grouped into
+  dispatch batches — the runner consumes this form so a whole batch
+  can be written to the cache in one ``put_many``.  With
+  ``batch_size=1`` (the default everywhere) batches are singletons
+  and the two forms are indistinguishable.
+
+``batch_size > 1`` amortizes per-task constant costs for cheap
+analytic cells: the process pool ships one pickled *list* of jobs per
+task instead of one job, and the remote protocol packs a batch into a
+single ``cells``/``results`` message pair instead of one
+message-per-cell.  Completion order, heartbeats, dead-worker
+re-queue, and collected bytes are unchanged at any batch size.
 
 Backends:
 
@@ -76,6 +88,18 @@ def run_cell(args: Tuple[int, str, Dict[str, Any]]
         return (index, "error", traceback.format_exc())
 
 
+def run_cell_batch(jobs: Sequence[Tuple[int, str, Dict[str, Any]]]
+                   ) -> "list":
+    """Run a batch of cells in one worker task.
+
+    Module-level for the same pickling reason as :func:`run_cell`.
+    One pool task per *batch* divides the per-task pickle/dispatch
+    constant across ``len(jobs)`` cells — the difference between
+    overhead-bound and compute-bound for microsecond analytic cells.
+    """
+    return [run_cell(job) for job in jobs]
+
+
 class ExecutorError(RuntimeError):
     """An executor could not make progress (e.g. every worker died)."""
 
@@ -97,6 +121,16 @@ class Executor(abc.ABC):
     def results(self) -> Iterator[CellOutcome]:
         """Yield one ``(cell, status, payload)`` per submitted cell,
         in completion order."""
+
+    def results_batched(self) -> Iterator["list"]:
+        """Yield lists of outcomes, one list per dispatch batch.
+
+        The default wraps :meth:`results` in singleton batches;
+        batching backends override this with the *native* stream and
+        derive :meth:`results` from it instead.
+        """
+        for outcome in self.results():
+            yield [outcome]
 
     def close(self) -> None:
         """Release backend resources (idempotent)."""
@@ -140,13 +174,20 @@ class ProcessPoolExecutor(Executor):
 
     name = "process"
 
-    def __init__(self, workers: int = 2):
+    def __init__(self, workers: int = 2, batch_size: int = 1):
         super().__init__()
         if workers < 1:
             raise ValueError(f"workers must be >= 1: {workers}")
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1: {batch_size}")
         self.workers = workers
+        self.batch_size = batch_size
 
     def results(self) -> Iterator[CellOutcome]:
+        for batch in self.results_batched():
+            yield from batch
+
+    def results_batched(self) -> Iterator["list"]:
         cells = self._cells or ()
         if not cells:
             return
@@ -155,15 +196,26 @@ class ProcessPoolExecutor(Executor):
         if self.workers == 1 or len(jobs) == 1:
             for job in jobs:
                 slot, status, payload = run_cell(job)
-                yield cells[slot], status, payload
+                yield [(cells[slot], status, payload)]
             return
         methods = multiprocessing.get_all_start_methods()
         ctx = multiprocessing.get_context(
             "fork" if "fork" in methods else "spawn")
-        with ctx.Pool(processes=min(self.workers, len(jobs))) as pool:
-            for slot, status, payload in pool.imap_unordered(
-                    run_cell, jobs, chunksize=1):
-                yield cells[slot], status, payload
+        if self.batch_size == 1:
+            # historical path: one pickled job per pool task
+            with ctx.Pool(processes=min(self.workers,
+                                        len(jobs))) as pool:
+                for slot, status, payload in pool.imap_unordered(
+                        run_cell, jobs, chunksize=1):
+                    yield [(cells[slot], status, payload)]
+            return
+        chunks = [jobs[i:i + self.batch_size]
+                  for i in range(0, len(jobs), self.batch_size)]
+        with ctx.Pool(processes=min(self.workers, len(chunks))) as pool:
+            for outcomes in pool.imap_unordered(
+                    run_cell_batch, chunks, chunksize=1):
+                yield [(cells[slot], status, payload)
+                       for slot, status, payload in outcomes]
 
     def submit_cells(self, cells: Sequence["SweepCell"]) -> None:
         self._record_submit(cells)
@@ -191,10 +243,17 @@ class RemoteExecutor(Executor):
 
     def __init__(self, host: str = "127.0.0.1", port: int = 0,
                  heartbeat_timeout_s: float = 10.0,
-                 idle_timeout_s: float = 60.0):
+                 idle_timeout_s: float = 60.0,
+                 batch_size: int = 1):
         super().__init__()
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1: {batch_size}")
         self.heartbeat_timeout_s = heartbeat_timeout_s
         self.idle_timeout_s = idle_timeout_s
+        #: cells per assignment message; 1 keeps the legacy ``cell``/
+        #: ``result`` wire shape (old workers keep working), >1 packs
+        #: assignments into ``cells``/``results`` message pairs
+        self.batch_size = batch_size
         self._sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         self._sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
         self._sock.bind((host, port))
@@ -202,7 +261,8 @@ class RemoteExecutor(Executor):
         self._sock.settimeout(0.2)
         self.address: Tuple[str, int] = self._sock.getsockname()[:2]
         self._pending: "queue.Queue[int]" = queue.Queue()
-        self._results: "queue.Queue[Tuple[int, str, Any]]" = queue.Queue()
+        #: completed outcome *batches* (singletons at batch_size=1)
+        self._results: "queue.Queue[list]" = queue.Queue()
         self._lock = threading.Lock()
         self._completed: set = set()
         self._closed = threading.Event()
@@ -226,6 +286,10 @@ class RemoteExecutor(Executor):
         self._accept_thread.start()
 
     def results(self) -> Iterator[CellOutcome]:
+        for batch in self.results_batched():
+            yield from batch
+
+    def results_batched(self) -> Iterator["list"]:
         cells = self._cells
         if cells is None:
             raise ExecutorError("results() before submit_cells()")
@@ -233,7 +297,7 @@ class RemoteExecutor(Executor):
         self._last_worker_seen = time.monotonic()
         while produced < len(cells):
             try:
-                slot, status, payload = self._results.get(timeout=0.25)
+                batch = self._results.get(timeout=0.25)
             except queue.Empty:
                 with self._lock:
                     idle = (self._active_workers == 0)
@@ -245,8 +309,9 @@ class RemoteExecutor(Executor):
                         f"to {self.address[0]}:{self.address[1]} for "
                         f"{self.idle_timeout_s:.0f}s")
                 continue
-            produced += 1
-            yield cells[slot], status, payload
+            produced += len(batch)
+            yield [(cells[slot], status, payload)
+                   for slot, status, payload in batch]
 
     def close(self) -> None:
         self._closed.set()
@@ -281,16 +346,42 @@ class RemoteExecutor(Executor):
 
     def _finish(self, slot: int, status: str, payload: Any) -> bool:
         """Record one result; False for duplicates (dead-worker race)."""
+        return self._finish_batch([(slot, status, payload)]) > 0
+
+    def _finish_batch(self, triples: "list") -> int:
+        """Record a batch of results; duplicates (dead-worker races)
+        are dropped.  Returns how many were fresh."""
+        fresh = []
         with self._lock:
-            if slot in self._completed:
-                return False
-            self._completed.add(slot)
-        self._results.put((slot, status, payload))
-        return True
+            for slot, status, payload in triples:
+                if slot in self._completed:
+                    continue
+                self._completed.add(slot)
+                fresh.append((slot, status, payload))
+        if fresh:
+            self._results.put(fresh)
+        return len(fresh)
+
+    def _take_batch(self) -> "list":
+        """Pull up to ``batch_size`` pending slots (at least one, with
+        a short wait), dropping any that completed while queued."""
+        try:
+            slot = self._pending.get(timeout=0.2)
+        except queue.Empty:
+            return []
+        batch = [slot]
+        while len(batch) < self.batch_size:
+            try:
+                batch.append(self._pending.get_nowait())
+            except queue.Empty:
+                break
+        with self._lock:
+            # re-queued twice, then raced a finish
+            return [s for s in batch if s not in self._completed]
 
     def _serve_worker(self, conn: socket.socket) -> None:
         cells = self._cells or ()
-        in_flight: Optional[int] = None
+        in_flight: "list" = []
         stream = MessageStream(conn)
         with self._lock:
             self._active_workers += 1
@@ -305,41 +396,56 @@ class RemoteExecutor(Executor):
                 if self._all_done():
                     stream.send({"type": "shutdown"})
                     return
-                try:
-                    slot = self._pending.get(timeout=0.2)
-                except queue.Empty:
+                batch = self._take_batch()
+                if not batch:
                     continue
-                with self._lock:
-                    taken = slot in self._completed
-                if taken:      # re-queued twice, then raced a finish
-                    continue
-                in_flight = slot
-                cell = cells[slot]
-                stream.send({"type": "cell", "slot": slot,
-                             "scenario": cell.scenario,
-                             "params": cell.params})
-                while True:
+                in_flight = list(batch)
+                if self.batch_size == 1:
+                    cell = cells[batch[0]]
+                    stream.send({"type": "cell", "slot": batch[0],
+                                 "scenario": cell.scenario,
+                                 "params": cell.params})
+                else:
+                    stream.send({"type": "cells", "cells": [
+                        {"slot": slot,
+                         "scenario": cells[slot].scenario,
+                         "params": cells[slot].params}
+                        for slot in batch]})
+                outstanding = set(batch)
+                while outstanding:
                     msg = stream.recv()
                     if msg is None:
                         raise ConnectionError("worker closed mid-cell")
-                    if msg.get("type") == "ping":
+                    mtype = msg.get("type")
+                    if mtype == "ping":
                         continue
-                    if msg.get("type") == "result":
-                        self._finish(int(msg["slot"]), str(msg["status"]),
+                    if mtype == "result":
+                        slot = int(msg["slot"])
+                        self._finish(slot, str(msg["status"]),
                                      msg["payload"])
-                        in_flight = None
-                        break
-                    raise ConnectionError(
-                        f"unexpected worker message {msg.get('type')!r}")
+                        outstanding.discard(slot)
+                    elif mtype == "results":
+                        triples = [(int(r["slot"]), str(r["status"]),
+                                    r["payload"])
+                                   for r in msg["results"]]
+                        self._finish_batch(triples)
+                        for slot, _status, _payload in triples:
+                            outstanding.discard(slot)
+                    else:
+                        raise ConnectionError(
+                            f"unexpected worker message {mtype!r}")
+                in_flight = []
         except (OSError, ConnectionError, ValueError):
             pass
         finally:
-            if in_flight is not None:
+            if in_flight:
                 with self._lock:
-                    lost = in_flight not in self._completed
+                    lost = [s for s in in_flight
+                            if s not in self._completed]
                 if lost:
-                    self.stats["requeued"] += 1
-                    self._pending.put(in_flight)
+                    self.stats["requeued"] += len(lost)
+                    for slot in lost:
+                        self._pending.put(slot)
                 with self._lock:
                     self.stats["workers_lost"] += 1
             with self._lock:
@@ -355,22 +461,27 @@ EXECUTOR_BACKENDS = ("inline", "process", "remote")
 def make_executor(backend: str, workers: int = 1,
                   listen: Optional[Tuple[str, int]] = None,
                   heartbeat_timeout_s: float = 10.0,
-                  idle_timeout_s: float = 60.0) -> Executor:
+                  idle_timeout_s: float = 60.0,
+                  batch_size: int = 1) -> Executor:
     """Construct an executor by registry name.
 
     ``inline`` ignores ``workers``; ``process`` sizes its pool from
     it; ``remote`` listens on ``listen`` (default loopback, ephemeral
     port — read :attr:`RemoteExecutor.address` for the bound port).
+    ``batch_size`` sets the dispatch batch for the batching backends
+    (``inline`` is inherently one-at-a-time).
     """
     if backend == "inline":
         return InlineExecutor()
     if backend == "process":
-        return ProcessPoolExecutor(workers=max(1, workers))
+        return ProcessPoolExecutor(workers=max(1, workers),
+                                   batch_size=batch_size)
     if backend == "remote":
         host, port = listen if listen is not None else ("127.0.0.1", 0)
         return RemoteExecutor(host=host, port=port,
                               heartbeat_timeout_s=heartbeat_timeout_s,
-                              idle_timeout_s=idle_timeout_s)
+                              idle_timeout_s=idle_timeout_s,
+                              batch_size=batch_size)
     raise ValueError(
         f"unknown executor backend {backend!r} "
         f"(one of {', '.join(EXECUTOR_BACKENDS)})")

@@ -131,6 +131,11 @@ def run_worker(address: Tuple[str, int], heartbeat_s: float = 2.0,
                log=None) -> int:
     """Serve one sweep: pull cells, run them, push results back.
 
+    Handles both assignment shapes: the legacy one-``cell`` /
+    one-``result`` pair and the batched ``cells``/``results`` pair a
+    ``batch_size>1`` executor sends (the whole batch runs under one
+    heartbeat and returns in one message).
+
     Returns the number of cells completed.  Exits when the executor
     says ``shutdown``, the connection closes, or ``max_cells`` is
     reached.  ``fail_after`` is a failure-injection hook for tests and
@@ -153,20 +158,44 @@ def run_worker(address: Tuple[str, int], heartbeat_s: float = 2.0,
             msg = stream.recv()
             if msg is None or msg.get("type") == "shutdown":
                 break
-            if msg.get("type") != "cell":
+            mtype = msg.get("type")
+            if mtype == "cell":
+                if fail_after is not None and completed >= fail_after:
+                    # simulate a mid-cell crash: cell accepted, no
+                    # result
+                    return completed
+                slot = int(msg["slot"])
+                if log is not None:
+                    log(f"cell slot={slot} "
+                        f"scenario={msg['scenario']}")
+                with _Heartbeat(stream, heartbeat_s):
+                    _slot, status, payload = run_cell(
+                        (slot, msg["scenario"], msg["params"]))
+                stream.send({"type": "result", "slot": slot,
+                             "status": status, "payload": payload})
+                completed += 1
+            elif mtype == "cells":
+                # batched assignment: run the whole batch under one
+                # heartbeat, reply with one `results` message — per
+                # message JSON+syscall cost amortizes across the batch
+                if fail_after is not None and completed >= fail_after:
+                    return completed
+                jobs = msg["cells"]
+                if log is not None:
+                    log(f"batch of {len(jobs)} cells "
+                        f"(first slot={jobs[0]['slot'] if jobs else '-'})")
+                outcomes = []
+                with _Heartbeat(stream, heartbeat_s):
+                    for job in jobs:
+                        slot = int(job["slot"])
+                        _slot, status, payload = run_cell(
+                            (slot, job["scenario"], job["params"]))
+                        outcomes.append({"slot": slot, "status": status,
+                                         "payload": payload})
+                        completed += 1
+                stream.send({"type": "results", "results": outcomes})
+            else:
                 continue
-            if fail_after is not None and completed >= fail_after:
-                # simulate a mid-cell crash: cell accepted, no result
-                return completed
-            slot = int(msg["slot"])
-            if log is not None:
-                log(f"cell slot={slot} scenario={msg['scenario']}")
-            with _Heartbeat(stream, heartbeat_s):
-                _slot, status, payload = run_cell(
-                    (slot, msg["scenario"], msg["params"]))
-            stream.send({"type": "result", "slot": slot,
-                         "status": status, "payload": payload})
-            completed += 1
             if max_cells is not None and completed >= max_cells:
                 break
     except (OSError, ValueError):

@@ -69,6 +69,11 @@ from repro.experiments.registry import get_scenario
 #: a local directory cache or a :class:`~repro.experiments.cache_service.CacheClient`.
 CacheLike = Any
 
+#: The :class:`~repro.experiments.summary.StreamingSummary` return type
+#: of :meth:`SweepRunner.fold` — typed loosely here to keep the import
+#: edge pointing summary → sweep, not both ways.
+StreamingSummaryLike = Any
+
 
 class SweepError(RuntimeError):
     """A sweep cell failed.
@@ -244,52 +249,178 @@ def derive_cell_seed(base_seed: int, index: int) -> int:
     return int.from_bytes(digest[:4], "big")
 
 
-def expand_grid(grid: Dict[str, Sequence[Any]]) -> List[Dict[str, Any]]:
-    """Cartesian product of a grid, in sorted-key order.
+def _validate_grid(grid: Dict[str, Sequence[Any]]) -> None:
+    """Reject grid axes that would silently expand to zero cells.
+
+    ``itertools.product`` over an empty value list yields nothing, so a
+    typo like ``grid={"machines": []}`` used to produce a zero-cell
+    sweep that "succeeded" instantly.  Fail loudly instead, naming the
+    offending key.
+    """
+    for key in sorted(grid):
+        if len(grid[key]) == 0:
+            raise ValueError(
+                f"sweep grid key {key!r} has an empty value list — it "
+                f"would expand to zero cells; drop the key or give it "
+                f"values")
+
+
+def expand_grid(grid: Dict[str, Sequence[Any]]
+                ) -> Iterator[Dict[str, Any]]:
+    """Cartesian product of a grid, in sorted-key order, lazily.
 
     ``{}`` expands to one empty combination (a single-cell sweep).
+    Validation (no empty value lists) happens eagerly at call time;
+    the combinations themselves stream one dict at a time so a
+    million-cell grid never materializes a list up front.
     """
+    _validate_grid(grid)
+    return _iter_grid(grid)
+
+
+def _iter_grid(grid: Dict[str, Sequence[Any]]
+               ) -> Iterator[Dict[str, Any]]:
     if not grid:
-        return [{}]
+        yield {}
+        return
     keys = sorted(grid)
-    combos = []
     for values in itertools.product(*(grid[k] for k in keys)):
-        combos.append(dict(zip(keys, values)))
-    return combos
+        yield dict(zip(keys, values))
 
 
-def expand_cells(specs: Sequence[SweepSpec]) -> List[SweepCell]:
-    """Expand specs into cells with global, stable indices.
+def count_cells(specs: Sequence[SweepSpec]) -> int:
+    """Total cell count of ``specs`` without expanding any cell.
+
+    O(axes), not O(cells): the companion to the lazy
+    :func:`expand_cells` — use it wherever the old code took
+    ``len(expand_cells(...))``.  Runs the same eager validation
+    (scenario lookup, empty-axis rejection) as expansion.
+    """
+    total = 0
+    for spec in specs:
+        get_scenario(spec.scenario)
+        _validate_grid(spec.grid)
+        n = 1
+        for values in spec.grid.values():
+            n *= len(values)
+        total += n
+    return total
+
+
+def expand_cells(specs: Sequence[SweepSpec]) -> Iterator[SweepCell]:
+    """Expand specs into cells with global, stable indices, lazily.
 
     Seed derivation uses the *spec-local* cell position, not the
     global index: a spec's cells (and their cache keys) stay identical
     no matter which other specs share the sweep.
+
+    Returns a streaming iterator — indices, derived seeds, and cache
+    keys are bit-identical to the historical eager expansion, but a
+    10⁶-cell grid costs O(1) memory until consumed.  Scenario lookup
+    and grid validation still happen eagerly at call time so bad specs
+    fail before any cell runs.
     """
-    cells: List[SweepCell] = []
-    for spec in specs:
-        scenario = get_scenario(spec.scenario)
-        for local_index, combo in enumerate(expand_grid(spec.grid)):
-            overrides = dict(spec.params)
-            overrides.update(combo)
-            takes_seed = "seed" in scenario.params
-            derived = takes_seed and "seed" not in overrides
-            if derived:
-                overrides["seed"] = derive_cell_seed(spec.base_seed,
-                                                     local_index)
-            params = scenario.resolve(overrides)
+    specs = list(specs)
+    resolved = [(spec, get_scenario(spec.scenario)) for spec in specs]
+    for spec, _ in resolved:
+        _validate_grid(spec.grid)
+    return _iter_cells(resolved)
+
+
+def _iter_cells(resolved: Sequence[Tuple[SweepSpec, Any]]
+                ) -> Iterator[SweepCell]:
+    index = 0
+    for spec, scenario in resolved:
+        param_specs = scenario.params
+        takes_seed = "seed" in param_specs
+        grid_keys = sorted(spec.grid)
+        # every cell of a spec overrides the same key set, so the
+        # seed-derivation flag is a per-spec constant
+        derived = (takes_seed and "seed" not in spec.params
+                   and "seed" not in spec.grid)
+        base_seed = spec.base_seed
+        scen_name = spec.scenario
+        # first cell resolves through the full validating path; later
+        # cells reuse its resolved dict and re-coerce only the keys
+        # that actually change (grid axes + the derived seed) — the
+        # O(params) per-cell resolve cost is what separates a 1M-cell
+        # warm resume from the 30 s budget
+        base: Optional[Dict[str, Any]] = None
+        grid_coerce: List[Tuple[str, Any]] = []
+        seed_coerce: Any = None
+        combos = itertools.product(*(spec.grid[k] for k in grid_keys))
+        for local_index, values in enumerate(combos):
+            if base is None:
+                overrides = dict(spec.params)
+                overrides.update(zip(grid_keys, values))
+                if derived:
+                    overrides["seed"] = derive_cell_seed(base_seed,
+                                                         local_index)
+                params = scenario.resolve(overrides)
+                base = params
+                grid_coerce = [(k, param_specs[k].coerce)
+                               for k in grid_keys]
+                if derived:
+                    seed_coerce = param_specs["seed"].coerce
+            else:
+                params = dict(base)
+                for (k, coerce), value in zip(grid_coerce, values):
+                    params[k] = coerce(value)
+                if derived:
+                    params["seed"] = seed_coerce(
+                        derive_cell_seed(base_seed, local_index))
             # analytic scenarios have no RNG; pin the recorded seed so
             # their cache key depends only on the parameters
             seed = int(params["seed"]) if takes_seed else 0
-            cells.append(SweepCell(
-                index=len(cells), scenario=spec.scenario, params=params,
-                seed=seed, key=cell_key(spec.scenario, params, seed),
-                seed_derived=derived))
-    return cells
+            # build the frozen cell through __dict__ directly: the
+            # generated frozen-dataclass __init__ pays one
+            # object.__setattr__ per field, which is the single
+            # largest expansion cost at a million cells
+            cell = SweepCell.__new__(SweepCell)
+            object.__setattr__(cell, "__dict__", {
+                "index": index, "scenario": scen_name,
+                "params": params, "seed": seed,
+                "key": cell_key(scen_name, params, seed),
+                "seed_derived": derived})
+            yield cell
+            index += 1
 
 
 #: Backward-compatible alias: the worker entry point moved to
 #: :mod:`repro.experiments.executor` with the backend split.
 _run_cell = run_cell
+
+
+def _chunked(iterable: Iterator[Any], size: int
+             ) -> Iterator[List[Any]]:
+    """Consume an iterator into lists of at most ``size`` items."""
+    while True:
+        chunk = list(itertools.islice(iterable, size))
+        if not chunk:
+            return
+        yield chunk
+
+
+def _cache_get_many(cache: CacheLike,
+                    items: Sequence[Tuple[str, Optional[str]]]
+                    ) -> List[Optional[Dict[str, Any]]]:
+    """Batch probe, falling back to per-key ``get`` for cache objects
+    that predate the batch surface (duck-typed test doubles)."""
+    get_many = getattr(cache, "get_many", None)
+    if get_many is not None:
+        return get_many(items)
+    return [cache.get(key, scenario) for key, scenario in items]
+
+
+def _cache_put_many(cache: CacheLike,
+                    items: Sequence[Tuple[str, Dict[str, Any],
+                                          Optional[str]]]) -> None:
+    put_many = getattr(cache, "put_many", None)
+    if put_many is not None:
+        put_many(items)
+        return
+    for key, payload, scenario in items:
+        cache.put(key, payload, scenario)
 
 
 class SweepRunner:
@@ -306,25 +437,58 @@ class SweepRunner:
     completes, not when the whole batch does.
     """
 
+    #: default keys per cache probe chunk: big enough to amortize a
+    #: TCP round-trip through the cache service, small enough that a
+    #: batch of payloads never strains memory
+    DEFAULT_CACHE_BATCH = 512
+
+    #: max cache misses held in memory before they are dispatched to an
+    #: auto-built backend: bounds the runner's resident set by the
+    #: segment (a few tens of MB of cells), not the grid, so a
+    #: million-cell cold sweep through the process pool stays well
+    #: under the stress RSS ceiling.  Injected executors are
+    #: single-use and still receive the whole miss list in one submit.
+    DISPATCH_SEGMENT = 65536
+
     def __init__(self, workers: int = 1,
                  cache: Optional[CacheLike] = None,
-                 executor: Optional[Executor] = None):
+                 executor: Optional[Executor] = None,
+                 cache_batch: int = DEFAULT_CACHE_BATCH,
+                 batch_size: Optional[int] = None):
         if workers < 1:
             raise ValueError(f"workers must be >= 1: {workers}")
+        if cache_batch < 1:
+            raise ValueError(f"cache_batch must be >= 1: {cache_batch}")
+        if batch_size is not None and batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1: {batch_size}")
         self.workers = workers
         self.cache = cache
         self.executor = executor
+        #: keys per get_many/put_many call when probing/writing the cache
+        self.cache_batch = cache_batch
+        #: cells per dispatch batch for the auto-built process backend;
+        #: ``None`` keeps the legacy one-cell-per-task granularity
+        self.batch_size = batch_size
 
     def run(self, request: Union[SweepRequest, SweepSpec,
                                  Sequence[SweepSpec]],
-            progress: Optional[ProgressCallback] = None) -> SweepResult:
+            progress: Optional[ProgressCallback] = None,
+            collect: bool = True) -> Union[SweepResult,
+                                           "StreamingSummaryLike"]:
         """Drain the stream and return results in cell-index order.
 
         The collector is deterministic at any worker count and under
         any backend: whatever order cells *complete* in, the
         materialized result is sorted by cell index and therefore
         byte-identical run to run.
+
+        ``collect=False`` switches to the O(1)-memory aggregation path:
+        the return value is the :class:`~repro.experiments.summary.StreamingSummary`
+        from :meth:`fold` instead of a :class:`SweepResult` — no report
+        payload is retained after it has been folded.
         """
+        if not collect:
+            return self.fold(request, progress=progress)
         request = SweepRequest.coerce(request, progress=progress)
         results = sorted(self.stream(request),
                          key=lambda r: r.cell.index)
@@ -333,74 +497,159 @@ class SweepRunner:
             cache.persist_stats()
         return SweepResult(results=results)
 
+    def fold(self, request: Union[SweepRequest, SweepSpec,
+                                  Sequence[SweepSpec]],
+             progress: Optional[ProgressCallback] = None,
+             keep_rows: bool = True) -> "StreamingSummaryLike":
+        """Stream the sweep into a :class:`StreamingSummary`.
+
+        The constant-memory collector: each completed cell is folded
+        into the summary and its report payload dropped immediately, so
+        a million-cell sweep's peak RSS is bounded by the in-flight
+        cells, not the grid.  With ``keep_rows=True`` the returned
+        summary can still render the exact table ``summarize()`` would
+        have produced (per-cell *metric rows* are kept — tiny compared
+        to report payloads); ``keep_rows=False`` keeps only the rolling
+        digest for true O(1) aggregation at stress scale.
+        """
+        from repro.experiments.summary import StreamingSummary
+
+        request = SweepRequest.coerce(request, progress=progress)
+        folded = StreamingSummary(keep_rows=keep_rows)
+        for result in self.stream(request):
+            folded.add(result)
+        cache = request.cache if request.cache is not None else self.cache
+        if cache is not None:
+            cache.persist_stats()
+        return folded
+
     def stream(self, request: Union[SweepRequest, SweepSpec,
                                     Sequence[SweepSpec]],
                progress: Optional[ProgressCallback] = None
                ) -> Iterator[CellResult]:
         """Yield :class:`CellResult`s as they complete.
 
-        Cached cells are served (and yielded) first; the rest arrive
-        in completion order.  Each simulated cell is written to the
-        cache *before* it is yielded, so an interrupted consumer loses
-        at most the in-flight cells — a restart re-simulates only what
-        never finished.
+        Cells are probed against the cache in ``cache_batch``-sized
+        ``get_many`` chunks; hits are served (and yielded) the moment
+        they are probed, misses accumulate into dispatch *segments* of
+        at most :attr:`DISPATCH_SEGMENT` cells that execute before
+        probing resumes — so the runner's memory is bounded by the
+        segment, never the grid.  (Grids smaller than a segment get
+        the historical behavior exactly: every cached cell first, then
+        the rest in completion order.  Injected executors are
+        single-use, so they receive all misses as one segment.)  Each
+        simulated result batch is written to the cache *before* any of
+        its cells is yielded (batch size 1 for the inline backend,
+        i.e. the historical per-cell granularity), so an interrupted
+        consumer loses at most the in-flight cells — a restart
+        re-simulates only what never finished.
         """
         request = SweepRequest.coerce(request, progress=progress)
         cache = request.cache if request.cache is not None else self.cache
         progress = request.progress
-        cells = expand_cells(request.resolved_specs())
-        total = len(cells)
+        specs = request.resolved_specs()
+        total = count_cells(specs)
         started = time.monotonic()
         done = 0
 
-        to_run: List[SweepCell] = []
-        for cell in cells:
-            payload = (cache.get(cell.key, cell.scenario)
-                       if cache is not None else None)
-            if payload is None:
-                to_run.append(cell)
-                continue
-            done += 1
-            result = CellResult(cell=cell, report=payload, cached=True)
-            if progress is not None:
-                progress(SweepProgress(
-                    done=done, total=total, result=result,
-                    elapsed_s=time.monotonic() - started))
-            yield result
+        chunks = _chunked(expand_cells(specs), self.cache_batch)
+        seg_cap = (self.DISPATCH_SEGMENT if self.executor is None
+                   else None)
+        exhausted = False
+        while not exhausted:
+            # Phase 1 (per segment) — probe the cache in key batches
+            # while the lazy expansion streams cells through: one
+            # get_many per chunk instead of one open()/round-trip per
+            # cell.  Hits yield immediately; misses accumulate into
+            # the segment worklist (bounded by ``seg_cap``, not grid
+            # size — it may overshoot by at most one probe chunk).
+            segment: List[SweepCell] = []
+            for chunk in chunks:
+                if cache is None:
+                    segment.extend(chunk)
+                else:
+                    payloads = _cache_get_many(
+                        cache,
+                        [(cell.key, cell.scenario) for cell in chunk])
+                    for cell, payload in zip(chunk, payloads):
+                        if payload is None:
+                            segment.append(cell)
+                            continue
+                        done += 1
+                        result = CellResult(cell=cell, report=payload,
+                                            cached=True)
+                        if progress is not None:
+                            progress(SweepProgress(
+                                done=done, total=total, result=result,
+                                elapsed_s=time.monotonic() - started))
+                        yield result
+                if seg_cap is not None and len(segment) >= seg_cap:
+                    break
+            else:
+                exhausted = True
 
-        for cell, status, payload in self._execute(to_run):
-            if status != "ok":
-                raise SweepError(
-                    f"cell #{cell.index} ({cell.scenario} "
-                    f"{cell.params}) failed:\n{payload}",
-                    cell=cell, traceback_text=str(payload))
-            if cache is not None:
-                cache.put(cell.key, payload, cell.scenario)
-            done += 1
-            result = CellResult(cell=cell, report=payload, cached=False)
-            if progress is not None:
-                progress(SweepProgress(
-                    done=done, total=total, result=result,
-                    elapsed_s=time.monotonic() - started))
-            yield result
+            # Phase 2 — execute the segment's misses.  Results arrive
+            # in batches (size 1 for the inline backend,
+            # dispatch-batch-sized otherwise); each batch is written
+            # to the cache *before* any of its cells is yielded,
+            # preserving the resume contract at batch granularity.
+            # The explicit close() in the finally propagates a
+            # consumer's early abandonment (GeneratorExit) into the
+            # executor generator immediately, so worker pools shut
+            # down at close time, not at GC time.
+            executing = self._execute(segment)
+            try:
+                for batch in executing:
+                    completed: List[Tuple[SweepCell, str, Any]] = []
+                    failed: Optional[Tuple[SweepCell, str, Any]] = None
+                    for item in batch:
+                        if item[1] != "ok":
+                            failed = item
+                            break
+                        completed.append(item)
+                    if cache is not None and completed:
+                        _cache_put_many(
+                            cache,
+                            [(cell.key, payload, cell.scenario)
+                             for cell, _status, payload in completed])
+                    for cell, _status, payload in completed:
+                        done += 1
+                        result = CellResult(cell=cell, report=payload,
+                                            cached=False)
+                        if progress is not None:
+                            progress(SweepProgress(
+                                done=done, total=total, result=result,
+                                elapsed_s=time.monotonic() - started))
+                        yield result
+                    if failed is not None:
+                        cell, _status, payload = failed
+                        raise SweepError(
+                            f"cell #{cell.index} ({cell.scenario} "
+                            f"{cell.params}) failed:\n{payload}",
+                            cell=cell, traceback_text=str(payload))
+            finally:
+                executing.close()
 
     # ------------------------------------------------------------------
     def _execute(self, cells: Sequence[SweepCell]
-                 ) -> Iterator[Tuple[SweepCell, str,
-                                     Union[Dict[str, Any], str]]]:
-        """Yield ``(cell, status, payload)`` in completion order."""
+                 ) -> Iterator[List[Tuple[SweepCell, str,
+                                          Union[Dict[str, Any], str]]]]:
+        """Yield batches of ``(cell, status, payload)`` in completion
+        order."""
         if not cells:
             return
         if self.executor is not None:
             # caller-owned backend (e.g. a listening RemoteExecutor):
             # drive it, but leave close() to whoever built it
             self.executor.submit_cells(cells)
-            yield from self.executor.results()
+            yield from self.executor.results_batched()
             return
         if self.workers == 1 or len(cells) == 1:
             backend: Executor = InlineExecutor()
         else:
-            backend = ProcessPoolExecutor(workers=self.workers)
+            backend = ProcessPoolExecutor(
+                workers=self.workers,
+                batch_size=self.batch_size or 1)
         with backend:
             backend.submit_cells(cells)
-            yield from backend.results()
+            yield from backend.results_batched()

@@ -26,6 +26,7 @@ from repro.perf.bench import (
     bench_oneshot_events,
     bench_scenario,
     bench_scheduler_ticks,
+    bench_sweep_fabric,
     run_benchmarks,
 )
 from repro.perf.profile import (
@@ -43,6 +44,7 @@ __all__ = [
     "bench_oneshot_events",
     "bench_scenario",
     "bench_scheduler_ticks",
+    "bench_sweep_fabric",
     "format_profile",
     "profile_scenario",
     "run_benchmarks",

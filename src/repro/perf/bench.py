@@ -12,7 +12,7 @@ from __future__ import annotations
 import platform
 import sys
 import time
-from typing import Any, Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional, Sequence
 
 from repro import __version__
 from repro.experiments.executor import RemoteExecutor
@@ -392,6 +392,70 @@ def bench_executor_overhead(cells: int = 24, repeat: int = 1
     return rows
 
 
+def bench_sweep_fabric(sizes: Sequence[int] = (10_000, 100_000,
+                                               1_000_000),
+                       workers: int = 2, batch_size: int = 256,
+                       remote_cap: int = 100_000
+                       ) -> List[Dict[str, Any]]:
+    """Fabric throughput (cells/s) per backend at stress scale.
+
+    Streams ``sweep-stress`` grids — microsecond closed-form cells —
+    through each backend with ``cache=None`` and the digest-only fold,
+    so the measured rate is pure fabric: lazy expansion, dispatch
+    batching, streaming aggregation.  No disk is touched, which keeps
+    the number comparable across runners with wildly different
+    filesystems.
+
+    ``remote`` runs two in-process loopback workers and is capped at
+    ``remote_cap`` cells (loopback JSON framing at 10⁶ cells would
+    dominate the whole perf run); the cap is recorded in the row.
+    """
+    def time_fold(size: int, runner_kwargs: Dict[str, Any]) -> float:
+        spec = SweepSpec("sweep-stress", grid={"shard": range(size)})
+        t0 = time.perf_counter()
+        SweepRunner(cache=None, **runner_kwargs).fold(
+            spec, keep_rows=False)
+        return time.perf_counter() - t0
+
+    def time_remote(size: int) -> float:
+        import threading
+        executor = RemoteExecutor(batch_size=batch_size)
+        threads = [threading.Thread(target=run_worker,
+                                    args=(executor.address,),
+                                    daemon=True) for _ in range(2)]
+        for t in threads:
+            t.start()
+        spec = SweepSpec("sweep-stress", grid={"shard": range(size)})
+        t0 = time.perf_counter()
+        with executor:
+            SweepRunner(executor=executor, cache=None).fold(
+                spec, keep_rows=False)
+        elapsed = time.perf_counter() - t0
+        for t in threads:
+            t.join(timeout=5.0)
+        return elapsed
+
+    rows: List[Dict[str, Any]] = []
+    for size in sizes:
+        backends = [
+            ("inline", lambda s=size: time_fold(s, {"workers": 1})),
+            ("process", lambda s=size: time_fold(
+                s, {"workers": workers, "batch_size": batch_size})),
+        ]
+        if size <= remote_cap:
+            backends.append(("remote",
+                             lambda s=size: time_remote(s)))
+        for name, fn in backends:
+            seconds = fn()
+            rows.append({"name": f"sweep_fabric:{name}",
+                         "backend": name, "cells": size,
+                         "batch_size": (1 if name == "inline"
+                                        else batch_size),
+                         "seconds": seconds,
+                         "cells_per_sec": size / seconds})
+    return rows
+
+
 # ---------------------------------------------------------------------------
 # scenario wall-clock
 # ---------------------------------------------------------------------------
@@ -490,6 +554,12 @@ def run_benchmarks(quick: bool = False, include_xl: bool = True,
                                         with_seed_baseline=baseline))
     executors = bench_executor_overhead(cells=12 if quick else 48,
                                         repeat=1 if quick else 2)
+    # fabric throughput at stress scale; quick mode shrinks the grid
+    # sizes (CI smoke runs in seconds) but keeps all three backends so
+    # the gated floors stay exercised on every PR
+    fabric = bench_sweep_fabric(
+        sizes=(2_000, 10_000) if quick else (10_000, 100_000,
+                                             1_000_000))
     return {
         "schema": BENCH_SCHEMA_VERSION,
         "version": __version__,
@@ -499,4 +569,5 @@ def run_benchmarks(quick: bool = False, include_xl: bool = True,
         "microbench": micro,
         "scenarios": scenarios,
         "executors": executors,
+        "sweep_fabric": fabric,
     }

@@ -25,6 +25,7 @@ Any registered scenario can also be run once under cProfile with
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional
 
@@ -440,5 +441,85 @@ def standby_sizing_scenario(machines: int = 1024,
                     "daily_failure_prob": daily_failure_prob,
                     "quantile": quantile})
         return row
+
+    return AnalyticScenario(compute)
+
+
+@register_scenario(
+    "sweep-stress",
+    params=[ParamSpec("shard", "int", 0,
+                      "cell index axis; grid over a range of shards to "
+                      "scale a stress sweep to any cell count"),
+            ParamSpec("machines", "int", 256,
+                      "fleet width the closed form evaluates"),
+            ParamSpec("mtbf_hours", "float", 40.0,
+                      "per-machine mean time between failures"),
+            ParamSpec("base_checkpoint_s", "int", 20,
+                      "checkpoint write cost before the per-shard "
+                      "perturbation")],
+    description="Microsecond closed-form checkpoint-cadence cell "
+                "(Young's approximation) for sweep-fabric stress runs",
+    tags=("analytic", "stress", "fabric"))
+def sweep_stress_scenario(shard: int = 0, machines: int = 256,
+                          mtbf_hours: float = 40.0,
+                          base_checkpoint_s: int = 20
+                          ) -> AnalyticScenario:
+    """A deliberately cheap analytic cell for fabric stress sweeps.
+
+    Each cell evaluates Young's approximation for the optimal
+    checkpoint interval at a fleet-level MTBF, with the checkpoint
+    cost perturbed by the ``shard`` index so a million-shard grid
+    produces a million distinct (but closed-form, microsecond-cheap)
+    reports.  Every cost in a stress sweep through this scenario is
+    therefore fabric overhead — expansion, cache traffic, dispatch,
+    aggregation — not simulation.
+    """
+    def compute() -> Dict[str, float]:
+        checkpoint_s = float(base_checkpoint_s + shard % 64)
+        fleet_mtbf_s = mtbf_hours * 3600.0 / max(1, machines)
+        # Young's approximation: t_opt = sqrt(2 * w * MTBF)
+        interval_s = math.sqrt(2.0 * checkpoint_s * fleet_mtbf_s)
+        # expected waste per failure interval: checkpoint overhead
+        # plus half an interval of recompute
+        wasted_frac = (checkpoint_s / interval_s
+                       + interval_s / (2.0 * fleet_mtbf_s))
+        return {"shard": shard, "machines": machines,
+                "checkpoint_s": checkpoint_s,
+                "fleet_mtbf_s": fleet_mtbf_s,
+                "optimal_interval_s": interval_s,
+                "goodput_frac": max(0.0, 1.0 - wasted_frac)}
+
+    return AnalyticScenario(compute)
+
+
+@register_scenario(
+    "sweep-stress-compute",
+    params=[ParamSpec("shard", "int", 0,
+                      "cell index axis (same role as in sweep-stress)"),
+            ParamSpec("work_iters", "int", 1000,
+                      "deterministic arithmetic iterations per cell — "
+                      "dials per-cell compute from microseconds to "
+                      "milliseconds")],
+    description="sweep-stress sibling with tunable per-cell compute, "
+                "for calibrating dispatch overhead against cell cost",
+    tags=("analytic", "stress", "fabric"))
+def sweep_stress_compute_scenario(shard: int = 0,
+                                  work_iters: int = 1000
+                                  ) -> AnalyticScenario:
+    """Stress cell whose cost is an adjustable busy-loop.
+
+    The fabric's dispatch batching only pays off while per-cell
+    compute is comparable to per-cell overhead; sweeping
+    ``work_iters`` maps out exactly where that crossover sits on a
+    given host.  The checksum is a deterministic function of
+    ``(shard, work_iters)`` so results stay byte-identical across
+    backends and batch sizes.
+    """
+    def compute() -> Dict[str, float]:
+        acc = shard & 0xFFFFFFFF
+        for i in range(work_iters):
+            acc = (acc * 1103515245 + 12345 + i) & 0x7FFFFFFF
+        return {"shard": shard, "work_iters": work_iters,
+                "checksum": acc}
 
     return AnalyticScenario(compute)

@@ -42,6 +42,7 @@ from repro.experiments import (
     SweepRequest,
     SweepRunner,
     SweepSpec,
+    count_cells,
     expand_cells,
     make_executor,
     run_worker,
@@ -69,7 +70,7 @@ def start_workers(address, count, **kwargs):
 
 class TestExecutorApi:
     def test_inline_executor_runs_all_cells(self):
-        cells = expand_cells([SPEC])
+        cells = list(expand_cells([SPEC]))
         with InlineExecutor() as ex:
             ex.submit_cells(cells)
             outcomes = list(ex.results())
@@ -250,7 +251,8 @@ class TestCacheService:
                 assert b.get("missing", "s") is None
                 view = a.server_stats()
         # one write (a) + one hit and one miss (b), aggregated
-        assert view["stats"] == {"hits": 1, "misses": 1, "writes": 1}
+        assert view["stats"] == {"hits": 1, "misses": 1, "writes": 1,
+                                 "corrupt": 0}
         assert view["entries"] == 1
         assert view["requests"]["get"] == 2
         assert view["requests"]["put"] == 1
@@ -311,7 +313,7 @@ class TestSweepRequestShims:
     def test_progress_keyword_shim_fires(self):
         events = []
         SweepRunner(workers=1).run(SPEC, progress=events.append)
-        assert len(events) == len(expand_cells([SPEC]))
+        assert len(events) == count_cells([SPEC])
 
     def test_request_base_seed_overrides_specs(self):
         spec = SweepSpec("dense-small",
@@ -333,7 +335,7 @@ class TestSweepRequestShims:
         request_cache = ResultCache(tmp_path / "request")
         SweepRunner(workers=1, cache=runner_cache).run(
             SweepRequest(specs=SPEC, cache=request_cache))
-        assert len(request_cache) == len(expand_cells([SPEC]))
+        assert len(request_cache) == count_cells([SPEC])
         assert len(runner_cache) == 0
 
     def test_result_cache_accepts_pathlib_path(self, tmp_path):

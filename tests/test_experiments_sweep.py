@@ -81,12 +81,12 @@ class TestRegistry:
 
 class TestExpansion:
     def test_grid_expansion_order_is_stable(self):
-        combos = expand_grid({"b": [1, 2], "a": ["x"]})
+        combos = list(expand_grid({"b": [1, 2], "a": ["x"]}))
         assert combos == [{"a": "x", "b": 1}, {"a": "x", "b": 2}]
-        assert expand_grid({}) == [{}]
+        assert list(expand_grid({})) == [{}]
 
     def test_cell_seeds_derived_and_stable(self):
-        cells = expand_cells([SMALL_SPEC])
+        cells = list(expand_cells([SMALL_SPEC]))
         assert [c.index for c in cells] == [0, 1]
         for cell in cells:
             assert cell.seed == derive_cell_seed(7, cell.index)
@@ -97,10 +97,10 @@ class TestExpansion:
     def test_seeds_independent_of_sweep_composition(self):
         # a spec's cells (and cache keys) must not change when other
         # specs share the sweep — seeds derive from spec-local indices
-        alone = expand_cells([SweepSpec("moe", base_seed=5)])
-        together = expand_cells([
+        alone = list(expand_cells([SweepSpec("moe", base_seed=5)]))
+        together = list(expand_cells([
             SweepSpec("dense", grid={"mtbf_scale": [0.5, 1.0]}),
-            SweepSpec("moe", base_seed=5)])
+            SweepSpec("moe", base_seed=5)]))
         assert together[-1].seed == alone[0].seed
         assert together[-1].key == alone[0].key
 
@@ -327,11 +327,11 @@ class TestCacheMaintenance:
         SweepRunner(workers=1, cache=cache).run(ANALYTIC_SPEC)
         fresh = ResultCache(str(tmp_path / "c"))
         assert fresh.lifetime_stats() == {"hits": 0, "misses": 4,
-                                          "writes": 4}
+                                          "writes": 4, "corrupt": 0}
         SweepRunner(workers=1, cache=fresh).run(ANALYTIC_SPEC)
         again = ResultCache(str(tmp_path / "c"))
         assert again.lifetime_stats() == {"hits": 4, "misses": 4,
-                                          "writes": 4}
+                                          "writes": 4, "corrupt": 0}
 
 
 class TestReportLayer:
@@ -383,12 +383,14 @@ class TestResultCache:
 
     def test_traffic_counters(self, tmp_path):
         cache = ResultCache(str(tmp_path / "c"))
-        assert cache.stats() == {"hits": 0, "misses": 0, "writes": 0}
+        assert cache.stats() == {"hits": 0, "misses": 0, "writes": 0,
+                                 "corrupt": 0}
         cache.get("nope")                       # miss
         cache.put("key", {"x": 1})              # write
         cache.get("key")                        # hit
         cache.get("key")                        # hit
-        assert cache.stats() == {"hits": 2, "misses": 1, "writes": 1}
+        assert cache.stats() == {"hits": 2, "misses": 1, "writes": 1,
+                                 "corrupt": 0}
 
     def test_corrupt_entry_counts_as_miss(self, tmp_path):
         cache = ResultCache(str(tmp_path))
