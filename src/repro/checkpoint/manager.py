@@ -209,6 +209,21 @@ class CheckpointManager:
         return 0.0
 
     # ------------------------------------------------------------------
+    def rebind(self, restart_step: int,
+               shard_sizes: Optional[ShardedStateSizes] = None) -> None:
+        """Re-derive the backup plan and slot table after an elastic
+        resize changed the job's topology (and with it the per-rank
+        shard sizes).  Every slot of the new layout holds the boundary
+        checkpoint it just loaded, mirroring :meth:`after_recovery`."""
+        if shard_sizes is not None:
+            self.shard_sizes = shard_sizes
+        self.plan = plan_cross_group_backup(self.job.topology)
+        self.slot_states = {
+            slot: _SlotCheckpointState(local_step=restart_step,
+                                       backup_step=restart_step)
+            for slot in range(self.job.num_machines)}
+        self._ctx_cache = None
+
     def after_recovery(self, restart_step: int) -> None:
         """Reset durable state to the restarted step on every slot."""
         for state in self.slot_states.values():

@@ -22,7 +22,19 @@ that churn:
 * **retry** — a dispatch that finds no capacity re-arms itself, so
   machines freed asynchronously (job completion, repair finishing) are
   picked up without the platform polling forever while the queue is
-  empty.
+  empty;
+* **preemption** — when a higher-priority request stays blocked, the
+  scheduler plans victim releases from strictly-lower-priority running
+  jobs (lowest priority first, newest first within a class) and asks
+  the owner to preempt them; the owner carries the preemption out at
+  a checkpoint boundary and calls :meth:`preempted` when the machines
+  are back, which re-queues the victim to resume from its checkpoint;
+* **elastic resize** — requests that declare ``(min_machines,
+  max_machines)`` may be shrunk toward their floor to admit a blocked
+  higher-priority head (cheaper than full preemption, tried first)
+  and grown toward their ceiling when capacity sits free with an
+  empty queue; both happen through the owner's ``resize`` callback at
+  checkpoint boundaries, acknowledged via :meth:`resized`.
 
 The scheduler owns *when* a job starts; *which* machines it gets is
 delegated per-allocation to the pool's placement policy
@@ -60,6 +72,32 @@ class JobRequest:
     #: Monotonic tiebreak inside one priority class (FIFO).
     seq: int = 0
     started_at: Optional[float] = None
+    #: Elastic size bounds (None/None = fixed size).  A job may be
+    #: shrunk to ``min_machines`` to admit higher-priority work and
+    #: grown to ``max_machines`` when capacity sits free.
+    min_machines: Optional[int] = None
+    max_machines: Optional[int] = None
+    #: False exempts the job from preemption (static/add_job jobs).
+    preemptible: bool = True
+    #: Times this request was preempted; ``was_preempted`` flags a
+    #: queued request whose next start is a resume.
+    preemptions: int = 0
+    was_preempted: bool = False
+
+    @property
+    def elastic(self) -> bool:
+        return (self.min_machines is not None
+                or self.max_machines is not None)
+
+    @property
+    def size_floor(self) -> int:
+        return (self.min_machines if self.min_machines is not None
+                else self.num_machines)
+
+    @property
+    def size_ceiling(self) -> int:
+        return (self.max_machines if self.max_machines is not None
+                else self.num_machines)
 
     @property
     def planned_end(self) -> Optional[float]:
@@ -80,20 +118,44 @@ class FleetScheduler:
     def __init__(self, sim: Simulator, pool: MachinePool,
                  start: Callable[[JobRequest, List[int]], None],
                  backfill: bool = True,
-                 retry_interval_s: float = 60.0):
+                 retry_interval_s: float = 60.0,
+                 preemption: str = "none",
+                 preempt: Optional[Callable[[JobRequest], None]] = None,
+                 resize: Optional[
+                     Callable[[JobRequest, int], None]] = None):
+        if preemption not in ("none", "kill", "checkpoint"):
+            raise ValueError(f"unknown preemption policy {preemption!r}")
         self.sim = sim
         self.pool = pool
         self.start = start
         self.backfill = backfill
         self.retry_interval_s = retry_interval_s
+        #: "none" | "kill" | "checkpoint" — *whether* victims are
+        #: preempted is decided here; *how* (immediate kill vs wait
+        #: for the checkpoint boundary) is the owner's business.
+        self.preemption = preemption
+        #: Owner callback: begin preempting a running request.  The
+        #: owner releases the machines (at its chosen boundary) and
+        #: then calls :meth:`preempted`.
+        self.preempt = preempt
+        #: Owner callback: begin resizing a running request to a new
+        #: machine count, acknowledged via :meth:`resized`.
+        self.resize = resize
         self.queue: List[JobRequest] = []
         self.running: Dict[str, JobRequest] = {}
         self.finished: List[JobRequest] = []
         self._seq = 0
         self._retry_armed = False
+        #: machines promised back by in-flight preemptions/shrinks,
+        #: keyed by job name — keeps re-dispatch from over-preempting
+        #: while a victim is still draining to its boundary
+        self._pending_release: Dict[str, int] = {}
+        #: names with a resize (either direction) in flight
+        self._resizing: set = set()
         #: dispatch bookkeeping for fleet reports
         self.stats = {"submitted": 0, "started": 0, "completed": 0,
-                      "backfilled": 0, "rejected": 0}
+                      "backfilled": 0, "rejected": 0, "preempted": 0,
+                      "resumed": 0, "shrunk": 0, "grown": 0}
 
     # ------------------------------------------------------------------
     def check_admission(self, name: str, num_machines: int) -> None:
@@ -109,7 +171,10 @@ class FleetScheduler:
                 f"cluster only has {len(self.pool.cluster.machines)}")
 
     def enqueue(self, name: str, num_machines: int, priority: int = 0,
-                duration_s: Optional[float] = None) -> JobRequest:
+                duration_s: Optional[float] = None,
+                min_machines: Optional[int] = None,
+                max_machines: Optional[int] = None,
+                preemptible: bool = True) -> JobRequest:
         """Admit and queue a request without dispatching yet.
 
         Batch submitters (the platform's ``start()``) enqueue a whole
@@ -117,19 +182,41 @@ class FleetScheduler:
         across the batch instead of first-enqueued-first-served.
         """
         self.check_admission(name, num_machines)
+        if min_machines is not None and not (
+                1 <= min_machines <= num_machines):
+            self.stats["rejected"] += 1
+            raise AdmissionError(
+                f"job {name!r}: min_machines {min_machines} outside "
+                f"[1, {num_machines}]")
+        if max_machines is not None and (
+                max_machines < num_machines
+                or max_machines > len(self.pool.cluster.machines)):
+            self.stats["rejected"] += 1
+            raise AdmissionError(
+                f"job {name!r}: max_machines {max_machines} outside "
+                f"[{num_machines}, {len(self.pool.cluster.machines)}]")
         request = JobRequest(name=name, num_machines=num_machines,
                              priority=priority, duration_s=duration_s,
-                             submitted_at=self.sim.now, seq=self._seq)
+                             submitted_at=self.sim.now, seq=self._seq,
+                             min_machines=min_machines,
+                             max_machines=max_machines,
+                             preemptible=preemptible)
         self._seq += 1
         self.stats["submitted"] += 1
         self.queue.append(request)
         return request
 
     def submit(self, name: str, num_machines: int, priority: int = 0,
-               duration_s: Optional[float] = None) -> JobRequest:
+               duration_s: Optional[float] = None,
+               min_machines: Optional[int] = None,
+               max_machines: Optional[int] = None,
+               preemptible: bool = True) -> JobRequest:
         """Queue a request; dispatch immediately if capacity allows."""
         request = self.enqueue(name, num_machines, priority=priority,
-                               duration_s=duration_s)
+                               duration_s=duration_s,
+                               min_machines=min_machines,
+                               max_machines=max_machines,
+                               preemptible=preemptible)
         self.dispatch()
         return request
 
@@ -140,9 +227,66 @@ class FleetScheduler:
         request = self.running.pop(name, None)
         if request is None:
             raise KeyError(f"no running job {name!r}")
+        # completion beats any in-flight preemption/resize of the job
+        self._pending_release.pop(name, None)
+        self._resizing.discard(name)
         self.stats["completed"] += 1
         self.finished.append(request)
         self.dispatch()
+
+    # ------------------------------------------------------------------
+    # preemption / elastic acknowledgements (owner callbacks land here)
+    # ------------------------------------------------------------------
+    def preempted(self, name: str,
+                  remaining_s: Optional[float]) -> JobRequest:
+        """The owner finished preempting ``name``: its machines are
+        back in the pool.  The request re-enters the queue (fresh seq:
+        it resumes behind same-priority peers) with ``remaining_s`` as
+        its new planned runtime, and a dispatch follows immediately —
+        normally starting the blocked head the preemption was for."""
+        request = self.running.pop(name, None)
+        if request is None:
+            raise KeyError(f"no running job {name!r}")
+        self._pending_release.pop(name, None)
+        self.stats["preempted"] += 1
+        request.preemptions += 1
+        request.was_preempted = True
+        request.started_at = None
+        request.duration_s = remaining_s
+        request.seq = self._seq
+        self._seq += 1
+        self.queue.append(request)
+        self.dispatch()
+        return request
+
+    def resized(self, name: str, new_size: int) -> None:
+        """The owner finished resizing ``name`` to ``new_size``."""
+        request = self.running.get(name)
+        if request is None:
+            raise KeyError(f"no running job {name!r}")
+        delta = new_size - request.num_machines
+        self._pending_release.pop(name, None)
+        self._resizing.discard(name)
+        request.num_machines = new_size
+        if delta < 0:
+            self.stats["shrunk"] += 1
+        elif delta > 0:
+            self.stats["grown"] += 1
+        self.dispatch()
+
+    def resize_aborted(self, name: str) -> None:
+        """The owner could not carry out a planned resize (capacity
+        vanished before the boundary): clear the in-flight marks."""
+        self._pending_release.pop(name, None)
+        self._resizing.discard(name)
+
+    def note_preempting(self, name: str) -> None:
+        """The owner started preempting ``name`` on its own initiative
+        (spot reclaim): count the machines as promised back so
+        dispatch does not plan a second preemption on top of it."""
+        request = self.running.get(name)
+        if request is not None:
+            self._pending_release[name] = request.num_machines
 
     # ------------------------------------------------------------------
     def available_machines(self) -> int:
@@ -193,7 +337,12 @@ class FleetScheduler:
         for request in sorted(self.queue,
                               key=lambda r: (-r.priority, r.seq)):
             if self.available_machines() < request.num_machines:
-                if not self.backfill:
+                if not self.backfill or self._pending_release:
+                    # machines freed by an in-flight preemption/shrink
+                    # plan are earmarked for the blocked head: letting
+                    # a backfill (worst case: the victim itself) grab
+                    # them would undo the plan — in kill mode, as an
+                    # endless preempt/restart cycle at one timestamp
                     break
                 if reservation is None:
                     reservation = self._head_reservation(
@@ -221,19 +370,114 @@ class FleetScheduler:
             request.started_at = self.sim.now
             self.running[request.name] = request
             self.stats["started"] += 1
+            if request.was_preempted:
+                self.stats["resumed"] += 1
+                request.was_preempted = False
             started += 1
             self.start(request, machines)
-        if self.queue and not self._retry_armed:
-            # capacity frees asynchronously (repair completions) —
-            # re-arm a single retry timer while anything is waiting
-            self._retry_armed = True
-            self.sim.schedule(self.retry_interval_s, self._retry)
+        if self.queue:
+            self._plan_preemption()
+            if not self._retry_armed:
+                # capacity frees asynchronously (repair completions) —
+                # re-arm a single retry timer while anything is waiting
+                self._retry_armed = True
+                self.sim.schedule(self.retry_interval_s, self._retry)
+        elif self.resize is not None:
+            self._grow_elastic()
         return started
 
     def _retry(self) -> None:
         self._retry_armed = False
         if self.queue:
             self.dispatch()
+
+    # ------------------------------------------------------------------
+    # preemption planning / elastic growth
+    # ------------------------------------------------------------------
+    def _victims(self) -> List[JobRequest]:
+        """Running jobs in victim order: lowest priority first, newest
+        first within a class, skipping anything already in flight."""
+        return sorted(
+            (r for r in self.running.values()
+             if r.name not in self._pending_release
+             and r.name not in self._resizing),
+            key=lambda r: (r.priority, -r.seq))
+
+    def _plan_preemption(self) -> None:
+        """Free capacity for the blocked queue head by shrinking and —
+        failing that — preempting strictly-lower-priority victims.
+
+        The plan executes only when it fully covers the head's
+        shortfall (in-flight returns counted); a partial plan would
+        churn victims without starting anyone.  Shrinks are tried
+        first: an elastic job at or below the head's priority gives
+        back everything above its floor without losing any progress.
+        """
+        if self.preemption == "none" and self.resize is None:
+            return
+        head = min(self.queue, key=lambda r: (-r.priority, r.seq))
+        shortfall = (head.num_machines - self.available_machines()
+                     - sum(self._pending_release.values()))
+        if shortfall <= 0:
+            return      # in-flight returns already cover the head
+        shrinks: Dict[str, Tuple[JobRequest, int]] = {}
+        recoverable = 0
+        if self.resize is not None:
+            for victim in self._victims():
+                if victim.priority > head.priority:
+                    continue
+                floor = victim.size_floor
+                if floor < victim.num_machines:
+                    shrinks[victim.name] = (victim, floor)
+                    recoverable += victim.num_machines - floor
+                    if recoverable >= shortfall:
+                        break
+        preempts: List[JobRequest] = []
+        if (recoverable < shortfall and self.preemption != "none"
+                and self.preempt is not None):
+            for victim in self._victims():
+                if (not victim.preemptible
+                        or victim.priority >= head.priority):
+                    continue
+                planned = shrinks.pop(victim.name, None)
+                # a shrink already counted everything above the floor;
+                # full preemption returns the floor as well
+                recoverable += (planned[1] if planned
+                                else victim.num_machines)
+                preempts.append(victim)
+                if recoverable >= shortfall:
+                    break
+        if recoverable < shortfall:
+            return      # even the full plan cannot start the head
+        for victim, floor in shrinks.values():
+            self._pending_release[victim.name] = \
+                victim.num_machines - floor
+            self._resizing.add(victim.name)
+            self.resize(victim, floor)
+        for victim in preempts:
+            self._pending_release[victim.name] = victim.num_machines
+            self.preempt(victim)
+
+    def _grow_elastic(self) -> None:
+        """Hand free capacity to running elastic jobs (queue empty):
+        highest priority first, oldest first within a class."""
+        available = self.available_machines()
+        if available <= 0:
+            return
+        for request in sorted(self.running.values(),
+                              key=lambda r: (-r.priority, r.seq)):
+            if available <= 0:
+                break
+            if (request.name in self._resizing
+                    or request.name in self._pending_release):
+                continue
+            target = min(request.size_ceiling,
+                         request.num_machines + available)
+            if target <= request.num_machines:
+                continue
+            available -= target - request.num_machines
+            self._resizing.add(request.name)
+            self.resize(request, target)
 
     # ------------------------------------------------------------------
     def queued_names(self) -> List[str]:

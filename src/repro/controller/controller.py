@@ -141,6 +141,14 @@ class RobustController:
         #: in-flight recovery callbacks become no-ops instead of
         #: restarting a job whose machines were already released
         self.retired = False
+        #: reversible cousin of ``retired``: set while the job is
+        #: preempted or resizing (machines released, may come back)
+        self.suspended = False
+        #: bumped by :meth:`suspend_recovery`; recovery callbacks armed
+        #: before a pause capture the old value and die on mismatch, so
+        #: a preempted-then-resumed job can never be restarted by a
+        #: stale pre-preemption incident chain
+        self._epoch = 0
         #: machines acquired for an in-flight recovery but not yet
         #: bound into the job (the restart delay hasn't elapsed);
         #: platforms must not treat them as anyone else's to release
@@ -151,6 +159,23 @@ class RobustController:
         torn down by its platform).  Pending scheduled recovery steps
         will return any machines they acquired and do nothing else."""
         self.retired = True
+
+    def suspend_recovery(self) -> None:
+        """Reversibly stop recovering: the job is being preempted or
+        resized, its machines are (about to be) released.  In-flight
+        recovery callbacks observe the epoch bump and return any
+        machines they acquired instead of restarting a job that no
+        longer holds its slots."""
+        self._epoch += 1
+        self._handling = None
+        self.suspended = True
+
+    def resume_recovery(self) -> None:
+        """Re-enable recovery after :meth:`suspend_recovery` — the job
+        was re-dispatched onto (possibly different) machines.  Chains
+        armed before the pause stay dead: only callbacks created from
+        the current epoch onward run."""
+        self.suspended = False
 
     # ==================================================================
     # event entrypoints
@@ -273,7 +298,8 @@ class RobustController:
     # incident bookkeeping helpers
     # ==================================================================
     def _busy(self) -> bool:
-        return self.retired or self._handling is not None
+        return (self.retired or self.suspended
+                or self._handling is not None)
 
     def _open(self, symptom: FaultSymptom, detail: str = "",
               occurred_at: float = -1.0) -> Incident:
@@ -330,8 +356,14 @@ class RobustController:
         self.job.suspend()
         report = self.diagnoser.diagnose(self.job.machines, log_message,
                                          nan=nan)
-        self.sim.schedule(report.total_duration_s,
-                          lambda: self._after_stop_time(incident, report))
+        epoch = self._epoch
+
+        def after() -> None:
+            if epoch != self._epoch:
+                return
+            self._after_stop_time(incident, report)
+
+        self.sim.schedule(report.total_duration_s, after)
 
     def _after_stop_time(self, incident: Incident, report) -> None:
         action = self.policy.after_stop_time_checks(
@@ -366,8 +398,11 @@ class RobustController:
             self._stop_time_checks(incident, "recurring hang", nan=False)
             return
         incident.actions.append("aggregation_analysis")
+        epoch = self._epoch
 
         def run_analysis() -> None:
+            if epoch != self._epoch:
+                return
             capture = self.tracer.capture()
             result = self.analyzer.aggregate(
                 capture.traces, slot_to_machine=self.job.slot_to_machine)
@@ -411,13 +446,15 @@ class RobustController:
                                     IncidentMechanism.AUTOFT_ER)
             return
         incident.actions.append("failslow_voting")
+        epoch = self._epoch
         voter = FailSlowVoter(self.analyzer,
                               rounds=self.config.failslow_rounds,
                               interval_s=self.config.failslow_interval_s)
         voter.run(self.sim, lambda: self.tracer.capture().traces,
                   slot_to_machine=self.job.slot_to_machine,
-                  done=lambda verdict: self._after_failslow(
-                      incident, verdict))
+                  done=lambda verdict: (
+                      None if epoch != self._epoch
+                      else self._after_failslow(incident, verdict)))
 
     def _after_failslow(self, incident: Incident,
                         verdict: FailSlowVerdict) -> None:
@@ -444,8 +481,11 @@ class RobustController:
         # (ByteCheckpoint-style load-time resharding) — add that cost
         result.duration_s += self._replay_reshard_seconds(m)
         action = self.policy.after_replay(result.found_suspects)
+        epoch = self._epoch
 
         def conclude() -> None:
+            if epoch != self._epoch:
+                return
             if action is PolicyAction.EVICT_AND_RESTART:
                 incident.actions.append(
                     f"replay_isolated:{result.suspects}")
@@ -493,7 +533,7 @@ class RobustController:
     def _evict_and_restart(self, incident: Incident,
                            machines: Sequence[int],
                            mechanism: str) -> None:
-        if self.retired:
+        if self.retired or self.suspended:
             return
         incident.localized_at = self.sim.now
         incident.phase = IncidentPhase.RECOVERING
@@ -511,13 +551,16 @@ class RobustController:
 
     def _acquire_replacements(self, incident: Incident,
                               evicted: List[int],
-                              acquired: List[int]) -> None:
+                              acquired: List[int],
+                              epoch: Optional[int] = None) -> None:
         """Gather replacement machines: standbys first, then free pool;
         if the cluster is fully drained (everything in repair), wait for
         replenishment and retry — the paper's "training restarts when
         all needed machines finish their pod environment initialization".
         """
-        if self.retired:
+        if epoch is None:
+            epoch = self._epoch
+        if self.retired or epoch != self._epoch:
             self.pool.release([m for m in acquired
                                if m in self.pool.active])
             self.pending_replacements.difference_update(acquired)
@@ -537,7 +580,7 @@ class RobustController:
         if needed > 0:
             incident.actions.append(f"waiting_for_{needed}_machines")
             self.sim.schedule(60.0, lambda: self._acquire_replacements(
-                incident, evicted, acquired))
+                incident, evicted, acquired, epoch))
             return
         if from_free > 0:
             delay = self.pool.times.reschedule_time(from_free)
@@ -557,14 +600,16 @@ class RobustController:
                 restart_step=self.job.current_step,
                 source=RecoverySource.LOCAL_MEMORY, load_seconds=1.0)
         total = scheduling_delay + decision.load_seconds
+        epoch = self._epoch
 
         def do_restart() -> None:
             self.pending_replacements.difference_update(
                 replacements.values())
-            if self.retired:
+            if self.retired or epoch != self._epoch:
                 self.pool.release([m for m in replacements.values()
                                    if m in self.pool.active])
-                self._handling = None
+                if self.retired:
+                    self._handling = None
                 return
             self._apply_pending_updates()
             self.job.restart(decision.restart_step,
@@ -576,9 +621,12 @@ class RobustController:
         self.sim.schedule(total, do_restart)
 
     def _restart_in_place(self, incident: Incident, delay: float) -> None:
+        epoch = self._epoch
+
         def do_restart() -> None:
-            if self.retired:
-                self._handling = None
+            if self.retired or epoch != self._epoch:
+                if self.retired:
+                    self._handling = None
                 return
             self._apply_pending_updates()
             self.job.restart(self._inplace_restart_step())
@@ -640,8 +688,11 @@ class RobustController:
         incident.actions.append("escalate_human")
         self.escalation = EscalationLevel.ESCALATED
         self.job.suspend()
+        epoch = self._epoch
 
         def human_fix() -> None:
+            if epoch != self._epoch:
+                return
             # humans fix the actual root cause, wherever it hides —
             # including service-level faults with no machine to evict
             for fault in list(self.injector.active_faults.values()):

@@ -94,8 +94,11 @@ class ManagementStack:
     #: Elastic warm-pool resizer, when the stack owns its pool's
     #: sizing (single-job systems); None on shared-pool platforms.
     resizer: Optional[StandbyResizer] = None
+    #: Aggregation config kept so elastic resizes can rebuild the
+    #: topology-bound analyzer; None on stacks that never resize.
+    aggregation: Optional[AggregationConfig] = None
 
-    def launch(self, machine_ids: List[int]) -> None:
+    def launch(self, machine_ids: List[int], at_step: int = 0) -> None:
         """Bind machines and start monitor + job (standbys are the
         owner's concern — pools are shared on the platform)."""
         self.job.bind_machines(machine_ids)
@@ -103,7 +106,7 @@ class ManagementStack:
         self.inspections.start()
         if self.resizer is not None:
             self.resizer.start()
-        self.job.start()
+        self.job.start(at_step)
 
     def shutdown(self) -> None:
         """Stop the job for good: retire the controller (in-flight
@@ -115,6 +118,55 @@ class ManagementStack:
         self.inspections.stop()
         if self.resizer is not None:
             self.resizer.stop()
+
+    def pause(self) -> None:
+        """Reversibly stop the job (preemption or resize): suspend the
+        controller's recovery (in-flight chains die at the epoch
+        bump), kill the training processes, silence the monitors.
+        Unlike :meth:`shutdown`, :meth:`resume` brings it back."""
+        self.controller.suspend_recovery()
+        self.job.suspend()
+        self.collector.stop()
+        self.inspections.stop()
+        if self.ckpt_manager is not None:
+            self.ckpt_manager.enabled = False
+
+    def resume(self, machine_ids: List[int], at_step: int = 0) -> None:
+        """Relaunch a paused stack on (possibly different) machines,
+        restarting the job from the ``at_step`` checkpoint."""
+        self.job.bind_machines(machine_ids)
+        self.collector.start()
+        self.inspections.start()
+        self.controller.resume_recovery()
+        if self.ckpt_manager is not None:
+            self.ckpt_manager.enabled = True
+            self.ckpt_manager.after_recovery(at_step)
+        self.job.restart(at_step)
+
+    def resize(self, parallelism, machine_ids: List[int],
+               at_step: int = 0) -> None:
+        """Elastic shrink/grow: relaunch a paused stack under a new
+        data-parallel layout, rebinding every topology-derived
+        component (rank topology, backup plan, shard sizes, runtime
+        analyzer) before restarting from the boundary checkpoint."""
+        self.job.rebind_parallelism(parallelism, machine_ids)
+        if self.ckpt_manager is not None:
+            from repro.parallelism import zero_shard_sizes
+
+            shard_sizes = zero_shard_sizes(
+                self.job.config.model.num_params,
+                tp=parallelism.tp, pp=parallelism.pp, dp=parallelism.dp,
+                zero_stage=1)
+            self.ckpt_manager.rebind(at_step, shard_sizes=shard_sizes)
+        self.analyzer = RuntimeAnalyzer(
+            self.job.topology, self.aggregation or AggregationConfig())
+        self.controller.analyzer = self.analyzer
+        self.collector.start()
+        self.inspections.start()
+        self.controller.resume_recovery()
+        if self.ckpt_manager is not None:
+            self.ckpt_manager.enabled = True
+        self.job.restart(at_step)
 
 
 def build_management_stack(sim: Simulator, cluster: Cluster,
@@ -183,4 +235,5 @@ def build_management_stack(sim: Simulator, cluster: Cluster,
         inspections=inspections, diagnoser=diagnoser, replay=replay,
         analyzer=analyzer, tracer=tracer, hotupdate=hotupdate,
         ckpt_manager=ckpt_manager, incident_log=incident_log,
-        controller=controller, resizer=resizer)
+        controller=controller, resizer=resizer,
+        aggregation=config.aggregation)

@@ -9,7 +9,12 @@
 * :mod:`repro.core.byterobust` — the :class:`ByteRobustSystem` facade
   that wires the cluster, training job, monitor, controller, analyzer,
   and checkpoint engine together, and the :class:`RunReport` produced
-  by a simulated production run.
+  by a simulated production run;
+* :mod:`repro.core.platform` — the multi-job
+  :class:`TrainingPlatform`: jobs enter as a typed :class:`JobSpec`
+  and come back as a live :class:`JobHandle` whose
+  :class:`HandleState` walks QUEUED → RUNNING (→ PREEMPTED /
+  RESIZING) → DONE.
 """
 
 from repro.core.incidents import Incident, IncidentLog, IncidentPhase
@@ -19,15 +24,27 @@ from repro.core.byterobust import (
     RunReport,
     SystemConfig,
 )
+from repro.core.platform import (
+    HandleState,
+    JobHandle,
+    JobSpec,
+    PlatformConfig,
+    TrainingPlatform,
+)
 
 __all__ = [
     "ByteRobustSystem",
     "EttrSeries",
     "EttrTracker",
+    "HandleState",
     "Incident",
     "IncidentLog",
     "IncidentPhase",
+    "JobHandle",
+    "JobSpec",
+    "PlatformConfig",
     "RunReport",
     "SystemConfig",
+    "TrainingPlatform",
     "UnproductiveBreakdown",
 ]

@@ -14,12 +14,25 @@ capacity frees, and jobs with a planned ``duration_s`` complete on
 their own, returning their machines to the pool for whoever queues
 next.  Evictions from any job compete for the same standbys, which is
 exactly the contention the P99 pool sizing is meant to absorb.
+
+The job-lifecycle surface is the typed :class:`JobSpec` →
+:class:`JobHandle` pair: :meth:`submit` accepts a spec (legacy
+``submit(name, job_config, ...)`` shapes coerce through
+:meth:`JobSpec.coerce`) and returns a handle exposing
+:class:`HandleState`, the lifecycle event history, and wasted-work
+accounting.  With ``config.preemption`` enabled the scheduler may ask
+the platform to preempt a running victim — carried out at the next
+checkpoint boundary (``"checkpoint"``) or immediately (``"kill"``) —
+and with elastic bounds declared, to shrink/grow it through a
+data-parallel topology rebind.
 """
 
 from __future__ import annotations
 
+import enum
+import sys
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Any, Dict, List, Optional, Union
 
 from repro.agent.tracer import OnDemandTracer
 from repro.cluster.components import MachineSpec
@@ -42,6 +55,7 @@ from repro.controller.standby import (
 )
 from repro.core.ettr import EttrTracker
 from repro.core.incidents import IncidentLog
+from repro.parallelism import ParallelismConfig
 from repro.monitor.collectors import CollectorConfig, MetricsCollector
 from repro.monitor.detectors import AnomalyDetector, DetectorConfig
 from repro.monitor.inspections import InspectionConfig, InspectionEngine
@@ -50,9 +64,92 @@ from repro.training.job import TrainingJob, TrainingJobConfig
 from repro.training.metrics import CodeVersionProfile
 
 
+class HandleState(enum.Enum):
+    """Lifecycle state exposed on a :class:`JobHandle`."""
+
+    QUEUED = "queued"
+    RUNNING = "running"
+    PREEMPTED = "preempted"
+    RESIZING = "resizing"
+    DONE = "done"
+
+
+@dataclass
+class JobSpec:
+    """Everything one job submission needs, in a single value.
+
+    The typed intake for :meth:`TrainingPlatform.submit`: size bounds
+    (``min_machines``/``max_machines`` make the job elastic),
+    priority, planned runtime, and the preemption opt-out.  Legacy
+    ``submit(name, job_config, ...)`` call shapes normalize through
+    :meth:`coerce`, mirroring the ``SweepRequest.coerce`` pattern.
+    """
+
+    name: str
+    job_config: TrainingJobConfig
+    priority: int = 0
+    #: planned runtime; None = runs until the simulation horizon
+    duration_s: Optional[float] = None
+    initial_mfu: float = 0.30
+    #: elastic size bounds (None/None = fixed size): the scheduler may
+    #: shrink the job to ``min_machines`` to admit higher-priority
+    #: work and grow it to ``max_machines`` when capacity sits free
+    min_machines: Optional[int] = None
+    max_machines: Optional[int] = None
+    #: False exempts the job from preemption entirely
+    preemptible: bool = True
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.job_config, TrainingJobConfig):
+            raise TypeError("JobSpec.job_config must be a "
+                            "TrainingJobConfig")
+
+    @property
+    def num_machines(self) -> int:
+        return (self.job_config.parallelism.world_size
+                // self.job_config.parallelism.gpus_per_machine)
+
+    @classmethod
+    def coerce(cls, spec: Union["JobSpec", str],
+               job_config: Optional[TrainingJobConfig] = None,
+               priority: int = 0, duration_s: Optional[float] = None,
+               initial_mfu: float = 0.30,
+               min_machines: Optional[int] = None,
+               max_machines: Optional[int] = None,
+               preemptible: bool = True) -> "JobSpec":
+        """Normalize the legacy call shapes onto a spec.
+
+        A :class:`JobSpec` passes through; passing a job config (or
+        any other field) alongside one is ambiguous and rejected.  A
+        bare name plus ``job_config`` builds the spec from the legacy
+        keywords.
+        """
+        if isinstance(spec, cls):
+            if job_config is not None:
+                raise ValueError(
+                    "job_config passed both inside the JobSpec and as "
+                    "an argument; pick one")
+            return spec
+        if job_config is None:
+            raise TypeError(
+                "submit() takes a JobSpec or (name, job_config)")
+        return cls(name=spec, job_config=job_config, priority=priority,
+                   duration_s=duration_s, initial_mfu=initial_mfu,
+                   min_machines=min_machines, max_machines=max_machines,
+                   preemptible=preemptible)
+
+
 @dataclass
 class ManagedJob:
-    """One job plus its dedicated management stack and lifecycle."""
+    """One job plus its dedicated management stack and lifecycle.
+
+    This *is* the :class:`JobHandle` :meth:`TrainingPlatform.submit`
+    returns: :attr:`state` is the lifecycle state machine
+    (``QUEUED/RUNNING/PREEMPTED/RESIZING/DONE``), :attr:`events` the
+    append-only lifecycle history, and
+    :attr:`wasted_machine_seconds` the work thrown away by
+    preemptions (progress past the checkpoint the job resumed from).
+    """
 
     name: str
     stack: ManagementStack
@@ -65,6 +162,38 @@ class ManagedJob:
     #: True for legacy :meth:`TrainingPlatform.add_job` registrations,
     #: which must all be placeable at start() (strict co-scheduling)
     static: bool = False
+    #: elastic size bounds + preemption opt-out (the JobSpec surface)
+    min_machines: Optional[int] = None
+    max_machines: Optional[int] = None
+    preemptible: bool = True
+    #: lifecycle accounting
+    preemptions: int = 0
+    resumes: int = 0
+    resize_events: List[dict] = field(default_factory=list)
+    #: machine-seconds of progress discarded by preemptions (work past
+    #: the checkpoint the job resumed from, times machines held)
+    wasted_machine_seconds: float = 0.0
+    #: machine-seconds actually spent holding machines, summed over
+    #: running segments (excludes time parked on the queue between a
+    #: preemption and its resume; resizes weight each segment by the
+    #: machine count it ran at)
+    busy_machine_seconds: float = 0.0
+    #: step the next (re)start resumes from
+    resume_step: int = 0
+    #: wall-clock runtime still owed; None = open-ended
+    remaining_s: Optional[float] = None
+    #: append-only lifecycle event history: {"t", "event"} dicts
+    events: List[dict] = field(default_factory=list)
+    #: a preemption was requested; waiting for the boundary
+    preempting: bool = False
+    #: paused and re-queued; next dispatch is a resume
+    is_preempted: bool = False
+    #: an elastic resize is in flight
+    is_resizing: bool = False
+    #: when the current running segment started (resets on resume)
+    segment_started_at: Optional[float] = None
+    #: handle for the planned-completion timer (cancelled on preempt)
+    _complete_handle: Optional[Any] = None
 
     # -- convenience passthroughs (the pre-scheduler ManagedJob API) --
     @property
@@ -102,11 +231,28 @@ class ManagedJob:
 
     @property
     def running(self) -> bool:
-        return self.started_at is not None and self.completed_at is None
+        # a preempted job keeps its first started_at (wait accounting)
+        # but holds no machines and must not read as running
+        return (self.started_at is not None
+                and self.completed_at is None
+                and not self.is_preempted)
 
     @property
     def completed(self) -> bool:
         return self.completed_at is not None
+
+    @property
+    def state(self) -> HandleState:
+        """The :class:`JobHandle` lifecycle state machine."""
+        if self.completed:
+            return HandleState.DONE
+        if self.is_preempted:
+            return HandleState.PREEMPTED
+        if self.is_resizing:
+            return HandleState.RESIZING
+        if self.started_at is None:
+            return HandleState.QUEUED
+        return HandleState.RUNNING
 
     @property
     def lifecycle(self) -> str:
@@ -119,6 +265,10 @@ class ManagedJob:
         if self.started_at is None:
             return None
         return self.started_at - self.submitted_at
+
+
+#: The public name for what :meth:`TrainingPlatform.submit` returns.
+JobHandle = ManagedJob
 
 
 @dataclass
@@ -151,6 +301,21 @@ class PlatformConfig:
     standby_resize_s: float = 900.0
     #: resize deadband in machines (suppresses provisioning churn)
     standby_hysteresis: int = 1
+    #: build the checkpoint engine into every job's stack (the
+    #: carried-over ROADMAP item: threads ``StackConfig.checkpointing``
+    #: through :func:`build_management_stack`)
+    checkpoint: bool = False
+    #: remote-persist cadence for checkpointing jobs
+    remote_checkpoint_every_steps: int = 100
+    #: "none" | "kill" | "checkpoint" — whether (and how) the
+    #: scheduler may preempt running jobs for blocked higher-priority
+    #: work: "checkpoint" drains the victim to its next step/checkpoint
+    #: boundary (~zero wasted work), "kill" stops it immediately and
+    #: resumes from the last *remote* checkpoint (or step 0)
+    preemption: str = "none"
+    #: honor elastic (min_machines, max_machines) bounds: shrink jobs
+    #: for blocked higher-priority work, grow them into free capacity
+    elastic: bool = True
 
 
 class TrainingPlatform:
@@ -173,7 +338,12 @@ class TrainingPlatform:
         self.scheduler = FleetScheduler(
             self.sim, self.pool, start=self._on_dispatch,
             backfill=self.config.backfill,
-            retry_interval_s=self.config.scheduler_retry_s)
+            retry_interval_s=self.config.scheduler_retry_s,
+            preemption=self.config.preemption,
+            preempt=(self._on_preempt_request
+                     if self.config.preemption != "none" else None),
+            resize=(self._on_resize_request
+                    if self.config.elastic else None))
         self.jobs: Dict[str, ManagedJob] = {}
         self._started = False
         #: standby provisioning outcome at start() (satellite: the
@@ -201,49 +371,95 @@ class TrainingPlatform:
                 policy=self.config.policy,
                 controller=self.config.controller,
                 initial_code_profile=CodeVersionProfile(
-                    "v0", initial_mfu)))
+                    "v0", initial_mfu),
+                # the cross-group backup plan needs a peer machine, so
+                # single-machine jobs run without the engine (boundary
+                # preemption still works; kill falls back to step 0)
+                checkpointing=(self.config.checkpoint
+                               and job_config.parallelism.num_machines
+                               > 1),
+                remote_checkpoint_every_steps=(
+                    self.config.remote_checkpoint_every_steps)))
 
-    def submit(self, name: str, job_config: TrainingJobConfig,
+    def submit(self, spec: Union[JobSpec, str],
+               job_config: Optional[TrainingJobConfig] = None,
                priority: int = 0, duration_s: Optional[float] = None,
-               initial_mfu: float = 0.30) -> ManagedJob:
-        """Submit a job at any simulated time.
+               initial_mfu: float = 0.30,
+               min_machines: Optional[int] = None,
+               max_machines: Optional[int] = None,
+               preemptible: bool = True) -> JobHandle:
+        """Submit a job at any simulated time; returns its handle.
 
+        The one intake path: pass a :class:`JobSpec`, or the legacy
+        ``(name, job_config, ...)`` shape which coerces into one.
         Before :meth:`start` the request just queues; afterwards the
         scheduler places it immediately if capacity allows, or parks it
         until machines free up (higher ``priority`` jumps the queue;
-        smaller jobs may backfill).  ``duration_s`` gives the job a
-        planned runtime after which it completes and returns its
-        machines.  Raises
+        smaller jobs may backfill, and with preemption/elastic bounds
+        enabled, lower-priority victims may be shrunk or preempted for
+        it).  ``duration_s`` gives the job a planned runtime after
+        which it completes and returns its machines.  Raises
         :class:`~repro.cluster.scheduler.AdmissionError` for requests
-        larger than the whole cluster.
+        larger than the whole cluster or with inconsistent size
+        bounds.
         """
-        if name in self.jobs:
-            raise ValueError(f"duplicate job name {name!r}")
-        needed = (job_config.parallelism.world_size
-                  // job_config.parallelism.gpus_per_machine)
-        self.scheduler.check_admission(name, needed)
-        stack = self._build_stack(name, job_config, initial_mfu)
-        managed = ManagedJob(name=name, stack=stack, priority=priority,
-                             duration_s=duration_s,
-                             submitted_at=self.sim.now)
-        self.jobs[name] = managed
+        spec = JobSpec.coerce(spec, job_config, priority=priority,
+                              duration_s=duration_s,
+                              initial_mfu=initial_mfu,
+                              min_machines=min_machines,
+                              max_machines=max_machines,
+                              preemptible=preemptible)
+        if spec.name in self.jobs:
+            raise ValueError(f"duplicate job name {spec.name!r}")
+        self.scheduler.check_admission(spec.name, spec.num_machines)
+        stack = self._build_stack(spec.name, spec.job_config,
+                                  spec.initial_mfu)
+        min_machines = spec.min_machines
+        if min_machines is not None and stack.ckpt_manager is not None:
+            # the cross-group backup plan needs a peer machine, so
+            # elastic shrink keeps checkpointing jobs at two minimum
+            min_machines = max(2, min_machines)
+        managed = ManagedJob(name=spec.name, stack=stack,
+                             priority=spec.priority,
+                             duration_s=spec.duration_s,
+                             submitted_at=self.sim.now,
+                             min_machines=min_machines,
+                             max_machines=spec.max_machines,
+                             preemptible=spec.preemptible,
+                             remaining_s=spec.duration_s)
+        self.jobs[spec.name] = managed
+        self._record(managed, "submitted")
         if self._started:
-            self.scheduler.submit(name, stack.job.num_machines,
-                                  priority=priority,
-                                  duration_s=duration_s)
+            self.scheduler.submit(spec.name, stack.job.num_machines,
+                                  priority=spec.priority,
+                                  duration_s=spec.duration_s,
+                                  min_machines=managed.min_machines,
+                                  max_machines=spec.max_machines,
+                                  preemptible=spec.preemptible)
         return managed
 
-    def add_job(self, name: str, job_config: TrainingJobConfig,
-                initial_mfu: float = 0.30) -> ManagedJob:
-        """Legacy strict registration: the job *must* run from t=0.
+    _warned_add_job = False
 
-        All ``add_job`` jobs are co-scheduled at :meth:`start`, which
-        raises if they cannot all be placed at once.  Use
-        :meth:`submit` for queue-tolerant, dynamic arrivals.
+    def add_job(self, name: str, job_config: TrainingJobConfig,
+                initial_mfu: float = 0.30) -> JobHandle:
+        """Deprecated strict registration: the job *must* run from t=0.
+
+        A shim over :meth:`submit`: all ``add_job`` jobs are
+        co-scheduled at :meth:`start`, which raises if they cannot all
+        be placed at once, and they are never preempted.  Use
+        ``submit(JobSpec(...))`` for queue-tolerant, dynamic arrivals.
         """
+        if not TrainingPlatform._warned_add_job:
+            print("repro: TrainingPlatform.add_job() is deprecated; "
+                  "use submit(JobSpec(...)) — add_job keeps strict "
+                  "t=0 co-scheduling and is exempt from preemption",
+                  file=sys.stderr)
+            TrainingPlatform._warned_add_job = True
         if self._started:
             raise RuntimeError("platform already started")
-        managed = self.submit(name, job_config, initial_mfu=initial_mfu)
+        managed = self.submit(JobSpec(name=name, job_config=job_config,
+                                      initial_mfu=initial_mfu,
+                                      preemptible=False))
         managed.static = True
         return managed
 
@@ -268,7 +484,11 @@ class TrainingPlatform:
             self.scheduler.enqueue(managed.name,
                                    managed.job.num_machines,
                                    priority=managed.priority,
-                                   duration_s=managed.duration_s)
+                                   duration_s=managed.duration_s,
+                                   min_machines=managed.min_machines,
+                                   max_machines=managed.max_machines,
+                                   preemptible=(managed.preemptible
+                                                and not managed.static))
         self.scheduler.dispatch()
         unplaced = [m.name for m in self.jobs.values()
                     if m.static and m.queued]
@@ -299,26 +519,37 @@ class TrainingPlatform:
                     min_standbys=self.config.standby.min_standbys))
             self.resizer.start()
 
+    def _record(self, managed: ManagedJob, event: str) -> None:
+        managed.events.append({"t": float(self.sim.now),
+                               "event": str(event)})
+
     def _on_dispatch(self, request: JobRequest,
                      machines: List[int]) -> None:
         managed = self.jobs[request.name]
-        managed.started_at = self.sim.now
-        managed.stack.launch(machines)
-        if managed.duration_s is not None:
-            self.sim.schedule(
-                managed.duration_s,
+        if managed.is_preempted:
+            # a preempted job coming off the queue resumes from its
+            # last checkpoint on a fresh set of machines
+            managed.is_preempted = False
+            managed.resumes += 1
+            managed.segment_started_at = self.sim.now
+            self._record(managed, "resumed")
+            managed.stack.resume(machines, at_step=managed.resume_step)
+        else:
+            managed.started_at = self.sim.now
+            managed.segment_started_at = self.sim.now
+            self._record(managed, "started")
+            managed.stack.launch(machines)
+        if managed.remaining_s is not None:
+            managed._complete_handle = self.sim.schedule(
+                managed.remaining_s,
                 lambda m=managed: self._complete(m))
 
-    def _complete(self, managed: ManagedJob) -> None:
-        """Planned completion: tear the job down, return machines."""
-        if managed.completed:
-            return
-        managed.completed_at = self.sim.now
-        managed.stack.shutdown()
-        # release only machines this job still owns: evicted ones are
-        # in repair (not ACTIVE); a repaired machine re-allocated to a
-        # running job — or acquired by another job's in-flight
-        # recovery and not yet bound — must stay with its new owner
+    def _release_machines(self, managed: ManagedJob) -> None:
+        """Return ``managed``'s machines to the pool — but only the
+        ones it still owns: evicted machines are in repair (not
+        ACTIVE); a repaired machine re-allocated to a running job — or
+        acquired by another job's in-flight recovery and not yet
+        bound — must stay with its new owner."""
         others = set()
         for other in self.jobs.values():
             if other is managed:
@@ -328,7 +559,212 @@ class TrainingPlatform:
                 others.update(other.job.machines)
         self.pool.release([m for m in managed.job.machines
                            if m in self.pool.active and m not in others])
+
+    def _complete(self, managed: ManagedJob) -> None:
+        """Planned completion: tear the job down, return machines."""
+        if managed.completed:
+            return
+        if (managed.segment_started_at is not None
+                and not managed.is_preempted):
+            managed.busy_machine_seconds += (
+                (self.sim.now - managed.segment_started_at)
+                * managed.job.num_machines)
+            managed.segment_started_at = None
+        managed.completed_at = self.sim.now
+        managed._complete_handle = None
+        # completion beats any in-flight preemption/resize: boundary
+        # listeners check these flags and become no-ops
+        managed.preempting = False
+        managed.is_resizing = False
+        self._record(managed, "completed")
+        managed.stack.shutdown()
+        self._release_machines(managed)
         self.scheduler.complete(managed.name)
+
+    # ------------------------------------------------------------------
+    # preemption & elastic resize (scheduler callbacks land here)
+    # ------------------------------------------------------------------
+    def preempt_job(self, name: str) -> bool:
+        """Externally force a preemption (e.g. spot-capacity reclaim).
+
+        The job drains to its boundary per ``config.preemption``,
+        releases its machines, and re-queues to resume from its last
+        checkpoint.  Returns False when the job is not running, not
+        preemptible, or preemption is disabled platform-wide.
+        """
+        if self.config.preemption == "none":
+            return False
+        request = self.scheduler.running.get(name)
+        managed = self.jobs.get(name)
+        if request is None or managed is None or not request.preemptible:
+            return False
+        if (managed.completed or managed.preempting
+                or managed.is_preempted or managed.is_resizing):
+            return False
+        self.scheduler.note_preempting(name)
+        self._on_preempt_request(request)
+        return True
+
+    def _on_preempt_request(self, request: JobRequest) -> None:
+        """The scheduler picked ``request`` as a preemption victim.
+
+        ``"checkpoint"`` mode drains the job to its next step boundary
+        (the every-step checkpoint makes that boundary durable), so
+        nothing is wasted; ``"kill"`` mode stops it on the spot and
+        the job resumes from whatever the remote checkpoint tier still
+        holds (step 0 when checkpointing is off — the kill-and-restart
+        baseline).
+        """
+        managed = self.jobs[request.name]
+        if managed.completed or managed.is_preempted or managed.preempting:
+            return
+        managed.preempting = True
+        self._record(managed, "preempt_requested")
+        if self.config.preemption == "checkpoint":
+            job = managed.job
+            handlers: List[Any] = []
+
+            def on_boundary(metrics) -> None:
+                job.step_listeners.remove(handlers[0])
+                if managed.completed or not managed.preempting:
+                    return
+                self._finish_preemption(managed,
+                                        resume_step=metrics.step)
+
+            handlers.append(on_boundary)
+            job.step_listeners.append(on_boundary)
+        else:
+            # kill: immediate, but after the current dispatch event so
+            # the scheduler's plan executes atomically
+            self.sim.schedule(
+                0.0, lambda m=managed: self._finish_preemption(m))
+
+    def _finish_preemption(self, managed: ManagedJob,
+                           resume_step: Optional[int] = None) -> None:
+        """Carry out a planned preemption: pause the stack, account
+        the wasted work, release the machines, re-queue the job."""
+        if managed.completed or not managed.preempting:
+            return
+        job = managed.job
+        if resume_step is None:
+            # kill mode: local/backup checkpoints die with the job's
+            # machines; only the remote tier (if any) survives
+            ckpt = managed.stack.ckpt_manager
+            if ckpt is not None:
+                resume_step = ckpt.plan_recovery(job.machines).restart_step
+            else:
+                resume_step = 0
+        managed.preempting = False
+        managed.is_preempted = True
+        managed.preemptions += 1
+        if managed._complete_handle is not None:
+            managed._complete_handle.cancel()
+            managed._complete_handle = None
+        # committed progress past the resume step is wasted: the job
+        # will re-run it (count before restart() marks it uncommitted)
+        wasted_wall = sum(
+            rec.end - rec.start for rec in job.step_records
+            if rec.step > resume_step and rec.committed)
+        managed.wasted_machine_seconds += wasted_wall * job.num_machines
+        if managed.remaining_s is not None:
+            elapsed = self.sim.now - (managed.segment_started_at
+                                      if managed.segment_started_at
+                                      is not None else self.sim.now)
+            managed.remaining_s = max(
+                1.0, managed.remaining_s - elapsed + wasted_wall)
+        if managed.segment_started_at is not None:
+            managed.busy_machine_seconds += (
+                (self.sim.now - managed.segment_started_at)
+                * job.num_machines)
+            managed.segment_started_at = None
+        managed.resume_step = resume_step
+        self._record(managed, "preempted")
+        managed.stack.pause()
+        self._release_machines(managed)
+        self.scheduler.preempted(managed.name, managed.remaining_s)
+
+    def _scaled_parallelism(self, par: ParallelismConfig,
+                            new_machines: int
+                            ) -> Optional[ParallelismConfig]:
+        """``par`` rescaled to ``new_machines`` along the dp axis, or
+        None when the tp×pp layout cannot tile that machine count."""
+        new_world = new_machines * par.gpus_per_machine
+        if new_world % (par.tp * par.pp) != 0:
+            return None
+        new_dp = new_world // (par.tp * par.pp)
+        if new_dp < 1:
+            return None
+        ep = par.ep if new_dp % par.ep == 0 else 1
+        return ParallelismConfig(tp=par.tp, pp=par.pp, dp=new_dp,
+                                 ep=ep,
+                                 gpus_per_machine=par.gpus_per_machine)
+
+    def _on_resize_request(self, request: JobRequest,
+                           new_size: int) -> None:
+        """The scheduler wants ``request`` shrunk/grown to
+        ``new_size`` machines; carried out at the next step boundary
+        via a data-parallel topology rebind."""
+        managed = self.jobs[request.name]
+        if (managed.completed or managed.preempting
+                or managed.is_preempted or managed.is_resizing):
+            self.scheduler.resize_aborted(request.name)
+            return
+        managed.is_resizing = True
+        self._record(managed, "resize_requested")
+        job = managed.job
+        handlers: List[Any] = []
+
+        def on_boundary(metrics) -> None:
+            job.step_listeners.remove(handlers[0])
+            if managed.completed or not managed.is_resizing:
+                return
+            self._finish_resize(managed, new_size, metrics.step)
+
+        handlers.append(on_boundary)
+        job.step_listeners.append(on_boundary)
+
+    def _finish_resize(self, managed: ManagedJob, new_size: int,
+                       step: int) -> None:
+        """Rebind the job's topology to ``new_size`` machines at the
+        ``step`` boundary.  Data-parallel resharding preserves all
+        progress, so nothing is wasted either direction."""
+        job = managed.job
+        old_size = job.num_machines
+        new_par = self._scaled_parallelism(job.config.parallelism,
+                                           new_size)
+        abort = new_par is None or new_size == old_size
+        if not abort and new_size > old_size:
+            # the free capacity the scheduler saw may be gone by now
+            avail = len(self.pool.free - self.pool.blacklist)
+            abort = avail < new_size - old_size
+        if abort:
+            managed.is_resizing = False
+            self._record(managed, "resize_aborted")
+            self.scheduler.resize_aborted(managed.name)
+            return
+        managed.stack.pause()
+        if managed.segment_started_at is not None:
+            # close the segment at the old size; the new one runs at
+            # the new machine count from this boundary on
+            managed.busy_machine_seconds += (
+                (self.sim.now - managed.segment_started_at) * old_size)
+        managed.segment_started_at = self.sim.now
+        machines = list(job.machines)
+        if new_size < old_size:
+            keep = machines[:new_size]
+            self.pool.release([m for m in machines[new_size:]
+                               if m in self.pool.active])
+        else:
+            keep = machines + self.pool.allocate_active(
+                new_size - old_size)
+        managed.resize_events.append({
+            "t": float(self.sim.now), "from": int(old_size),
+            "to": int(new_size), "step": int(step)})
+        managed.resume_step = step
+        managed.stack.resize(new_par, keep, at_step=step)
+        managed.is_resizing = False
+        self._record(managed, "resized")
+        self.scheduler.resized(managed.name, new_size)
 
     def run_until(self, t: float) -> None:
         self.sim.run(until=t)
@@ -359,6 +795,13 @@ class TrainingPlatform:
             span = (self.cluster.switch_span(managed.job.machines)
                     if managed.started_at is not None
                     and managed.job.machines else None)
+            busy = managed.busy_machine_seconds
+            if (managed.segment_started_at is not None
+                    and managed.completed_at is None
+                    and not managed.is_preempted):
+                # the live segment up to the report horizon
+                busy += (max(0.0, end - managed.segment_started_at)
+                         * managed.job.num_machines)
             jobs[name] = {
                 "switch_span": (int(span) if span is not None else None),
                 "cumulative_ettr": float(ettr),
@@ -378,6 +821,19 @@ class TrainingPlatform:
                 "wait_s": (float(managed.wait_seconds)
                            if managed.wait_seconds is not None
                            else None),
+                # lifecycle accounting (JobHandle surface): "state"
+                # above is the training-process state; this is the
+                # handle's terminal lifecycle state
+                "lifecycle_state": managed.state.value,
+                "preemptions": int(managed.preemptions),
+                "resumes": int(managed.resumes),
+                "resize_events": [
+                    {"t": float(e["t"]), "from": int(e["from"]),
+                     "to": int(e["to"]), "step": int(e["step"])}
+                    for e in managed.resize_events],
+                "wasted_machine_seconds":
+                    float(managed.wasted_machine_seconds),
+                "busy_machine_seconds": float(busy),
             }
         waits = [j["wait_s"] for j in jobs.values()
                  if j["wait_s"] is not None]

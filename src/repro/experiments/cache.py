@@ -49,7 +49,11 @@ from repro import __version__
 #:    entries live in per-scenario subdirectories.
 #: 3: loss/grad-norm noise is drawn in 4096-step blocks
 #:    (METRICS_SCHEMA_VERSION 2) — drawn values changed.
-CACHE_SCHEMA_VERSION = 3
+#: 4: fleet job payloads carry lifecycle fields (``lifecycle_state``,
+#:    ``preemptions``, ``resumes``, ``resize_events``,
+#:    ``wasted_machine_seconds``) and the scheduler stats block grew
+#:    preemption/resize counters.
+CACHE_SCHEMA_VERSION = 4
 
 #: Sidecar file holding lifetime traffic counters (hits/misses/writes
 #: accumulated across sweeps via :meth:`ResultCache.persist_stats`).

@@ -506,6 +506,11 @@ SCENARIO_CELLS = [
     # 90-day run is the scenario's own registered default
     ("fleet-quarter", {"duration_s": 86_400.0},
      {"duration_s": 7 * 86_400.0}, True),
+    # checkpoint-boundary preemption + every-step checkpointing at the
+    # registered 3-day window: the lifecycle machinery (pause/resume,
+    # boundary listeners, wasted-work accounting) stays on the fast
+    # path the substrate split bought
+    ("fleet-preemption", {}, {}, True),
 ]
 
 

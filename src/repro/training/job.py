@@ -159,6 +159,27 @@ class TrainingJob:
         self._machines_cache = None
         self._machine_to_slot = None
 
+    def rebind_parallelism(self, parallelism: ParallelismConfig,
+                           machine_ids: Sequence[int]) -> None:
+        """Elastic resize: adopt a new data-parallel layout and machine
+        set in one move (checkpoint-boundary shrink/grow).
+
+        The job must be suspended; callers restart it from the boundary
+        step afterwards.  Step/log history survives — only the topology
+        and the slot binding change.
+        """
+        if self.state is JobState.RUNNING:
+            raise RuntimeError("suspend() before rebind_parallelism()")
+        if len(machine_ids) != parallelism.num_machines:
+            raise ValueError(
+                f"layout needs {parallelism.num_machines} machines, "
+                f"got {len(machine_ids)}")
+        self.config.parallelism = parallelism
+        self.topology = RankTopology(parallelism)
+        self.slot_to_machine = dict(enumerate(machine_ids))
+        self._machines_cache = None
+        self._machine_to_slot = None
+
     def slot_of_machine(self, machine_id: int) -> Optional[int]:
         # Fault blast-radius checks probe every fleet-wide active fault
         # against this job on each (re)start, so the lookup must be

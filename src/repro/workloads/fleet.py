@@ -25,9 +25,20 @@ churn), ``fleet-standby-contention`` (fault storm on a tight fleet —
 the regime P99 standby sizing is for), ``fleet-priority-mix``
 (priority classes + backfill under queueing pressure),
 ``fleet-placement-blast-radius`` (leaf-switch faults vs pack/spread
-placement — how many jobs one downed switch kills) and
+placement — how many jobs one downed switch kills),
 ``fleet-elastic-standby`` (periodic warm-pool resizing tracking the
-active fleet instead of the one-shot sizing at start).
+active fleet instead of the one-shot sizing at start),
+``fleet-preemption`` (checkpoint-boundary preemption vs kill vs none
+under a priority mix), ``fleet-spot-churn`` (capacity arrives and
+leaves like spot instances, reclaiming idle machines first and
+preempting running jobs when that is not enough) and
+``fleet-elastic-training`` (jobs declaring ``(min, max)`` machine
+bounds that the scheduler shrinks/grows at checkpoint boundaries).
+
+Every ``fleet-*`` scenario takes a ``checkpoint_interval_s`` param:
+0 disables the checkpoint engine (the historical behaviour); a
+positive value builds every job's stack with checkpointing enabled
+and a remote-persist cadence of about that many seconds of training.
 """
 
 from __future__ import annotations
@@ -44,7 +55,11 @@ from repro.cluster.faults import (
     RootCauseDetail,
 )
 from repro.core.platform import PlatformConfig, TrainingPlatform
-from repro.experiments.registry import ParamSpec, register_scenario
+from repro.experiments.registry import (
+    ParamSpec,
+    ScenarioError,
+    register_scenario,
+)
 from repro.monitor.collectors import CollectorConfig
 from repro.monitor.detectors import DetectorConfig
 from repro.monitor.inspections import InspectionConfig
@@ -90,6 +105,9 @@ class FleetJobSpec:
     num_machines: int
     duration_s: float
     priority: int = 0
+    #: elastic size bounds (None/None = fixed-size job)
+    min_machines: Optional[int] = None
+    max_machines: Optional[int] = None
 
 
 def fleet_job_config(num_machines: int,
@@ -146,13 +164,18 @@ class FleetTraceGenerator:
                  max_machines: int,
                  high_priority_frac: float = 0.0,
                  high_priority: int = 10,
-                 initial_jobs: int = 0) -> List[FleetJobSpec]:
+                 initial_jobs: int = 0,
+                 elastic_frac: float = 0.0) -> List[FleetJobSpec]:
         """A full submission schedule over ``[0, duration_s)``.
 
         ``initial_jobs`` are submitted at t=0 (the fleet is never
         empty at the start of the window); the rest arrive Poisson
         with mean ``arrival_mean_s``.  Sizes are clipped to the
-        cluster so every request passes admission.
+        cluster so every request passes admission.  With
+        ``elastic_frac`` > 0, that fraction of jobs declares elastic
+        bounds (half to double the sampled size, clipped) — the draw
+        is skipped entirely at 0 so existing traces stay
+        byte-identical.
         """
         if arrival_mean_s <= 0 or duration_s <= 0:
             raise ValueError("durations must be positive")
@@ -171,11 +194,17 @@ class FleetTraceGenerator:
             priority = (high_priority
                         if float(self._rng.random()) < high_priority_frac
                         else 0)
+            min_m = max_m = None
+            if (elastic_frac > 0
+                    and float(self._rng.random()) < elastic_frac):
+                min_m = max(1, size // 2)
+                max_m = min(max_machines, size * 2)
             specs.append(FleetJobSpec(
                 name=f"job-{index:04d}", submit_at=submit_at,
                 num_machines=size,
                 duration_s=self.sample_duration(size),
-                priority=priority))
+                priority=priority,
+                min_machines=min_m, max_machines=max_m))
             index += 1
         return specs
 
@@ -233,6 +262,14 @@ class FleetScenario:
     #: scales the ~45 s baseline step time of fleet jobs (see
     #: :func:`fleet_job_config`)
     step_time_factor: float = 1.0
+    #: mean seconds between spot-capacity re-draws (0 disables): each
+    #: event draws a new available-capacity fraction and blacklists /
+    #: returns idle machines to meet it, preempting running jobs when
+    #: idle capacity alone cannot cover the reclaim
+    spot_churn_mean_s: float = 0.0
+    #: floor of the spot capacity fraction (draws are uniform in
+    #: [spot_min_frac, 1])
+    spot_min_frac: float = 0.5
     seed: int = 0
     _versions: Dict[str, int] = field(default_factory=dict)
 
@@ -246,6 +283,9 @@ class FleetScenario:
         self._switch_stats = {"events": 0, "jobs_hit": 0,
                               "max_jobs_hit": 0, "machines_hit": 0}
         self._hazard = None
+        self._spot_offline: set = set()
+        self._spot_stats = {"events": 0, "reclaimed": 0, "returned": 0,
+                            "preempts": 0}
 
         for spec in self.arrivals:
             if spec.submit_at <= 0.0:
@@ -258,6 +298,9 @@ class FleetScenario:
             self._schedule_next_fault()
         if self.switch_mtbf_s > 0:
             self._schedule_next_switch_fault()
+        if self.spot_churn_mean_s > 0:
+            self._spot_rng = rng.get("spot-process")
+            self._schedule_next_spot_churn()
         if self.machine_mtbf_s > 0:
             self._hazard = MachineHazardProcess(
                 sim, rng.get("hazard"),
@@ -275,7 +318,61 @@ class FleetScenario:
             spec.name,
             fleet_job_config(spec.num_machines,
                              step_time_factor=self.step_time_factor),
-            priority=spec.priority, duration_s=spec.duration_s)
+            priority=spec.priority, duration_s=spec.duration_s,
+            min_machines=spec.min_machines,
+            max_machines=spec.max_machines)
+
+    # ------------------------------------------------------------------
+    # spot-capacity churn
+    # ------------------------------------------------------------------
+    def _schedule_next_spot_churn(self) -> None:
+        gap = float(self._spot_rng.exponential(self.spot_churn_mean_s))
+        self.platform.sim.schedule(max(60.0, gap),
+                                   self._fire_spot_churn)
+
+    def _fire_spot_churn(self) -> None:
+        """Re-draw available spot capacity and converge toward it.
+
+        Reclaims take idle (FREE, non-blacklisted) machines first —
+        blacklisting keeps them unallocatable without a repair detour
+        — and fall back to preempting running jobs (lowest priority,
+        newest first) whose machines the next event can then pick up
+        from the pool.  Returns simply lift the blacklist and
+        re-dispatch the queue.
+        """
+        self._schedule_next_spot_churn()
+        self._spot_stats["events"] += 1
+        pool = self.platform.pool
+        total = len(self.platform.cluster.machines)
+        frac = self.spot_min_frac + (1.0 - self.spot_min_frac) \
+            * float(self._spot_rng.random())
+        target_offline = int(round((1.0 - frac) * total))
+        current = len(self._spot_offline)
+        if target_offline > current:
+            need = target_offline - current
+            idle = sorted(pool.free - pool.blacklist)[:need]
+            for mid in idle:
+                pool.blacklist.add(mid)
+                self._spot_offline.add(mid)
+            self._spot_stats["reclaimed"] += len(idle)
+            shortfall_machines = need - len(idle)
+            if shortfall_machines > 0:
+                victims = sorted(
+                    self.platform.scheduler.running.values(),
+                    key=lambda r: (r.priority, -r.seq))
+                for victim in victims:
+                    if shortfall_machines <= 0:
+                        break
+                    if self.platform.preempt_job(victim.name):
+                        self._spot_stats["preempts"] += 1
+                        shortfall_machines -= victim.num_machines
+        elif target_offline < current:
+            back = sorted(self._spot_offline)[:current - target_offline]
+            for mid in back:
+                pool.blacklist.discard(mid)
+                self._spot_offline.discard(mid)
+            self._spot_stats["returned"] += len(back)
+            self.platform.scheduler.dispatch()
 
     def _machine_hazard_hit(self, machine_id: int) -> None:
         """One hazard arrival: a machine-bound hardware fault.
@@ -385,20 +482,40 @@ class FleetScenario:
         ettr_weighted = 0.0
         ettr_weight = 0.0
         for stats in jobs.values():
-            started = stats["started_at"]
-            if started is None:
+            if stats["started_at"] is None:
                 continue
-            stop = (stats["completed_at"]
-                    if stats["completed_at"] is not None else end)
-            span = max(0.0, stop - started)
-            busy += span * stats["num_machines"]
-            ettr_weighted += stats["cumulative_ettr"] * span \
-                * stats["num_machines"]
-            ettr_weight += span * stats["num_machines"]
+            # actual machine occupancy, summed over running segments —
+            # a preempted job's parked time is not busy, and a resized
+            # job weights each segment by the size it ran at
+            held = stats["busy_machine_seconds"]
+            busy += held
+            ettr_weighted += stats["cumulative_ettr"] * held
+            ettr_weight += held
         payload["machine_utilization"] = (
             busy / (total_machines * end) if end > 0 else 0.0)
         payload["fleet_ettr"] = (
             ettr_weighted / ettr_weight if ettr_weight > 0 else 0.0)
+        # preemption / elastic accounting: wasted machine time is
+        # checkpointed progress thrown away and re-run; goodput is the
+        # utilization that remains after discounting it
+        total_wasted = sum(stats["wasted_machine_seconds"]
+                           for stats in jobs.values())
+        payload["wasted_machine_seconds"] = float(total_wasted)
+        payload["preemptions_total"] = int(
+            sum(stats["preemptions"] for stats in jobs.values()))
+        payload["resumes_total"] = int(
+            sum(stats["resumes"] for stats in jobs.values()))
+        payload["resizes_total"] = int(
+            sum(len(stats["resize_events"]) for stats in jobs.values()))
+        payload["goodput"] = (
+            max(0.0, busy - total_wasted) / (total_machines * end)
+            if end > 0 else 0.0)
+        payload["spot"] = {
+            "events": int(self._spot_stats["events"]),
+            "reclaimed": int(self._spot_stats["reclaimed"]),
+            "returned": int(self._spot_stats["returned"]),
+            "preempts": int(self._spot_stats["preempts"]),
+        }
         spans = [stats["switch_span"] for stats in jobs.values()
                  if stats["switch_span"] is not None]
         payload["mean_job_switch_span"] = (
@@ -449,7 +566,8 @@ def _fleet_scenario_params(total_machines: int, duration_s: float,
                            fault_mtbf_s: float,
                            machines_per_switch: int = 16,
                            placement: str = "any-free",
-                           standby_target: float = 0.0
+                           standby_target: float = 0.0,
+                           checkpoint_interval_s: float = 0.0
                            ) -> List[ParamSpec]:
     return [
         ParamSpec("total_machines", "int", total_machines,
@@ -472,6 +590,10 @@ def _fleet_scenario_params(total_machines: int, duration_s: float,
         ParamSpec("standby_target", "float", standby_target,
                   "elastic warm standbys per active machine "
                   "(0 = one-shot sizing at start)"),
+        ParamSpec("checkpoint_interval_s", "float",
+                  checkpoint_interval_s,
+                  "remote checkpoint cadence in seconds of training "
+                  "(0 = checkpoint engine off)"),
     ]
 
 
@@ -516,8 +638,26 @@ def _build_fleet(total_machines: int, duration_s: float, seed: int,
                  hazard_tick_s: float = 300.0,
                  step_time_factor: float = 1.0,
                  base_duration_s: float = _BASE_DURATION_S,
+                 checkpoint_interval_s: float = 0.0,
+                 preemption: str = "none",
+                 elastic_frac: float = 0.0,
+                 spot_churn_mean_s: float = 0.0,
+                 spot_min_frac: float = 0.5,
                  cadences: Optional[dict] = None) -> FleetScenario:
+    if preemption not in ("none", "kill", "checkpoint"):
+        # fail at build time with the CLI's clean one-liner contract
+        # instead of a traceback out of the scheduler constructor
+        raise ScenarioError(
+            f"unknown preemption policy {preemption!r} "
+            "(available: none, kill, checkpoint)")
     cad = dict(cadences or _FLEET_CADENCES)
+    # checkpoint_interval_s is wall-clock-ish training seconds; fleet
+    # jobs step every ~45 * step_time_factor seconds, so the remote
+    # cadence rounds to the nearest whole number of steps
+    checkpointing = checkpoint_interval_s > 0
+    remote_every = (max(1, int(round(checkpoint_interval_s
+                                     / (45.0 * step_time_factor))))
+                    if checkpointing else 100)
     platform = TrainingPlatform(
         total_machines=total_machines,
         config=PlatformConfig(
@@ -529,7 +669,10 @@ def _build_fleet(total_machines: int, duration_s: float, seed: int,
             collector=cad["collector"],
             inspections=cad["inspections"],
             detector=cad["detector"],
-            scheduler_retry_s=cad["scheduler_retry_s"]))
+            scheduler_retry_s=cad["scheduler_retry_s"],
+            checkpoint=checkpointing,
+            remote_checkpoint_every_steps=remote_every,
+            preemption=preemption))
     gen = FleetTraceGenerator(RngStreams(seed).fork("fleet-arrivals"),
                               size_mix=size_mix,
                               base_duration_s=base_duration_s)
@@ -537,14 +680,17 @@ def _build_fleet(total_machines: int, duration_s: float, seed: int,
         duration_s, arrival_mean_s,
         max_machines=max(1, total_machines // 2),
         high_priority_frac=high_priority_frac,
-        initial_jobs=initial_jobs)
+        initial_jobs=initial_jobs,
+        elastic_frac=elastic_frac)
     return FleetScenario(platform=platform, arrivals=arrivals,
                          duration_s=duration_s,
                          fault_mtbf_s=fault_mtbf_s,
                          switch_mtbf_s=switch_mtbf_s,
                          machine_mtbf_s=machine_mtbf_s,
                          hazard_tick_s=hazard_tick_s,
-                         step_time_factor=step_time_factor, seed=seed)
+                         step_time_factor=step_time_factor,
+                         spot_churn_mean_s=spot_churn_mean_s,
+                         spot_min_frac=spot_min_frac, seed=seed)
 
 
 @register_scenario(
@@ -564,14 +710,17 @@ def fleet_week_scenario(total_machines: int = 24,
                         backfill: bool = True,
                         machines_per_switch: int = 16,
                         placement: str = "any-free",
-                        standby_target: float = 0.0) -> FleetScenario:
+                        standby_target: float = 0.0,
+                        checkpoint_interval_s: float = 0.0
+                        ) -> FleetScenario:
     """Ordinary fleet life: arrivals, queueing, completions, faults."""
     return _build_fleet(total_machines, duration_s, seed,
                         arrival_mean_s, fault_mtbf_s, initial_jobs,
                         backfill,
                         machines_per_switch=machines_per_switch,
                         placement=placement,
-                        standby_target=standby_target)
+                        standby_target=standby_target,
+                        checkpoint_interval_s=checkpoint_interval_s)
 
 
 @register_scenario(
@@ -591,7 +740,8 @@ def fleet_standby_contention_scenario(total_machines: int = 16,
                                       backfill: bool = True,
                                       machines_per_switch: int = 16,
                                       placement: str = "any-free",
-                                      standby_target: float = 0.0
+                                      standby_target: float = 0.0,
+                                      checkpoint_interval_s: float = 0.0
                                       ) -> FleetScenario:
     """Standby contention under shared-pool pressure."""
     return _build_fleet(total_machines, duration_s, seed,
@@ -599,7 +749,8 @@ def fleet_standby_contention_scenario(total_machines: int = 16,
                         backfill,
                         machines_per_switch=machines_per_switch,
                         placement=placement,
-                        standby_target=standby_target)
+                        standby_target=standby_target,
+                        checkpoint_interval_s=checkpoint_interval_s)
 
 
 @register_scenario(
@@ -622,6 +773,7 @@ def fleet_priority_mix_scenario(total_machines: int = 16,
                                 machines_per_switch: int = 16,
                                 placement: str = "any-free",
                                 standby_target: float = 0.0,
+                                checkpoint_interval_s: float = 0.0,
                                 high_priority_frac: float = 0.25
                                 ) -> FleetScenario:
     """Queue-wait separation between priority classes."""
@@ -631,7 +783,8 @@ def fleet_priority_mix_scenario(total_machines: int = 16,
                         high_priority_frac=high_priority_frac,
                         machines_per_switch=machines_per_switch,
                         placement=placement,
-                        standby_target=standby_target)
+                        standby_target=standby_target,
+                        checkpoint_interval_s=checkpoint_interval_s)
 
 
 @register_scenario(
@@ -657,6 +810,7 @@ def fleet_placement_blast_radius_scenario(
         machines_per_switch: int = 4,
         placement: str = "pack",
         standby_target: float = 0.0,
+        checkpoint_interval_s: float = 0.0,
         switch_mtbf_s: float = 3600.0) -> FleetScenario:
     """Switch-fault blast radius under pack/spread/any-free placement.
 
@@ -672,7 +826,8 @@ def fleet_placement_blast_radius_scenario(
                         placement=placement,
                         standby_target=standby_target,
                         switch_mtbf_s=switch_mtbf_s,
-                        size_mix=PLACEMENT_STUDY_SIZE_MIX)
+                        size_mix=PLACEMENT_STUDY_SIZE_MIX,
+                        checkpoint_interval_s=checkpoint_interval_s)
 
 
 #: Per-machine hardware MTBF from the Llama 3 anchor (one failure per
@@ -720,7 +875,8 @@ def fleet_quarter_scenario(total_machines: int = 12_500,
                            machine_mtbf_s: float = QUARTER_MACHINE_MTBF_S,
                            hazard_tick_s: float = 300.0,
                            step_time_factor: float = 16.0,
-                           base_duration_s: float = _BASE_DURATION_S
+                           base_duration_s: float = _BASE_DURATION_S,
+                           checkpoint_interval_s: float = 0.0
                            ) -> FleetScenario:
     """90 days of 100k-GPU fleet churn on the hazard substrate.
 
@@ -741,6 +897,7 @@ def fleet_quarter_scenario(total_machines: int = 12_500,
                         hazard_tick_s=hazard_tick_s,
                         step_time_factor=step_time_factor,
                         base_duration_s=base_duration_s,
+                        checkpoint_interval_s=checkpoint_interval_s,
                         cadences=_QUARTER_CADENCES)
 
 
@@ -766,6 +923,7 @@ def fleet_elastic_standby_scenario(total_machines: int = 24,
                                    machines_per_switch: int = 16,
                                    placement: str = "any-free",
                                    standby_target: float = 0.15,
+                                   checkpoint_interval_s: float = 0.0,
                                    standby_resize_s: float = 900.0
                                    ) -> FleetScenario:
     """Warm-pool tracking of a churning active fleet."""
@@ -775,4 +933,138 @@ def fleet_elastic_standby_scenario(total_machines: int = 24,
                         machines_per_switch=machines_per_switch,
                         placement=placement,
                         standby_target=standby_target,
-                        standby_resize_s=standby_resize_s)
+                        standby_resize_s=standby_resize_s,
+                        checkpoint_interval_s=checkpoint_interval_s)
+
+
+@register_scenario(
+    "fleet-preemption",
+    params=_fleet_scenario_params(16, 3 * 86400.0, 7, 5400.0,
+                                  4 * 3600.0,
+                                  checkpoint_interval_s=900.0)
+    + [ParamSpec("preemption", "str", "checkpoint",
+                 "victim handling: none | kill | checkpoint"),
+       ParamSpec("high_priority_frac", "float", 0.25,
+                 "fraction of jobs submitted at high priority")],
+    description="Checkpoint-aware preemption under a priority mix: "
+                "blocked high-priority jobs trigger victim selection "
+                "(lowest priority, newest first); victims drain to "
+                "their next checkpoint boundary and resume from it, "
+                "vs kill-and-restart (wasted work since the last "
+                "remote checkpoint) vs no preemption at all",
+    tags=("fleet", "scheduler", "preemption"))
+def fleet_preemption_scenario(total_machines: int = 16,
+                              duration_s: float = 3 * 86400.0,
+                              seed: int = 7,
+                              arrival_mean_s: float = 5400.0,
+                              fault_mtbf_s: float = 4 * 3600.0,
+                              initial_jobs: int = 3,
+                              backfill: bool = True,
+                              machines_per_switch: int = 16,
+                              placement: str = "any-free",
+                              standby_target: float = 0.0,
+                              checkpoint_interval_s: float = 900.0,
+                              preemption: str = "checkpoint",
+                              high_priority_frac: float = 0.25
+                              ) -> FleetScenario:
+    """Preemption policy × checkpoint cadence × priority mix."""
+    return _build_fleet(total_machines, duration_s, seed,
+                        arrival_mean_s, fault_mtbf_s, initial_jobs,
+                        backfill,
+                        high_priority_frac=high_priority_frac,
+                        machines_per_switch=machines_per_switch,
+                        placement=placement,
+                        standby_target=standby_target,
+                        checkpoint_interval_s=checkpoint_interval_s,
+                        preemption=preemption)
+
+
+@register_scenario(
+    "fleet-spot-churn",
+    params=_fleet_scenario_params(24, 3 * 86400.0, 11, 5400.0,
+                                  6 * 3600.0,
+                                  checkpoint_interval_s=900.0)
+    + [ParamSpec("preemption", "str", "checkpoint",
+                 "victim handling: none | kill | checkpoint"),
+       ParamSpec("spot_churn_mean_s", "float", 2 * 3600.0,
+                 "mean seconds between spot-capacity re-draws"),
+       ParamSpec("spot_min_frac", "float", 0.5,
+                 "floor of the available-capacity fraction")],
+    description="Spot-market capacity churn: machines leave and "
+                "return like preemptible instances (idle machines "
+                "reclaimed first, running jobs preempted at their "
+                "checkpoint boundary when that is not enough), so "
+                "the fleet runs a rolling game of musical chairs",
+    tags=("fleet", "scheduler", "preemption", "spot"))
+def fleet_spot_churn_scenario(total_machines: int = 24,
+                              duration_s: float = 3 * 86400.0,
+                              seed: int = 11,
+                              arrival_mean_s: float = 5400.0,
+                              fault_mtbf_s: float = 6 * 3600.0,
+                              initial_jobs: int = 3,
+                              backfill: bool = True,
+                              machines_per_switch: int = 16,
+                              placement: str = "any-free",
+                              standby_target: float = 0.0,
+                              checkpoint_interval_s: float = 900.0,
+                              preemption: str = "checkpoint",
+                              spot_churn_mean_s: float = 2 * 3600.0,
+                              spot_min_frac: float = 0.5
+                              ) -> FleetScenario:
+    """Capacity that arrives and leaves like spot instances."""
+    return _build_fleet(total_machines, duration_s, seed,
+                        arrival_mean_s, fault_mtbf_s, initial_jobs,
+                        backfill,
+                        machines_per_switch=machines_per_switch,
+                        placement=placement,
+                        standby_target=standby_target,
+                        checkpoint_interval_s=checkpoint_interval_s,
+                        preemption=preemption,
+                        spot_churn_mean_s=spot_churn_mean_s,
+                        spot_min_frac=spot_min_frac)
+
+
+@register_scenario(
+    "fleet-elastic-training",
+    params=_fleet_scenario_params(16, 3 * 86400.0, 13, 5400.0,
+                                  4 * 3600.0,
+                                  checkpoint_interval_s=900.0)
+    + [ParamSpec("preemption", "str", "checkpoint",
+                 "victim handling: none | kill | checkpoint"),
+       ParamSpec("elastic_frac", "float", 0.5,
+                 "fraction of jobs declaring (min, max) bounds"),
+       ParamSpec("high_priority_frac", "float", 0.25,
+                 "fraction of jobs submitted at high priority")],
+    description="Elastic data-parallel training: jobs declare "
+                "(min_machines, max_machines), the scheduler shrinks "
+                "them toward the floor to admit blocked high-priority "
+                "work (cheaper than preemption, tried first) and "
+                "grows them into free capacity, rebinding the rank "
+                "topology at checkpoint boundaries",
+    tags=("fleet", "scheduler", "elastic"))
+def fleet_elastic_training_scenario(total_machines: int = 16,
+                                    duration_s: float = 3 * 86400.0,
+                                    seed: int = 13,
+                                    arrival_mean_s: float = 5400.0,
+                                    fault_mtbf_s: float = 4 * 3600.0,
+                                    initial_jobs: int = 3,
+                                    backfill: bool = True,
+                                    machines_per_switch: int = 16,
+                                    placement: str = "any-free",
+                                    standby_target: float = 0.0,
+                                    checkpoint_interval_s: float = 900.0,
+                                    preemption: str = "checkpoint",
+                                    elastic_frac: float = 0.5,
+                                    high_priority_frac: float = 0.25
+                                    ) -> FleetScenario:
+    """Elastic shrink/grow under priority pressure."""
+    return _build_fleet(total_machines, duration_s, seed,
+                        arrival_mean_s, fault_mtbf_s, initial_jobs,
+                        backfill,
+                        high_priority_frac=high_priority_frac,
+                        machines_per_switch=machines_per_switch,
+                        placement=placement,
+                        standby_target=standby_target,
+                        checkpoint_interval_s=checkpoint_interval_s,
+                        preemption=preemption,
+                        elastic_frac=elastic_frac)

@@ -123,10 +123,12 @@ class TestBlockDeterminism:
     def test_schema_versions_move_together(self):
         """The drawn-value schema and the sweep-cache schema are
         coupled: block draws are metrics schema 2, which forced cache
-        schema 3.  Bumping one without the other would let a stale
-        cache serve reports computed under different draws."""
+        schema 3 (cache 4 was a payload-layout bump — fleet lifecycle
+        fields — with the same metrics schema).  Bumping the metrics
+        schema without the cache schema would let a stale cache serve
+        reports computed under different draws."""
         assert METRICS_SCHEMA_VERSION == 2
-        assert CACHE_SCHEMA_VERSION == 3
+        assert CACHE_SCHEMA_VERSION == 4
 
 
 @pytest.fixture
